@@ -1,0 +1,22 @@
+"""Benchmark-harness helpers.
+
+Every benchmark regenerates one of the paper's tables or figures at
+``BENCH_SCALE`` (small traces, level 4) and asserts the paper's *shape*
+claims — who wins, which way curves bend — not absolute numbers.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Use ``repro-experiments <id>`` for full-scale regeneration.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import BENCH_SCALE, ExperimentResult, run_experiment
+
+
+def regen(benchmark, experiment_id: str) -> ExperimentResult:
+    """Benchmark one experiment regeneration and return its result."""
+    return benchmark.pedantic(
+        run_experiment, args=(experiment_id, BENCH_SCALE),
+        rounds=1, iterations=1,
+    )

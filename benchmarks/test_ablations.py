@@ -1,0 +1,24 @@
+"""Bench: design-choice ablations (write buffer depth/overlap, coloring)."""
+
+from conftest import regen
+
+
+def test_wb_depth_ablation(benchmark):
+    result = regen(benchmark, "wbdepth")
+    # The paper's 8-entry choice sits on the knee: deepening to 16 buys
+    # almost nothing compared with the gain up to 8.
+    assert result.findings["gain_1_to_8"] > 3 * abs(
+        result.findings["gain_8_to_16"])
+
+
+def test_wb_overlap_ablation(benchmark):
+    result = regen(benchmark, "wboverlap")
+    # Overlapping the L2 latency during streams of writes helps.
+    assert result.findings["gain_0_to_2"] >= 0.0
+
+
+def test_page_coloring_ablation(benchmark):
+    result = regen(benchmark, "coloring")
+    # Page coloring must not be worse than random allocation.
+    assert (result.findings["coloring_cpi"]
+            <= result.findings["random_cpi"] + 0.02)

@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 10 (memory-system concurrency mechanisms)."""
+
+from conftest import regen
+
+
+def test_fig10_concurrency(benchmark):
+    result = regen(benchmark, "fig10")
+    # Paper shape 1: every mechanism helps, and the total is modest next to
+    # the size/speed optimizations (paper total: 0.027 CPI).
+    assert result.findings["i_refill_gain"] >= 0.0
+    assert result.findings["dwb_bypass_gain_dirty_bit"] > 0.0
+    assert result.findings["l2_dirty_buffer_gain"] >= 0.0
+    assert 0.0 < result.findings["total_gain"] < 0.4
+    # Paper shape 2: the dirty-bit scheme achieves ~95% of associative
+    # matching without any associative hardware.
+    assert result.findings["dirty_bit_fraction_of_associative"] > 0.7

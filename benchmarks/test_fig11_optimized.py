@@ -1,0 +1,11 @@
+"""Bench: regenerate Fig. 11 / Section 10 (optimized vs. base)."""
+
+from conftest import regen
+
+
+def test_fig11_optimized(benchmark):
+    result = regen(benchmark, "fig11")
+    # Paper bottom line: the optimized machine improves the memory system
+    # by 54.5% and the total by 13.7%, with no cycle-time increase.
+    assert result.findings["memory_improvement_pct"] > 5.0
+    assert result.findings["total_improvement_pct"] > 2.0

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 2 (multiprogramming level vs. cache performance)."""
+
+from conftest import regen
+
+
+def test_fig2_multiprogramming(benchmark):
+    result = regen(benchmark, "fig2")
+    # Paper shape: L2 miss ratio grows substantially with the level (the
+    # paper reports ~70%); L1 miss ratios move far less in absolute terms.
+    assert result.findings["l2_miss_rise_percent"] > 20.0
+    l2_by_level = {row[0]: row[3] for row in result.rows}
+    assert l2_by_level[16] > l2_by_level[2]
+    # CPI should not improve as the level rises.
+    cpis = [row[4] for row in result.rows]
+    assert cpis[-1] >= cpis[1] - 0.05

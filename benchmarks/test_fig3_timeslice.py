@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 3 (context-switch interval vs. performance)."""
+
+from conftest import regen
+
+
+def test_fig3_timeslice(benchmark):
+    result = regen(benchmark, "fig3")
+    # Paper shape: performance improves significantly with longer slices.
+    assert result.findings["cpi_gain"] > 0.05
+    cpis = [row[4] for row in result.rows]
+    assert cpis[0] > cpis[-1]
+    # L1-D miss ratio falls as slices lengthen (more reuse before eviction).
+    l1d = [row[2] for row in result.rows]
+    assert l1d[0] > l1d[-1]

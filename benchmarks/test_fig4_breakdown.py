@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 4 (base-architecture CPI stack)."""
+
+from conftest import regen
+
+
+def test_fig4_breakdown(benchmark):
+    result = regen(benchmark, "fig4")
+    # Paper: ~1.7 CPI total over the 1.238 base.  At bench scale the cold
+    # regime inflates the stack; guard the structure and rough magnitude.
+    assert 1.4 < result.findings["total_cpi"] < 3.5
+    assert result.findings["memory_cpi"] > 0.1
+    # Writes (L1 writes + WB) are a significant slice of the memory loss
+    # (paper: 24%).
+    assert 0.03 < result.findings["write_loss_fraction"] < 0.5
+    labels = [row[0] for row in result.rows]
+    assert "L1 writes" in labels and "L2-D miss" in labels

@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 5 (write policy vs. L2 access time)."""
+
+from conftest import regen
+
+
+def test_fig5_write_policy(benchmark):
+    result = regen(benchmark, "fig5")
+    rows = {row[0]: row[1:] for row in result.rows}  # access -> 4 CPIs
+    write_back, invalidate, write_only, subblock = range(4)
+    # Paper shape 1: write-through wins at fast L2 access times.
+    assert rows[2][write_only] < rows[2][write_back]
+    # Paper shape 2: the write-back/write-through gap shrinks (and
+    # eventually flips) as the L2 slows: crossover beyond ~6 cycles.
+    gap = {a: rows[a][write_back] - rows[a][write_only] for a in (2, 10)}
+    assert gap[10] < gap[2]
+    assert result.findings["crossover_access_time"] >= 6
+    # Paper shape 3: write-only ~= subblock placement.
+    assert abs(result.findings["write_only_minus_subblock_at_4c"]) < 0.02
+    # Paper shape 4: write-only never worse than write-miss-invalidate.
+    for access in rows:
+        assert rows[access][write_only] <= rows[access][invalidate] + 0.005

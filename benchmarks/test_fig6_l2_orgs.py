@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 6 and Table 2 (L2 size and organization)."""
+
+from conftest import regen
+
+
+def test_fig6_l2_orgs_and_table2(benchmark):
+    result = regen(benchmark, "fig6")
+    # Paper shape 1: miss ratio declines strongly with size.
+    assert result.findings["unified_1way_decline"] > 2.0
+    # Paper shape 2: associativity removes conflict misses at large sizes.
+    assert result.findings["assoc_gain_at_1024K"] > 0.0
+    # Paper shape 3: splitting hurts the smallest cache (halved capacity).
+    assert result.findings["split_loss_at_16K"] > 0.0
+    # CPI columns ordered: every organization improves with size.
+    for column in range(1, 5):
+        cpis = [row[column] for row in result.rows]
+        assert cpis[0] > cpis[-1]

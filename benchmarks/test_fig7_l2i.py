@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 7 (L2-I speed-size tradeoff)."""
+
+from conftest import regen
+
+
+def test_fig7_l2i_speed_size(benchmark):
+    result = regen(benchmark, "fig7")
+    # Paper shape: instruction-side curves flatten past ~64KW — the gain
+    # from 8K->64K exceeds the gain from 64K->512K.
+    assert (result.findings["gain_8K_to_64K"]
+            > result.findings["gain_64K_to_512K"])
+    # Faster L2-I always helps: rows increase along the access-time family.
+    for row in result.rows:
+        values = row[1:]
+        assert values == sorted(values)
+    # The family spans a wide range (paper: ~0.19 down to ~0.02 CPI).
+    assert result.findings["max_cpi"] > 3 * result.findings["min_cpi"]

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 8 (L2-D speed-size tradeoff)."""
+
+from conftest import regen
+
+
+def test_fig8_l2d_speed_size(benchmark):
+    result = regen(benchmark, "fig8")
+    # Paper shape: the data side is still improving at 512KW.
+    assert result.findings["still_improving_at_512K"] > 0.0
+    # And its overall span is larger than the instruction side's
+    # (paper: 0.72..0.06 vs 0.19..0.02) — check it is substantial.
+    assert result.findings["max_cpi"] > 2 * result.findings["min_cpi"]
+    for row in result.rows:
+        values = row[1:]
+        assert values == sorted(values)

@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 9 (split L2 on the MCM + 8W fetch size)."""
+
+from conftest import regen
+
+
+def test_fig9_optimizations(benchmark):
+    result = regen(benchmark, "fig9")
+    # Paper shape 1: the split L2 with a fast 32KW L2-I on the MCM improves
+    # the memory system substantially (paper: 34%).
+    assert result.findings["split_memory_improvement_pct"] > 5.0
+    # Paper shape 2: lengthening the L1 fetch/line to 8W helps further
+    # (paper: 0.026 CPI).
+    assert result.findings["fetch8_cpi_gain"] > 0.0
+    # Paper shape 3: swapping the sizes/speeds of L2-I and L2-D is worse —
+    # it is the instruction cache that belongs on the MCM (paper: ~21%).
+    assert result.findings["swap_penalty_pct"] > 0.0

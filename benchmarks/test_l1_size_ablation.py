@@ -1,0 +1,14 @@
+"""Bench: the Section 5 L1 size/associativity ablation."""
+
+from conftest import regen
+
+
+def test_l1_size_ablation(benchmark):
+    result = regen(benchmark, "l1size")
+    # Bigger or more associative L1s lower miss ratios...
+    assert result.findings["imr_gain_8K"] >= 0.0
+    assert result.findings["dmr_gain_2way"] >= 0.0
+    # ...but the break-even cycle-time stretch is small — far below the
+    # near-doubling the paper says off-MMU tags would cost (Section 5).
+    assert result.findings["breakeven_cycle_stretch_8K_icache"] < 0.5
+    assert result.findings["breakeven_cycle_stretch_2way_dcache"] < 0.5

@@ -1,0 +1,11 @@
+"""Bench: regenerate Table 1 (benchmark workload characterization)."""
+
+from conftest import regen
+
+
+def test_table1_workload(benchmark):
+    result = regen(benchmark, "table1")
+    # Paper: ~2.5 billion references, stores ~7.25% of instructions.
+    assert 2.0 < result.findings["total_references_billion"] < 3.2
+    assert 0.05 < result.findings["suite_store_fraction"] < 0.10
+    assert len(result.rows) == 10

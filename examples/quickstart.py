@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Quickstart: simulate the paper's base architecture and print its CPI stack.
+
+Builds the Section 2 baseline — split 4 KW L1 caches, write-back L1-D with a
+4x4W write buffer, unified 256 KW L2 — runs the Table 1 workload at
+multiprogramming level 8 with a 500k-cycle time slice, and prints the Fig. 4
+performance-loss breakdown.
+
+Run:
+    python examples/quickstart.py [instructions_per_benchmark]
+"""
+
+import sys
+
+from repro import base_architecture, default_suite, simulate
+from repro.analysis import format_cpi_stack
+
+
+def main() -> None:
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 200_000
+    config = base_architecture()
+    suite = default_suite(instructions_per_benchmark=instructions)[:8]
+
+    print(f"simulating {len(suite)} benchmarks x {instructions:,} "
+          f"instructions on '{config.name}' ...")
+    stats = simulate(config, suite, level=8, time_slice=50_000,
+                     warmup_instructions=len(suite) * instructions // 3)
+
+    print(f"\ninstructions : {stats.instructions:,}")
+    print(f"loads/stores : {stats.loads:,} / {stats.stores:,}")
+    print(f"L1-I miss    : {stats.l1i_miss_ratio:.4f}")
+    print(f"L1-D miss    : {stats.l1d_miss_ratio:.4f} (reads), "
+          f"{stats.l1d_write_miss_ratio:.4f} (writes)")
+    print(f"L2 miss      : {stats.l2_miss_ratio:.4f} "
+          f"(I {stats.l2i_miss_ratio:.4f}, D {stats.l2d_miss_ratio:.4f})")
+    print(f"memory CPI   : {stats.memory_cpi:.3f}")
+    print(f"total CPI    : {stats.cpi():.3f}\n")
+    print(format_cpi_stack(stats.breakdown(), title="Fig. 4-style CPI stack:"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Example: work with traces directly — generate, characterize, export.
+
+The paper's methodology starts from address traces; this example shows the
+trace substrate as a standalone toolkit:
+
+1. synthesize one benchmark's trace;
+2. characterize its locality (footprint, working-set curve, reuse-distance
+   profile, miss-ratio-vs-size curve);
+3. export it in dinero ``din`` format for use with other cache simulators.
+
+Run:
+    python examples/trace_toolkit.py [instructions]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.trace import TABLE1_SUITE, SyntheticBenchmark, TraceBatch
+from repro.trace.analysis import (
+    data_addresses,
+    footprint,
+    lru_miss_ratio_from_distances,
+    miss_ratio_curve,
+    reuse_distance_sample,
+    working_set_curve,
+)
+from repro.trace.tracefile import export_din
+
+
+def main() -> None:
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 60_000
+    profile = TABLE1_SUITE[0].scaled(
+        instructions / TABLE1_SUITE[0].instructions)
+    bench = SyntheticBenchmark(profile)
+    batches = []
+    while True:
+        batch = bench.next_batch()
+        if batch is None:
+            break
+        batches.append(batch)
+    trace = TraceBatch.concat(batches)
+    print(f"synthesized {len(trace):,} instructions of '{profile.name}' "
+          f"({trace.references():,} references)\n")
+
+    data = data_addresses(trace).tolist()
+    code_fp = footprint(trace.pc)
+    data_fp = footprint(data)
+    print(f"code footprint : {code_fp['lines']} lines over "
+          f"{code_fp['pages']} pages")
+    print(f"data footprint : {data_fp['lines']} lines over "
+          f"{data_fp['pages']} pages\n")
+
+    print("data working set W(T):")
+    for window, lines in working_set_curve(data, [128, 512, 2048, 8192]):
+        print(f"  T={window:>5} refs : {lines:8.1f} lines")
+
+    print("\nLRU miss ratio from reuse distances (fully associative):")
+    distances = reuse_distance_sample(data[:20_000])
+    for capacity in (256, 1024, 4096):
+        ratio = lru_miss_ratio_from_distances(distances, capacity)
+        print(f"  {capacity:>5} lines : {ratio:.4f}")
+
+    print("\nmiss ratio vs. size (direct-mapped, 4W lines):")
+    for size, ratio in miss_ratio_curve(data, [1024, 4096, 16384],
+                                        warmup=len(data) // 4):
+        print(f"  {size:>6} words : {ratio:.4f}")
+
+    out = Path(tempfile.gettempdir()) / f"{profile.name}.din"
+    records = export_din(out, trace[: min(len(trace), 10_000)])
+    print(f"\nexported the first 10k instructions as {records:,} dinero "
+          f"records -> {out}")
+
+
+if __name__ == "__main__":
+    main()

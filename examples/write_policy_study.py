@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Example: choose an L1-D write policy for *your* secondary cache.
+
+The paper's central write-policy result (Fig. 5) is a tradeoff: the faster
+your L2, the better write-through looks, because the cost of write-through
+is the time read misses spend waiting behind the write buffer.  This example
+sweeps the four policies over a range of L2 access times with the public
+API, prints the CPI matrix, and reports the crossover — the access time at
+which you should switch your design to write-back.
+
+It also demonstrates the paper's novel *write-only* policy: like
+write-miss-invalidate, but a write miss captures the line (tag update +
+write-only mark) so following writes hit; reads to a write-only line miss
+and reallocate.  Compare its column against subblock placement, which needs
+per-word valid bits to do slightly better.
+
+Run:
+    python examples/write_policy_study.py [instructions_per_benchmark]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro import (
+    WritePolicy,
+    base_architecture,
+    default_suite,
+    simulate,
+)
+from repro.analysis import format_series
+from repro.core.config import base_write_buffer, write_through_buffer
+
+ACCESS_TIMES = (2, 4, 6, 8, 10)
+POLICIES = (
+    WritePolicy.WRITE_BACK,
+    WritePolicy.WRITE_MISS_INVALIDATE,
+    WritePolicy.WRITE_ONLY,
+    WritePolicy.SUBBLOCK,
+)
+
+
+def main() -> None:
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 150_000
+    suite = default_suite(instructions_per_benchmark=instructions)[:8]
+    warmup = len(suite) * instructions // 3
+
+    series = {policy.value: [] for policy in POLICIES}
+    for policy in POLICIES:
+        buffer = (base_write_buffer() if policy is WritePolicy.WRITE_BACK
+                  else write_through_buffer())
+        for access_time in ACCESS_TIMES:
+            base = base_architecture()
+            config = base.with_(
+                write_policy=policy,
+                write_buffer=buffer,
+                l2=replace(base.l2, access_time=access_time),
+            )
+            stats = simulate(config, suite, level=8,
+                             time_slice=50_000,
+                             warmup_instructions=warmup)
+            series[policy.value].append(stats.cpi())
+        print(f"  swept {policy.value}")
+
+    print()
+    print(format_series("L2 access (cycles)", list(ACCESS_TIMES), series,
+                        title="CPI by write policy and L2 access time "
+                              "(Fig. 5)"))
+
+    crossover = None
+    for i, access_time in enumerate(ACCESS_TIMES):
+        if (series[WritePolicy.WRITE_BACK.value][i]
+                < series[WritePolicy.WRITE_ONLY.value][i]):
+            crossover = access_time
+            break
+    if crossover is None:
+        print("\nwrite-through (write-only) wins across the whole sweep")
+    else:
+        print(f"\nwrite-back becomes the better choice at an L2 access "
+              f"time of {crossover} cycles (paper: 8)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""repro: a reproduction of "Implementing a Cache for a High-Performance GaAs
+Microprocessor" (Olukotun, Mudge & Brown, ISCA 1991).
+
+A trace-driven two-level cache simulator with synthetic MIPS-era workloads,
+multiprogramming, all four of the paper's L1-D write policies (including the
+novel *write-only* policy), unified/split secondary caches, and the Section 9
+memory-concurrency mechanisms.  The :mod:`repro.experiments` package
+regenerates every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import base_architecture, default_suite, simulate
+
+    stats = simulate(base_architecture(),
+                     default_suite(instructions_per_benchmark=100_000))
+    print(f"CPI = {stats.cpi():.3f}")
+"""
+
+from repro.core import (
+    BypassMode,
+    Cache,
+    CacheConfig,
+    ConcurrencyConfig,
+    FunctionalMemorySystem,
+    L2Config,
+    MemorySystem,
+    SecondaryCache,
+    SimStats,
+    Simulation,
+    SystemConfig,
+    TLBConfig,
+    WriteBuffer,
+    WriteBufferConfig,
+    WritePolicy,
+    base_architecture,
+    fetch8_architecture,
+    optimized_architecture,
+    simulate,
+    split_l2_architecture,
+)
+from repro.mmu import TLB, PageTable
+from repro.sched import Process, Scheduler
+from repro.trace import (
+    TABLE1_SUITE,
+    BenchmarkProfile,
+    SyntheticBenchmark,
+    TraceBatch,
+    default_suite,
+    replicate_suite,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BypassMode",
+    "Cache",
+    "CacheConfig",
+    "ConcurrencyConfig",
+    "FunctionalMemorySystem",
+    "L2Config",
+    "MemorySystem",
+    "SecondaryCache",
+    "SimStats",
+    "Simulation",
+    "SystemConfig",
+    "TLBConfig",
+    "WriteBuffer",
+    "WriteBufferConfig",
+    "WritePolicy",
+    "base_architecture",
+    "fetch8_architecture",
+    "optimized_architecture",
+    "simulate",
+    "split_l2_architecture",
+    "TLB",
+    "PageTable",
+    "Process",
+    "Scheduler",
+    "TABLE1_SUITE",
+    "BenchmarkProfile",
+    "SyntheticBenchmark",
+    "TraceBatch",
+    "default_suite",
+    "replicate_suite",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Analysis layer: analytic CPI recombination, sweeps, table rendering."""
+
+from repro.analysis.cpi import (
+    PenaltyModel,
+    data_side_cpi,
+    instruction_side_cpi,
+    l1_refill_cycles,
+    percent_improvement,
+    speed_size_curves,
+)
+from repro.analysis.ascii_plot import bar_chart, chart_for_result, line_chart
+from repro.analysis.repeat import MetricSummary, repeat_simulation, reseed_profiles
+from repro.analysis.sweep import SweepPoint, run_point, run_sweep, stats_by_label
+from repro.analysis.tables import (
+    format_cpi_stack,
+    format_percent,
+    format_series,
+    format_table,
+)
+
+__all__ = [
+    "MetricSummary",
+    "repeat_simulation",
+    "reseed_profiles",
+    "bar_chart",
+    "chart_for_result",
+    "line_chart",
+    "PenaltyModel",
+    "data_side_cpi",
+    "instruction_side_cpi",
+    "l1_refill_cycles",
+    "percent_improvement",
+    "speed_size_curves",
+    "SweepPoint",
+    "run_point",
+    "run_sweep",
+    "stats_by_label",
+    "format_cpi_stack",
+    "format_percent",
+    "format_series",
+    "format_table",
+]

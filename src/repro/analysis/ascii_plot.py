@@ -1,0 +1,103 @@
+"""Terminal plotting: line and bar charts in plain ASCII.
+
+The experiments print their reproduced tables; with ``--chart`` the CLI
+also draws them, which makes the paper's figures recognizable at a glance
+(the Fig. 5 crossover, the Fig. 7/8 speed-size families, the Fig. 4 stack).
+No plotting dependencies, deterministic output, easy to assert on in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+_MARKERS = "*o+x#@%&"
+
+
+def line_chart(xs: Sequence[float], series: Dict[str, Sequence[float]],
+               width: int = 64, height: int = 16,
+               title: str = "") -> str:
+    """Render one or more y(x) series on a shared grid.
+
+    Each series gets a marker from ``*o+x#@%&``; the legend maps markers to
+    names.  X positions are spread by rank (category-style), which suits the
+    swept parameters here (sizes, access times, levels).
+    """
+    if not xs or not series:
+        raise ValueError("need at least one x and one series")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length mismatch")
+    all_values = [y for ys in series.values() for y in ys]
+    lo, hi = min(all_values), max(all_values)
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    n = len(xs)
+    for index, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for i, y in enumerate(ys):
+            col = 0 if n == 1 else round(i * (width - 1) / (n - 1))
+            row = round((hi - y) / (hi - lo) * (height - 1))
+            grid[row][col] = marker
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:12.4f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 13 + "|" + "".join(row))
+    lines.append(f"{lo:12.4f} +" + "-" * width)
+    first, last = str(xs[0]), str(xs[-1])
+    lines.append(" " * 14 + first + " " * max(1, width - len(first)
+                                              - len(last)) + last)
+    legend = "  ".join(f"{_MARKERS[i % len(_MARKERS)]}={name}"
+                       for i, name in enumerate(series))
+    lines.append(" " * 14 + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 48, title: str = "",
+              precision: int = 3) -> str:
+    """Render labeled horizontal bars scaled to the largest value."""
+    if len(labels) != len(values):
+        raise ValueError("labels/values length mismatch")
+    if not labels:
+        raise ValueError("nothing to plot")
+    peak = max(max(values), 1e-12)
+    label_width = max(len(label) for label in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, round(value / peak * width))
+        lines.append(f"  {label.rjust(label_width)} |{bar} "
+                     f"{value:.{precision}f}")
+    return "\n".join(lines)
+
+
+def chart_for_result(result) -> Optional[str]:
+    """Best-effort chart for an :class:`ExperimentResult`.
+
+    Numeric multi-column tables become line charts (first column = x);
+    two-column numeric tables become bar charts.  Returns ``None`` when the
+    rows don't chart (e.g. mixed text tables).
+    """
+    rows = result.rows
+    if not rows or len(rows) < 2:
+        return None
+    numeric_columns = [
+        all(isinstance(row[col], (int, float)) for row in rows)
+        for col in range(len(result.headers))
+    ]
+    if all(numeric_columns[1:]) and len(result.headers) >= 3:
+        xs = [row[0] for row in rows]
+        series = {
+            str(result.headers[col]): [float(row[col]) for row in rows]
+            for col in range(1, len(result.headers))
+        }
+        return line_chart(xs, series, title=result.title)
+    if len(result.headers) == 2 and numeric_columns[1]:
+        labels = [str(row[0]) for row in rows]
+        values = [float(row[1]) for row in rows]
+        return bar_chart(labels, values, title=result.title)
+    return None

@@ -1,0 +1,104 @@
+"""Analytic CPI recombination.
+
+The speed-size tradeoff figures (Figs. 7 and 8) sweep the secondary cache's
+*access time* at each size, with the effect of writes deliberately ignored
+"to simplify the comparison between L2-I and L2-D" (Section 7).  Because an
+access-time change does not alter which references hit or miss, the whole
+access-time family for one size can be computed analytically from a single
+simulation's event counts — the same trick the paper's compiled-per-
+configuration simulators rely on implicitly.
+
+Side CPI definitions (per instruction):
+
+* instruction side: L1-I refills at ``A + (line/4 - 1)`` cycles each, plus
+  main-memory penalties for L2-I misses (dirty-victim write-backs included).
+* data side: the same using L1-D *read* misses (write traffic excluded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.stats import SimStats
+
+
+@dataclass(frozen=True)
+class PenaltyModel:
+    """Main-memory penalties used by the analytic recombination."""
+
+    miss_penalty_clean: int = 143
+    miss_penalty_dirty: int = 237
+
+
+def l1_refill_cycles(access_time: int, line_words: int) -> int:
+    """Stall cycles to refill an L1 line over the 4 W/cycle path."""
+    return access_time + (line_words // 4 - 1)
+
+
+def instruction_side_cpi(stats: SimStats, access_time: int,
+                         line_words: int = 4,
+                         penalties: PenaltyModel = PenaltyModel()) -> float:
+    """CPI contribution of instruction fetching for a given L2-I access time.
+
+    Uses the simulation's miss counts; valid for any access time because hits
+    and misses are timing-independent.
+    """
+    n = stats.instructions or 1
+    refill = stats.l1i_misses * l1_refill_cycles(access_time, line_words)
+    clean_misses = stats.l2i_misses - stats.l2i_dirty_victims
+    memory = (clean_misses * penalties.miss_penalty_clean
+              + stats.l2i_dirty_victims * penalties.miss_penalty_dirty)
+    return (refill + memory) / n
+
+
+def data_side_cpi(stats: SimStats, access_time: int,
+                  line_words: int = 4,
+                  penalties: PenaltyModel = PenaltyModel()) -> float:
+    """CPI contribution of data *reads* for a given L2-D access time.
+
+    Write effects are excluded, matching the paper's Figs. 7-8 methodology.
+    """
+    n = stats.instructions or 1
+    refill = stats.l1d_read_misses * l1_refill_cycles(access_time, line_words)
+    clean_misses = stats.l2d_misses - stats.l2d_dirty_victims
+    memory = (clean_misses * penalties.miss_penalty_clean
+              + stats.l2d_dirty_victims * penalties.miss_penalty_dirty)
+    return (refill + memory) / n
+
+
+def speed_size_curves(stats_by_size: Sequence[tuple],
+                      access_times: Sequence[int],
+                      side: str,
+                      line_words: int = 4,
+                      penalties: PenaltyModel = PenaltyModel()) -> dict:
+    """Build the Fig. 7/8 curve family.
+
+    Args:
+        stats_by_size: sequence of ``(size_words, SimStats)`` pairs.
+        access_times: the access-time family (one curve per value).
+        side: ``"instruction"`` or ``"data"``.
+
+    Returns:
+        ``{access_time: [(size_words, cpi), ...]}``.
+    """
+    if side == "instruction":
+        side_fn = instruction_side_cpi
+    elif side == "data":
+        side_fn = data_side_cpi
+    else:
+        raise ValueError("side must be 'instruction' or 'data'")
+    curves = {}
+    for access_time in access_times:
+        curves[access_time] = [
+            (size, side_fn(stats, access_time, line_words, penalties))
+            for size, stats in stats_by_size
+        ]
+    return curves
+
+
+def percent_improvement(before: float, after: float) -> float:
+    """Percentage improvement of a smaller-is-better metric."""
+    if before == 0:
+        return 0.0
+    return 100.0 * (before - after) / before

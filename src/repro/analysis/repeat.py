@@ -1,0 +1,103 @@
+"""Multi-seed repetition: how stable are the reproduction's numbers?
+
+The synthetic workload is deterministic per seed; re-seeding the suite
+yields statistically equivalent but distinct traces.  Running a
+configuration over several seeds gives the sampling variability of every
+reported metric — the error bars the paper (single long traces) did not
+need but short reproduction runs do.
+
+Usage::
+
+    summary = repeat_simulation(base_architecture(), profiles, seeds=5)
+    print(summary["cpi"].mean, summary["cpi"].std)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.config import SystemConfig
+from repro.core.stats import SimStats
+from repro.analysis.sweep import run_point
+from repro.params import DEFAULT_TIME_SLICE
+from repro.trace.synthetic import BenchmarkProfile
+
+#: The metrics summarized by default: name -> extractor.
+DEFAULT_METRICS: Dict[str, Callable[[SimStats], float]] = {
+    "cpi": lambda s: s.cpi(),
+    "memory_cpi": lambda s: s.memory_cpi,
+    "l1i_miss_ratio": lambda s: s.l1i_miss_ratio,
+    "l1d_miss_ratio": lambda s: s.l1d_miss_ratio,
+    "l2_miss_ratio": lambda s: s.l2_miss_ratio,
+}
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean / spread of one metric over repeated runs."""
+
+    name: str
+    samples: Sequence[float]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (0 for a single run)."""
+        n = len(self.samples)
+        if n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((x - mu) ** 2 for x in self.samples) / (n - 1))
+
+    @property
+    def relative_std(self) -> float:
+        """Coefficient of variation (std / mean)."""
+        mu = self.mean
+        return self.std / mu if mu else 0.0
+
+    @property
+    def low(self) -> float:
+        return min(self.samples)
+
+    @property
+    def high(self) -> float:
+        return max(self.samples)
+
+
+def reseed_profiles(profiles: Sequence[BenchmarkProfile],
+                    offset: int) -> List[BenchmarkProfile]:
+    """A statistically equivalent suite with shifted seeds."""
+    return [replace(profile, seed=profile.seed + 7919 * offset)
+            for profile in profiles]
+
+
+def repeat_simulation(config: SystemConfig,
+                      profiles: Sequence[BenchmarkProfile],
+                      seeds: int = 3,
+                      time_slice: int = DEFAULT_TIME_SLICE,
+                      level: Optional[int] = None,
+                      warmup_instructions: int = 0,
+                      metrics: Optional[Dict[str, Callable]] = None
+                      ) -> Dict[str, MetricSummary]:
+    """Run a configuration over ``seeds`` re-seeded workloads.
+
+    Returns:
+        ``{metric_name: MetricSummary}`` for each requested metric.
+    """
+    if seeds < 1:
+        raise ValueError("seeds must be >= 1")
+    chosen = metrics if metrics is not None else DEFAULT_METRICS
+    samples: Dict[str, List[float]] = {name: [] for name in chosen}
+    for offset in range(seeds):
+        stats = run_point(config, reseed_profiles(profiles, offset),
+                          time_slice=time_slice, level=level,
+                          warmup_instructions=warmup_instructions)
+        for name, extract in chosen.items():
+            samples[name].append(extract(stats))
+    return {name: MetricSummary(name=name, samples=tuple(values))
+            for name, values in samples.items()}

@@ -1,0 +1,65 @@
+"""Parameter-sweep drivers: run one workload over many configurations.
+
+Each sweep point builds a fresh :class:`~repro.core.simulator.Simulation`
+(fresh caches, page table and trace generators) so configurations are
+compared under identical, independently warmed conditions — the paper
+generates a separate simulator binary per configuration for the same reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import SystemConfig
+from repro.core.simulator import Simulation
+from repro.core.stats import SimStats
+from repro.params import DEFAULT_TIME_SLICE
+from repro.trace.synthetic import BenchmarkProfile
+
+
+@dataclass
+class SweepPoint:
+    """One configuration's outcome within a sweep."""
+
+    label: str
+    config: SystemConfig
+    stats: SimStats
+
+
+def run_point(config: SystemConfig, profiles: Sequence[BenchmarkProfile],
+              time_slice: int = DEFAULT_TIME_SLICE,
+              level: Optional[int] = None,
+              warmup_instructions: int = 0,
+              max_instructions: Optional[int] = None) -> SimStats:
+    """Run one configuration over a fresh copy of the workload."""
+    sim = Simulation(config=config, profiles=list(profiles),
+                     time_slice=time_slice, level=level,
+                     warmup_instructions=warmup_instructions)
+    return sim.run(max_instructions=max_instructions)
+
+
+def run_sweep(configs: Sequence[Tuple[str, SystemConfig]],
+              profiles: Sequence[BenchmarkProfile],
+              time_slice: int = DEFAULT_TIME_SLICE,
+              level: Optional[int] = None,
+              warmup_instructions: int = 0,
+              max_instructions: Optional[int] = None,
+              progress: Optional[Callable[[str], None]] = None
+              ) -> List[SweepPoint]:
+    """Run every labeled configuration; returns points in input order."""
+    points: List[SweepPoint] = []
+    for label, config in configs:
+        if progress is not None:
+            progress(label)
+        stats = run_point(config, profiles, time_slice=time_slice,
+                          level=level,
+                          warmup_instructions=warmup_instructions,
+                          max_instructions=max_instructions)
+        points.append(SweepPoint(label=label, config=config, stats=stats))
+    return points
+
+
+def stats_by_label(points: Sequence[SweepPoint]) -> Dict[str, SimStats]:
+    """Index sweep results by label."""
+    return {point.label: point.stats for point in points}

@@ -1,0 +1,79 @@
+"""Plain-text rendering of tables, series and CPI stacks.
+
+Experiments print their reproduced tables/figures through these helpers so
+every experiment reports in the same visual format (and so tests can assert
+on structure without string-scraping each experiment separately).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Union
+
+from repro.core.stats import COMPONENT_LABELS, FIG4_COMPONENTS
+
+Cell = Union[str, int, float]
+
+
+def _fmt(value: Cell, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
+                 precision: int = 4, title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [
+        [_fmt(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(x_label: str, xs: Sequence[Cell],
+                  series: Dict[str, Sequence[float]],
+                  precision: int = 4, title: str = "") -> str:
+    """Render one-figure curve families as a table: x column + one column
+    per named series."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(headers, rows, precision=precision, title=title)
+
+
+def format_cpi_stack(breakdown: Dict[str, float], title: str = "",
+                     precision: int = 3) -> str:
+    """Render a Fig. 4-style CPI stack (base at the bottom, cumulative)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    cumulative = 0.0
+    order = ["base"] + [c for c in FIG4_COMPONENTS if c in breakdown]
+    width = max(len(COMPONENT_LABELS.get(c, c)) for c in order)
+    for component in order:
+        value = breakdown.get(component, 0.0)
+        cumulative += value
+        label = COMPONENT_LABELS.get(component, component)
+        lines.append(
+            f"  {label.ljust(width)}  +{value:.{precision}f}"
+            f"  (cum {cumulative:.{precision}f})"
+        )
+    lines.append(f"  {'total CPI'.ljust(width)}   {cumulative:.{precision}f}")
+    return "\n".join(lines)
+
+
+def format_percent(value: float, precision: int = 1) -> str:
+    """Render a percentage."""
+    return f"{value:.{precision}f}%"

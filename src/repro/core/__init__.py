@@ -1,0 +1,65 @@
+"""Core library: caches, write buffer, L2, memory system, configuration."""
+
+from repro.core.cache import INVALID, Cache, FillResult, simulate_miss_ratio
+from repro.core.config import (
+    BypassMode,
+    CacheConfig,
+    ConcurrencyConfig,
+    L2Config,
+    SystemConfig,
+    TLBConfig,
+    WriteBufferConfig,
+    WritePolicy,
+    base_architecture,
+    base_write_buffer,
+    fetch8_architecture,
+    optimized_architecture,
+    split_l2_architecture,
+    write_through_buffer,
+)
+from repro.core.functional import FunctionalMemorySystem
+from repro.core.hierarchy import (
+    REASON_END,
+    REASON_SLICE,
+    REASON_SYSCALL,
+    MemorySystem,
+    SliceResult,
+)
+from repro.core.l2 import SecondaryCache
+from repro.core.simulator import Simulation, simulate
+from repro.core.stats import COMPONENT_LABELS, FIG4_COMPONENTS, SimStats
+from repro.core.write_buffer import WriteBuffer
+
+__all__ = [
+    "INVALID",
+    "Cache",
+    "FillResult",
+    "simulate_miss_ratio",
+    "BypassMode",
+    "CacheConfig",
+    "ConcurrencyConfig",
+    "L2Config",
+    "SystemConfig",
+    "TLBConfig",
+    "WriteBufferConfig",
+    "WritePolicy",
+    "base_architecture",
+    "base_write_buffer",
+    "fetch8_architecture",
+    "optimized_architecture",
+    "split_l2_architecture",
+    "write_through_buffer",
+    "FunctionalMemorySystem",
+    "REASON_END",
+    "REASON_SLICE",
+    "REASON_SYSCALL",
+    "MemorySystem",
+    "SliceResult",
+    "SecondaryCache",
+    "Simulation",
+    "simulate",
+    "COMPONENT_LABELS",
+    "FIG4_COMPONENTS",
+    "SimStats",
+    "WriteBuffer",
+]

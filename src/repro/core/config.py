@@ -1,0 +1,361 @@
+"""System configuration: every architectural knob the paper sweeps.
+
+The unit convention follows the paper: sizes are in 32-bit words (``4KW`` =
+16 KB), times are in CPU cycles of the 250 MHz (4 ns) clock.
+
+Presets:
+
+* :func:`base_architecture` — Section 2's baseline (Fig. 1).
+* :func:`optimized_architecture` — the final design of Fig. 11: write-only
+  policy, physically split L2 (32 KW two-cycle L2-I on the MCM, 256 KW
+  six-cycle L2-D off it), 8 W L1 lines, and the three concurrency mechanisms
+  of Section 9.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.params import CPU_STALL_CPI, PAGE_WORDS, is_power_of_two
+
+
+class WritePolicy(enum.Enum):
+    """L1 data-cache write policies studied in Section 6."""
+
+    #: Write-back, write-allocate; write hits take 2 cycles (tag check before
+    #: commit), dirty victims go to the write buffer.
+    WRITE_BACK = "write-back"
+    #: Write-through; data written while the tag is checked in parallel, so a
+    #: write hit takes 1 cycle; a miss corrupts the resident line, which is
+    #: invalidated in a second cycle.
+    WRITE_MISS_INVALIDATE = "write-miss-invalidate"
+    #: The paper's new policy: like write-miss-invalidate, but a write miss
+    #: updates the tag and marks the line *write-only*; later writes hit in
+    #: one cycle, and reads of a write-only line miss and reallocate.
+    WRITE_ONLY = "write-only"
+    #: Write-through with per-word valid bits; a write miss updates the tag
+    #: and sets only the written word's valid bit (full-word writes only).
+    SUBBLOCK = "subblock"
+
+    @property
+    def is_write_through(self) -> bool:
+        """True for every policy except write-back."""
+        return self is not WritePolicy.WRITE_BACK
+
+
+class BypassMode(enum.Enum):
+    """How data reads may pass buffered writes (Section 9)."""
+
+    #: Every L1-D miss waits for the write buffer to empty (baseline rule).
+    NONE = "none"
+    #: Associative matching: a miss waits only if a buffered write matches its
+    #: line, and then only for entries up to and including the match.
+    ASSOCIATIVE = "associative"
+    #: The paper's cheap scheme: an extra dirty bit per L1-D line; the buffer
+    #: is flushed only when a dirty line is replaced.  Valid only under the
+    #: write-only policy (every write allocates, so the buffer can only hold
+    #: parts of dirty lines).
+    DIRTY_BIT = "dirty-bit"
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """A primary (L1) cache.
+
+    The simulator's hot path models direct-mapped L1s, which is what the
+    machine can build: the 4 KW page size caps a virtually-indexed L1 at 4 KW,
+    and Section 5 rejects associative L1s on cycle-time grounds.  Larger or
+    associative L1s can still be studied standalone via
+    :class:`repro.core.cache.Cache`.
+    """
+
+    size_words: int = 4096
+    line_words: int = 4
+
+    def validate(self) -> None:
+        if not is_power_of_two(self.size_words):
+            raise ConfigurationError("L1 size must be a power of two")
+        if not is_power_of_two(self.line_words):
+            raise ConfigurationError("L1 line size must be a power of two")
+        if self.line_words > self.size_words:
+            raise ConfigurationError("L1 line larger than the cache")
+        if self.size_words > PAGE_WORDS:
+            raise ConfigurationError(
+                "virtually-indexed L1 cannot exceed the page size "
+                f"({PAGE_WORDS} words) without OS support (paper, Section 5)"
+            )
+
+    @property
+    def lines(self) -> int:
+        """Number of lines in the cache."""
+        return self.size_words // self.line_words
+
+
+@dataclass(frozen=True)
+class WriteBufferConfig:
+    """The write buffer between L1-D and L2.
+
+    The base (write-back) machine uses a 4-deep, 4 W-wide buffer holding
+    victim lines; the write-through policies use an 8-deep, 1 W-wide buffer
+    (Section 6).  ``overlap_cycles`` is how much of the L2 access latency a
+    *stream* of buffered writes can hide (Section 6: "a stream of writes may
+    overlap one or both cycles of latency").
+    """
+
+    depth: int = 4
+    width_words: int = 4
+    overlap_cycles: int = 2
+
+    def validate(self) -> None:
+        if self.depth <= 0:
+            raise ConfigurationError("write buffer depth must be positive")
+        if self.width_words <= 0:
+            raise ConfigurationError("write buffer width must be positive")
+        if self.overlap_cycles < 0:
+            raise ConfigurationError("overlap cycles must be non-negative")
+
+
+@dataclass(frozen=True)
+class L2Config:
+    """The secondary cache.
+
+    ``split=False`` models the unified cache; ``split=True`` partitions it
+    into instruction and data halves.  A *logical* split (Section 7) halves
+    ``size_words``; a *physical* split gives the halves independent sizes and
+    access times (``i_size_words`` / ``i_access_time``).
+    """
+
+    size_words: int = 256 * 1024
+    line_words: int = 32
+    ways: int = 1
+    access_time: int = 6
+    split: bool = False
+    #: Size of the instruction half when split (default: half of size_words).
+    i_size_words: Optional[int] = None
+    #: Size of the data half when split (default: half of size_words).
+    d_size_words: Optional[int] = None
+    #: Access time of the instruction half (default: access_time).
+    i_access_time: Optional[int] = None
+    #: Main-memory penalties for a miss replacing a clean / dirty line.
+    miss_penalty_clean: int = 143
+    miss_penalty_dirty: int = 237
+
+    def validate(self) -> None:
+        if not is_power_of_two(self.size_words):
+            raise ConfigurationError("L2 size must be a power of two")
+        if not is_power_of_two(self.line_words):
+            raise ConfigurationError("L2 line size must be a power of two")
+        if not is_power_of_two(self.ways):
+            raise ConfigurationError("L2 associativity must be a power of two")
+        if self.access_time < 0:
+            raise ConfigurationError("L2 access time must be non-negative")
+        if self.miss_penalty_dirty < self.miss_penalty_clean:
+            raise ConfigurationError(
+                "dirty-miss penalty cannot be below the clean-miss penalty"
+            )
+        if not self.split and (
+            self.i_size_words is not None
+            or self.d_size_words is not None
+            or self.i_access_time is not None
+        ):
+            raise ConfigurationError(
+                "i_/d_ overrides are only meaningful for a split L2"
+            )
+        for value in (self.i_size_words, self.d_size_words):
+            if value is not None and not is_power_of_two(value):
+                raise ConfigurationError("split L2 half sizes must be powers of two")
+
+    @property
+    def effective_i_size(self) -> int:
+        """Instruction-half size in words (whole cache when unified)."""
+        if not self.split:
+            return self.size_words
+        return self.i_size_words or self.size_words // 2
+
+    @property
+    def effective_d_size(self) -> int:
+        """Data-half size in words (whole cache when unified)."""
+        if not self.split:
+            return self.size_words
+        return self.d_size_words or self.size_words // 2
+
+    @property
+    def effective_i_access(self) -> int:
+        """Access time seen by instruction refills."""
+        if self.split and self.i_access_time is not None:
+            return self.i_access_time
+        return self.access_time
+
+    @property
+    def effective_d_access(self) -> int:
+        """Access time seen by data refills and buffered writes."""
+        return self.access_time
+
+
+@dataclass(frozen=True)
+class ConcurrencyConfig:
+    """The Section 9 memory-system concurrency mechanisms."""
+
+    #: With a split L2, refill L1-I from L2-I while the write buffer continues
+    #: draining into L2-D (instruction misses skip the buffer-empty wait).
+    i_refill_during_wb_drain: bool = False
+    #: How data reads pass buffered writes.
+    bypass: BypassMode = BypassMode.NONE
+    #: A one-line (32 W) dirty buffer on L2-D: a dirty miss reads the
+    #: requested line from memory before writing back the victim.
+    l2_dirty_buffer: bool = False
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """MMU translation-lookaside buffers (Section 2)."""
+
+    itlb_entries: int = 32
+    dtlb_entries: int = 64
+    ways: int = 2
+    miss_penalty: int = 20
+    enabled: bool = True
+
+    def validate(self) -> None:
+        for n in (self.itlb_entries, self.dtlb_entries, self.ways):
+            if not is_power_of_two(n):
+                raise ConfigurationError("TLB geometry must use powers of two")
+        if self.miss_penalty < 0:
+            raise ConfigurationError("TLB miss penalty must be non-negative")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A complete memory-system configuration."""
+
+    name: str = "base"
+    icache: CacheConfig = field(default_factory=CacheConfig)
+    dcache: CacheConfig = field(default_factory=CacheConfig)
+    write_policy: WritePolicy = WritePolicy.WRITE_BACK
+    write_buffer: WriteBufferConfig = field(default_factory=WriteBufferConfig)
+    l2: L2Config = field(default_factory=L2Config)
+    concurrency: ConcurrencyConfig = field(default_factory=ConcurrencyConfig)
+    tlb: TLBConfig = field(default_factory=TLBConfig)
+    #: CPU (non-memory) stall cycles per instruction; Fig. 4's 1.238 baseline.
+    cpu_stall_cpi: float = CPU_STALL_CPI
+
+    def validate(self) -> None:
+        self.icache.validate()
+        self.dcache.validate()
+        self.write_buffer.validate()
+        self.l2.validate()
+        self.tlb.validate()
+        if self.l2.line_words < max(self.icache.line_words,
+                                    self.dcache.line_words):
+            raise ConfigurationError("L2 lines must not be smaller than L1 lines")
+        if (self.concurrency.bypass is BypassMode.DIRTY_BIT
+                and self.write_policy is not WritePolicy.WRITE_ONLY):
+            raise ConfigurationError(
+                "the dirty-bit bypass relies on every write allocating, which "
+                "only the write-only policy guarantees (paper, Section 9)"
+            )
+        if self.concurrency.i_refill_during_wb_drain and not self.l2.split:
+            raise ConfigurationError(
+                "concurrent instruction refill requires a split L2"
+            )
+        if (self.write_policy.is_write_through
+                and self.write_buffer.width_words != 1):
+            raise ConfigurationError(
+                "write-through policies use a one-word-wide write buffer"
+            )
+        if (self.write_policy is WritePolicy.WRITE_BACK
+                and self.write_buffer.width_words < self.dcache.line_words):
+            raise ConfigurationError(
+                "the write-back victim buffer must be as wide as an L1-D line"
+            )
+
+    def with_(self, **changes) -> "SystemConfig":
+        """Return a copy with the given fields replaced (convenience)."""
+        return replace(self, **changes)
+
+    # -------------------------------------------------------- derived timing
+
+    def l1i_refill_cycles(self) -> int:
+        """Stall cycles to refill an L1-I line from L2 (4 W/cycle path)."""
+        return self.l2.effective_i_access + (self.icache.line_words // 4 - 1)
+
+    def l1d_refill_cycles(self) -> int:
+        """Stall cycles to refill an L1-D line from L2."""
+        return self.l2.effective_d_access + (self.dcache.line_words // 4 - 1)
+
+    def wb_drain_cost(self) -> int:
+        """L2 cycles for one write-buffer entry to drain (hit case)."""
+        beats = max(1, self.write_buffer.width_words // 4) - 1
+        return self.l2.effective_d_access + beats
+
+
+def base_write_buffer() -> WriteBufferConfig:
+    """The base machine's victim buffer: 4 entries of 4 words."""
+    return WriteBufferConfig(depth=4, width_words=4, overlap_cycles=2)
+
+
+def write_through_buffer() -> WriteBufferConfig:
+    """The write-through buffer: 8 entries of 1 word (Section 6)."""
+    return WriteBufferConfig(depth=8, width_words=1, overlap_cycles=2)
+
+
+def base_architecture() -> SystemConfig:
+    """Section 2's baseline architecture (Fig. 1)."""
+    config = SystemConfig(
+        name="base",
+        icache=CacheConfig(size_words=4096, line_words=4),
+        dcache=CacheConfig(size_words=4096, line_words=4),
+        write_policy=WritePolicy.WRITE_BACK,
+        write_buffer=base_write_buffer(),
+        l2=L2Config(size_words=256 * 1024, line_words=32, ways=1,
+                    access_time=6, split=False),
+        concurrency=ConcurrencyConfig(),
+        tlb=TLBConfig(),
+    )
+    config.validate()
+    return config
+
+
+def split_l2_architecture() -> SystemConfig:
+    """Section 7's design point: write-only L1-D plus the physically split L2
+    (32 KW two-cycle L2-I on the MCM, 256 KW six-cycle L2-D off it)."""
+    config = base_architecture().with_(
+        name="split-l2",
+        write_policy=WritePolicy.WRITE_ONLY,
+        write_buffer=write_through_buffer(),
+        l2=L2Config(size_words=256 * 1024, line_words=32, ways=1,
+                    access_time=6, split=True,
+                    i_size_words=32 * 1024, d_size_words=256 * 1024,
+                    i_access_time=2),
+    )
+    config.validate()
+    return config
+
+
+def fetch8_architecture() -> SystemConfig:
+    """Section 8's design point: split L2 plus 8 W L1 fetch/line size."""
+    config = split_l2_architecture().with_(
+        name="fetch8",
+        icache=CacheConfig(size_words=4096, line_words=8),
+        dcache=CacheConfig(size_words=4096, line_words=8),
+    )
+    config.validate()
+    return config
+
+
+def optimized_architecture() -> SystemConfig:
+    """The final optimized architecture (Fig. 11): Section 8's design plus all
+    three Section 9 concurrency mechanisms."""
+    config = fetch8_architecture().with_(
+        name="optimized",
+        concurrency=ConcurrencyConfig(
+            i_refill_during_wb_drain=True,
+            bypass=BypassMode.DIRTY_BIT,
+            l2_dirty_buffer=True,
+        ),
+    )
+    config.validate()
+    return config

@@ -1,0 +1,257 @@
+"""Functional (value-carrying) reference model of the hierarchy protocol.
+
+The timing simulator (:mod:`repro.core.hierarchy`) tracks tags and cycles,
+not data.  This module mirrors its *protocol* — write policies, write-buffer
+drains, consistency disciplines, refills, write-backs — while carrying
+actual word values, so the test suite can verify the property everything
+rests on:
+
+    every load returns the value of the most recent store to that address,
+
+under any interleaving of partial write-buffer drains, for every write
+policy and every loads-pass-stores discipline (including the dirty-bit
+scheme with flash-clear-on-empty, whose safety argument is subtle: the
+write buffer can only hold words of lines that are currently dirty in L1-D,
+because write-only makes every write allocate and every dirty eviction
+forces a flush).
+
+Drain timing is abstracted into an explicit :meth:`FunctionalMemorySystem.drain`
+call (tests drive it with random partial drains), which is strictly more
+adversarial than the timing model's deterministic drain schedule.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.cache import INVALID, Cache
+from repro.core.config import BypassMode, SystemConfig, WritePolicy
+from repro.params import log2i
+
+
+def _memory_default(word_addr: int) -> int:
+    """The value memory holds before any store (deterministic)."""
+    return (word_addr * 2654435761) & 0xFFFFFFFF
+
+
+class _FunctionalL2:
+    """Write-back, write-allocate L2 carrying line data."""
+
+    def __init__(self, size_words: int, line_words: int, ways: int,
+                 memory: Dict[int, int]):
+        self._tags = Cache(size_words, line_words, ways)
+        self.line_words = line_words
+        self._data: Dict[int, List[int]] = {}
+        self._memory = memory
+
+    def _fetch_line(self, line_addr: int) -> List[int]:
+        base = line_addr * self.line_words
+        return [self._memory.get(base + i, _memory_default(base + i))
+                for i in range(self.line_words)]
+
+    def _writeback(self, line_addr: int, values: List[int]) -> None:
+        base = line_addr * self.line_words
+        for i, value in enumerate(values):
+            self._memory[base + i] = value
+
+    def _ensure(self, line_addr: int, write: bool) -> List[int]:
+        hit, fill = self._tags.access(line_addr, write=write)
+        if not hit:
+            if fill.evicted:
+                victim_values = self._data.pop(fill.victim_tag)
+                if fill.victim_dirty:
+                    self._writeback(fill.victim_tag, victim_values)
+            self._data[line_addr] = self._fetch_line(line_addr)
+        return self._data[line_addr]
+
+    def read_word(self, word_addr: int) -> int:
+        line_addr, offset = divmod(word_addr, self.line_words)
+        return self._ensure(line_addr, write=False)[offset]
+
+    def read_line(self, base_word: int, count: int) -> List[int]:
+        return [self.read_word(base_word + i) for i in range(count)]
+
+    def write_word(self, word_addr: int, value: int) -> None:
+        line_addr, offset = divmod(word_addr, self.line_words)
+        self._ensure(line_addr, write=True)[offset] = value
+
+
+class FunctionalMemorySystem:
+    """Value-level mirror of the L1-D / write-buffer / L2 protocol.
+
+    Only the data side is modeled (instruction fetches carry no values).
+    """
+
+    def __init__(self, config: SystemConfig):
+        config.validate()
+        self.config = config
+        dcache = config.dcache
+        self._line_words = dcache.line_words
+        self._dl_shift = log2i(dcache.line_words)
+        self._d_mask = dcache.lines - 1
+        self._tags: List[int] = [INVALID] * dcache.lines
+        self._dirty: List[bool] = [False] * dcache.lines
+        self._write_only: List[bool] = [False] * dcache.lines
+        self._valid: List[int] = [0] * dcache.lines
+        self._data: List[List[int]] = [[0] * dcache.line_words
+                                       for _ in range(dcache.lines)]
+        self._full_valid = (1 << dcache.line_words) - 1
+
+        self.memory: Dict[int, int] = {}
+        self.l2 = _FunctionalL2(config.l2.effective_d_size,
+                                config.l2.line_words, config.l2.ways,
+                                self.memory)
+        #: (word_addr, value, l1_line) pending drains, oldest first.  For
+        #: write-back, whole victim lines are queued word by word.
+        self._wb: Deque[Tuple[int, int, int]] = deque()
+        self._wb_capacity = config.write_buffer.depth
+        if config.write_policy is WritePolicy.WRITE_BACK:
+            # Victim-line entries: depth lines of line_words words.
+            self._wb_capacity = (config.write_buffer.depth
+                                 * dcache.line_words)
+        self._policy = config.write_policy
+        self._bypass = config.concurrency.bypass
+
+    # --------------------------------------------------------------- buffer
+
+    def drain(self, count: Optional[int] = None) -> int:
+        """Apply up to ``count`` oldest buffered writes to L2 (all if None).
+
+        Returns the number drained.  Tests call this with arbitrary counts
+        to model time passing.
+        """
+        drained = 0
+        while self._wb and (count is None or drained < count):
+            word_addr, value, _ = self._wb.popleft()
+            self.l2.write_word(word_addr, value)
+            drained += 1
+        if not self._wb:
+            self._flash_clear_dirty()
+        return drained
+
+    def _flash_clear_dirty(self) -> None:
+        """Empty buffer => L2 consistent => all dirty bits may clear.
+
+        Mirrors the epoch mechanism of the timing model; only meaningful
+        for the dirty-bit discipline, but safe always.
+        """
+        if self._bypass is BypassMode.DIRTY_BIT:
+            self._dirty = [False] * len(self._dirty)
+
+    def _enqueue(self, word_addr: int, value: int, l1_line: int) -> None:
+        if len(self._wb) >= self._wb_capacity:
+            self.drain(1)
+        self._wb.append((word_addr, value, l1_line))
+
+    def _consistency_flush(self, missing_line: int, index: int) -> None:
+        """Apply the loads-pass-stores discipline before a read refill."""
+        if self._bypass is BypassMode.NONE:
+            self.drain()
+        elif self._bypass is BypassMode.DIRTY_BIT:
+            if not self._wb:
+                self._flash_clear_dirty()
+            elif self._tags[index] != INVALID and self._dirty[index]:
+                self.drain()
+        else:  # ASSOCIATIVE: drain through the last matching entry.
+            match = -1
+            for position, (_, _, line) in enumerate(self._wb):
+                if line == missing_line:
+                    match = position
+            if match >= 0:
+                self.drain(match + 1)
+
+    # ------------------------------------------------------------ operations
+
+    def store(self, word_addr: int, value: int, partial: bool = False
+              ) -> None:
+        """Perform a store (functionally; ``partial`` only affects subblock
+        valid bits, values are whole words here)."""
+        line = word_addr >> self._dl_shift
+        index = line & self._d_mask
+        offset = word_addr & (self._line_words - 1)
+        policy = self._policy
+
+        if policy is WritePolicy.WRITE_BACK:
+            if self._tags[index] != line:
+                self._read_miss_refill(line, index)
+            self._data[index][offset] = value
+            self._dirty[index] = True
+            return
+
+        # Write-through policies: the word always enters the write buffer.
+        self._enqueue(word_addr, value, line)
+        if self._tags[index] == line:
+            self._data[index][offset] = value
+            if policy is WritePolicy.SUBBLOCK and not partial:
+                self._valid[index] |= 1 << offset
+            self._dirty[index] = True
+            return
+        if policy is WritePolicy.WRITE_MISS_INVALIDATE:
+            self._tags[index] = INVALID
+            self._valid[index] = 0
+            self._write_only[index] = False
+            self._dirty[index] = False
+        elif policy is WritePolicy.WRITE_ONLY:
+            self._tags[index] = line
+            self._write_only[index] = True
+            self._dirty[index] = True
+            self._valid[index] = self._full_valid
+            self._data[index][offset] = value
+        else:  # SUBBLOCK
+            self._tags[index] = line
+            self._write_only[index] = False
+            self._dirty[index] = True
+            self._valid[index] = 0 if partial else 1 << offset
+            self._data[index][offset] = value
+
+    def load(self, word_addr: int) -> int:
+        """Perform a load; returns the value the machine would observe."""
+        line = word_addr >> self._dl_shift
+        index = line & self._d_mask
+        offset = word_addr & (self._line_words - 1)
+        if (self._tags[index] == line
+                and not self._write_only[index]
+                and (self._valid[index] >> offset) & 1):
+            return self._data[index][offset]
+        # Read miss.
+        self._consistency_flush(line, index)
+        self._read_miss_refill(line, index)
+        return self._data[index][offset]
+
+    def _read_miss_refill(self, line: int, index: int) -> None:
+        if self._policy is WritePolicy.WRITE_BACK:
+            # The baseline rule: the miss waits for the buffer to empty.
+            self.drain()
+            if self._tags[index] != INVALID and self._dirty[index]:
+                victim = self._tags[index]
+                base = victim << self._dl_shift
+                for i in range(self._line_words):
+                    self._enqueue(base + i, self._data[index][i], victim)
+                self.drain()
+        self._data[index] = self.l2.read_line(line << self._dl_shift,
+                                              self._line_words)
+        self._tags[index] = line
+        self._dirty[index] = False
+        self._write_only[index] = False
+        self._valid[index] = self._full_valid
+
+    @property
+    def buffered_writes(self) -> int:
+        """Writes currently waiting in the buffer."""
+        return len(self._wb)
+
+    def l1d_line_state(self, word_addr: int) -> dict:
+        """Inspection view mirroring
+        :meth:`repro.core.hierarchy.MemorySystem.l1d_line_state` (the two
+        models' L1 tag state is timing-independent and must agree)."""
+        line = word_addr >> self._dl_shift
+        index = line & self._d_mask
+        return {
+            "index": index,
+            "tag": self._tags[index],
+            "present": self._tags[index] == line,
+            "dirty": self._dirty[index],
+            "write_only": self._write_only[index],
+            "valid_mask": self._valid[index],
+        }

@@ -1,0 +1,494 @@
+"""The memory system: L1 caches, write buffer, L2 and main-memory timing.
+
+This module owns the simulator's hot loop (:meth:`MemorySystem.run_slice`),
+which processes one instruction per iteration: instruction fetch (with an
+inlined direct-mapped L1-I hit check), optional data access (with an inlined
+universal L1-D *load-hit* check), TLB probes on page crossings, and cycle
+accounting into the Fig. 4 stall components.
+
+Cycle-accounting rules (Sections 2, 6, 8, 9 of the paper):
+
+* Each instruction costs one base cycle.
+* An L1 refill stalls ``L2_access_time + (line_words/4 - 1)`` cycles
+  (4 W/cycle refill path; the base machine's 4 W line at a 6-cycle L2 gives
+  the quoted 6-cycle miss penalty).
+* An L1 miss first waits for the write buffer to empty, unless a Section 9
+  mechanism (concurrent I-refill, dirty-bit or associative bypass) waives it.
+* A write-back write hit takes 2 cycles; the write-through policies complete
+  write hits in 1 cycle and pay a second cycle on write misses.
+* Every buffered write drains into the (write-back, write-allocate) L2; a
+  drain that misses in L2 lengthens that entry's drain time by the L2 miss
+  penalty, which surfaces as longer write-buffer waits.
+* An L2 miss costs 143 cycles, or 237 when it displaces a dirty line; the
+  optional L2-D dirty buffer lets the read precede the victim write-back so a
+  dirty miss costs the clean penalty plus any wait for the buffer itself.
+
+The L1 hit paths are inlined and the L1 caches are restricted to
+direct-mapped organizations — exactly the design space the machine can build
+(Section 5); associative L1 studies use :class:`repro.core.cache.Cache`
+standalone.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+from repro.core.cache import INVALID
+from repro.core.config import BypassMode, SystemConfig, WritePolicy
+from repro.core.l2 import SecondaryCache
+from repro.core.stats import SimStats
+from repro.core.write_buffer import WriteBuffer
+from repro.errors import ConfigurationError
+from repro.mmu.tlb import TLB
+from repro.params import PAGE_WORDS, log2i
+
+_PAGE_SHIFT = log2i(PAGE_WORDS)
+
+#: Reasons a slice of execution stopped.
+REASON_END = "end"          # batch exhausted
+REASON_SYSCALL = "syscall"  # voluntary system call executed
+REASON_SLICE = "slice"      # cycle deadline reached
+
+
+class SliceResult(NamedTuple):
+    """Outcome of :meth:`MemorySystem.run_slice`."""
+
+    consumed: int
+    reason: str
+
+
+class MemorySystem:
+    """Simulated two-level memory system for one machine.
+
+    The object is stateful across slices and processes: caches, TLBs and the
+    write buffer persist (PID-tagged addressing means nothing is flushed on a
+    context switch).
+    """
+
+    def __init__(self, config: SystemConfig):
+        config.validate()
+        self.config = config
+
+        # ----- L1 instruction cache (direct-mapped; see module docstring).
+        icache = config.icache
+        self._il_shift = log2i(icache.line_words)
+        self._i_mask = icache.lines - 1
+        self._itags: List[int] = [INVALID] * icache.lines
+
+        # ----- L1 data cache.
+        dcache = config.dcache
+        self._dl_shift = log2i(dcache.line_words)
+        self._d_mask = dcache.lines - 1
+        self._dline_mask = dcache.line_words - 1
+        self._d_full_valid = (1 << dcache.line_words) - 1
+        self._dtags: List[int] = [INVALID] * dcache.lines
+        # Dirty state is epoch-based: a line is dirty iff its entry equals
+        # the current epoch.  Whenever the write buffer is observed empty,
+        # the L2 is fully consistent, so every dirty bit can be flash-cleared
+        # at once — modeled by bumping the epoch.  This is what lets the
+        # dirty-bit bypass scheme approach associative matching (Section 9).
+        self._ddirty: List[int] = [0] * dcache.lines
+        self._dirty_epoch = 1
+        self._dwrite_only: List[int] = [0] * dcache.lines
+        self._dvalid: List[int] = [0] * dcache.lines
+
+        # ----- L2 and its address-granularity conversions.
+        self.l2 = SecondaryCache(config.l2)
+        self._i_l2_delta = self.l2.line_shift - self._il_shift
+        self._d_l2_delta = self.l2.line_shift - self._dl_shift
+
+        # ----- Write buffer.
+        self.wb = WriteBuffer(config.write_buffer.depth,
+                              config.write_buffer.overlap_cycles)
+
+        # ----- Timing constants.
+        self._i_refill_cycles = config.l1i_refill_cycles()
+        self._d_refill_cycles = config.l1d_refill_cycles()
+        self._wb_word_cost = config.l2.effective_d_access
+        self._wb_victim_cost = (config.l2.effective_d_access
+                                + (dcache.line_words // 4 - 1))
+        self._l2_clean = config.l2.miss_penalty_clean
+        self._l2_dirty = config.l2.miss_penalty_dirty
+        self._l2_writeback_cost = self._l2_dirty - self._l2_clean
+
+        # ----- Concurrency mechanisms.
+        self._i_waits_for_wb = not config.concurrency.i_refill_during_wb_drain
+        self._bypass = config.concurrency.bypass
+        self._dirty_buffer = config.concurrency.l2_dirty_buffer
+        self._dirty_buffer_free = 0
+
+        # ----- TLBs.
+        tlb = config.tlb
+        self.itlb = TLB(tlb.itlb_entries, tlb.ways, tlb.miss_penalty)
+        self.dtlb = TLB(tlb.dtlb_entries, tlb.ways, tlb.miss_penalty)
+        self._tlb_enabled = tlb.enabled
+        self._tlb_penalty = tlb.miss_penalty
+        self._last_ipage = -1
+        self._last_dpage = -1
+
+        # ----- Policy dispatch.
+        policy = config.write_policy
+        if policy is WritePolicy.WRITE_BACK:
+            self._store = self._store_write_back
+            self._load_miss = self._load_miss_write_back
+        elif policy is WritePolicy.WRITE_MISS_INVALIDATE:
+            self._store = self._store_invalidate
+            self._load_miss = self._load_miss_write_through
+        elif policy is WritePolicy.WRITE_ONLY:
+            self._store = self._store_write_only
+            self._load_miss = self._load_miss_write_through
+        elif policy is WritePolicy.SUBBLOCK:
+            self._store = self._store_subblock
+            self._load_miss = self._load_miss_write_through
+        else:  # pragma: no cover - enum is closed
+            raise ConfigurationError(f"unknown write policy {policy}")
+
+        self.stats = SimStats()
+        self.now = 0
+        self._cycles_base = 0
+
+    # ------------------------------------------------------------------ admin
+
+    def clear_stats(self) -> None:
+        """Zero statistics while keeping all architectural state (warmup)."""
+        self.stats = SimStats()
+        self._cycles_base = self.now
+        self.itlb.reset_counters()
+        self.dtlb.reset_counters()
+
+    def _sync_tlb_stats(self) -> None:
+        st = self.stats
+        st.itlb_probes = self.itlb.probes
+        st.itlb_misses = self.itlb.misses
+        st.dtlb_probes = self.dtlb.probes
+        st.dtlb_misses = self.dtlb.misses
+
+    # --------------------------------------------------------------- hot loop
+
+    def run_slice(self, pcs: List[int], kinds: List[int], addrs: List[int],
+                  partials: List[bool], syscalls: List[bool],
+                  start: int, deadline: int) -> SliceResult:
+        """Execute instructions ``start..`` until the batch ends, a system
+        call is executed, or ``deadline`` (absolute cycle) is reached.
+
+        The five columns must be plain Python lists (see
+        ``repro.sched.process.PreparedBatch``), already translated to
+        physical addresses.
+        """
+        now = self.now
+        st = self.stats
+
+        itags = self._itags
+        il_shift = self._il_shift
+        i_mask = self._i_mask
+        dtags = self._dtags
+        dwrite_only = self._dwrite_only
+        dvalid = self._dvalid
+        dl_shift = self._dl_shift
+        d_mask = self._d_mask
+        dline_mask = self._dline_mask
+
+        tlb_on = self._tlb_enabled
+        itlb_access = self.itlb.access
+        dtlb_access = self.dtlb.access
+        tlb_penalty = self._tlb_penalty
+        last_ipage = self._last_ipage
+        last_dpage = self._last_dpage
+
+        ifetch_miss = self._ifetch_miss
+        load_miss = self._load_miss
+        store = self._store
+
+        loads = 0
+        stores = 0
+        n = len(pcs)
+        i = start
+        reason = REASON_END
+        while i < n:
+            pc = pcs[i]
+            now += 1
+            if tlb_on:
+                page = pc >> _PAGE_SHIFT
+                if page != last_ipage:
+                    last_ipage = page
+                    if not itlb_access(0, page):
+                        now += tlb_penalty
+                        st.stall_tlb += tlb_penalty
+            iline = pc >> il_shift
+            if itags[iline & i_mask] != iline:
+                now = ifetch_miss(now, iline)
+            kind = kinds[i]
+            if kind:
+                addr = addrs[i]
+                if tlb_on:
+                    page = addr >> _PAGE_SHIFT
+                    if page != last_dpage:
+                        last_dpage = page
+                        if not dtlb_access(0, page):
+                            now += tlb_penalty
+                            st.stall_tlb += tlb_penalty
+                if kind == 1:
+                    loads += 1
+                    dline = addr >> dl_shift
+                    index = dline & d_mask
+                    if not (dtags[index] == dline
+                            and not dwrite_only[index]
+                            and (dvalid[index] >> (addr & dline_mask)) & 1):
+                        now = load_miss(now, dline, index)
+                else:
+                    stores += 1
+                    now = store(now, addr, partials[i])
+            i += 1
+            if syscalls[i - 1]:
+                reason = REASON_SYSCALL
+                break
+            if now >= deadline:
+                reason = REASON_SLICE
+                break
+
+        consumed = i - start
+        self.now = now
+        self._last_ipage = last_ipage
+        self._last_dpage = last_dpage
+        st.instructions += consumed
+        st.loads += loads
+        st.stores += stores
+        if reason == REASON_SYSCALL:
+            st.syscalls += 1
+        st.cycles = now - self._cycles_base
+        self._sync_tlb_stats()
+        return SliceResult(consumed, reason)
+
+    # ----------------------------------------------------- instruction misses
+
+    def _ifetch_miss(self, now: int, iline: int) -> int:
+        """Handle an L1-I miss; returns the advanced cycle counter."""
+        st = self.stats
+        st.l1i_misses += 1
+        if self._i_waits_for_wb:
+            stall = self.wb.wait_empty(now)
+            if stall:
+                st.stall_wb += stall
+                now += stall
+        st.l2i_accesses += 1
+        hit, victim_dirty = self.l2.access_instruction(iline >> self._i_l2_delta)
+        st.stall_l1i_miss += self._i_refill_cycles
+        now += self._i_refill_cycles
+        if not hit:
+            st.l2i_misses += 1
+            if victim_dirty:
+                st.l2i_dirty_victims += 1
+            penalty = self._l2_miss_penalty(now, victim_dirty, data_side=False)
+            st.stall_l2i_miss += penalty
+            now += penalty
+        self._itags[iline & self._i_mask] = iline
+        return now
+
+    # ------------------------------------------------------------ data misses
+
+    def _wb_consistency_wait(self, now: int, dline: int, index: int) -> int:
+        """Apply the read-miss consistency discipline; returns advanced time."""
+        bypass = self._bypass
+        if bypass is BypassMode.NONE:
+            stall = self.wb.wait_empty(now)
+        elif bypass is BypassMode.DIRTY_BIT:
+            self.wb.expire(now)
+            if len(self.wb) == 0:
+                # An empty buffer means L2 is consistent: flash-clear every
+                # dirty bit (epoch bump) and proceed without waiting.
+                self._dirty_epoch += 1
+                stall = 0
+            elif (self._dtags[index] != INVALID
+                    and self._ddirty[index] == self._dirty_epoch):
+                stall = self.wb.wait_empty(now)
+                self._dirty_epoch += 1
+            else:
+                stall = 0
+        else:  # BypassMode.ASSOCIATIVE
+            stall = self.wb.flush_through(now, dline)
+        if stall:
+            self.stats.stall_wb += stall
+            now += stall
+        return now
+
+    def _l2_data_refill(self, now: int, dline: int) -> int:
+        """Fetch a line from L2-D into L1-D; returns advanced time."""
+        st = self.stats
+        st.l2d_accesses += 1
+        hit, victim_dirty = self.l2.access_data_read(dline >> self._d_l2_delta)
+        st.stall_l1d_miss += self._d_refill_cycles
+        now += self._d_refill_cycles
+        if not hit:
+            st.l2d_misses += 1
+            if victim_dirty:
+                st.l2d_dirty_victims += 1
+            penalty = self._l2_miss_penalty(now, victim_dirty, data_side=True)
+            st.stall_l2d_miss += penalty
+            now += penalty
+        return now
+
+    def _l2_miss_penalty(self, now: int, victim_dirty: bool,
+                         data_side: bool) -> int:
+        """Main-memory penalty for an L2 miss, honoring the dirty buffer."""
+        if not victim_dirty:
+            return self._l2_clean
+        if data_side and self._dirty_buffer:
+            # Read the requested line first; write the victim back through the
+            # one-line dirty buffer afterwards.  A back-to-back dirty miss
+            # must wait for the buffer to free.
+            wait = self._dirty_buffer_free - now
+            penalty = self._l2_clean + (wait if wait > 0 else 0)
+            self._dirty_buffer_free = now + penalty + self._l2_writeback_cost
+            return penalty
+        return self._l2_dirty
+
+    def _install_dline(self, dline: int, index: int, dirty: bool) -> None:
+        """Install a fully-valid line in L1-D."""
+        self._dtags[index] = dline
+        self._ddirty[index] = self._dirty_epoch if dirty else 0
+        self._dwrite_only[index] = 0
+        self._dvalid[index] = self._d_full_valid
+
+    # -- write-back policy ---------------------------------------------------
+
+    def _evict_victim_write_back(self, now: int, index: int) -> int:
+        """Push a dirty write-back victim line into the write buffer."""
+        if (self._dtags[index] == INVALID
+                or self._ddirty[index] != self._dirty_epoch):
+            return now
+        victim_line = self._dtags[index]
+        return self._push_write(now, victim_line, self._wb_victim_cost)
+
+    def _load_miss_write_back(self, now: int, dline: int, index: int) -> int:
+        st = self.stats
+        st.l1d_read_misses += 1
+        now = self._wb_consistency_wait(now, dline, index)
+        now = self._evict_victim_write_back(now, index)
+        now = self._l2_data_refill(now, dline)
+        self._install_dline(dline, index, dirty=False)
+        return now
+
+    def _store_write_back(self, now: int, addr: int, partial: bool) -> int:
+        st = self.stats
+        dline = addr >> self._dl_shift
+        index = dline & self._d_mask
+        if self._dtags[index] == dline:
+            st.stall_l1_writes += 1
+            self._ddirty[index] = self._dirty_epoch
+            return now + 1
+        st.l1d_write_misses += 1
+        now = self._wb_consistency_wait(now, dline, index)
+        now = self._evict_victim_write_back(now, index)
+        now = self._l2_data_refill(now, dline)
+        self._install_dline(dline, index, dirty=True)
+        return now
+
+    # -- write-through policies ----------------------------------------------
+
+    def _push_write(self, now: int, dline: int, cost: int) -> int:
+        """Enqueue a write (word or victim line) and drain it into L2."""
+        st = self.stats
+        st.l2_write_accesses += 1
+        hit, victim_dirty = self.l2.access_data_write(dline >> self._d_l2_delta)
+        if not hit:
+            st.l2_write_misses += 1
+            cost += self._l2_dirty if victim_dirty else self._l2_clean
+        stall = self.wb.push(now, dline, cost)
+        if stall:
+            st.stall_wb += stall
+            now += stall
+        return now
+
+    def _load_miss_write_through(self, now: int, dline: int, index: int) -> int:
+        st = self.stats
+        st.l1d_read_misses += 1
+        if self._dtags[index] == dline and self._dwrite_only[index]:
+            st.l1d_write_only_read_misses += 1
+        now = self._wb_consistency_wait(now, dline, index)
+        now = self._l2_data_refill(now, dline)
+        self._install_dline(dline, index, dirty=False)
+        return now
+
+    def _store_invalidate(self, now: int, addr: int, partial: bool) -> int:
+        st = self.stats
+        dline = addr >> self._dl_shift
+        index = dline & self._d_mask
+        now = self._push_write(now, dline, self._wb_word_cost)
+        if self._dtags[index] == dline:
+            self._ddirty[index] = self._dirty_epoch
+            return now
+        # The parallel data write corrupted the resident line; a second cycle
+        # invalidates it.
+        st.l1d_write_misses += 1
+        st.stall_l1_writes += 1
+        self._dtags[index] = INVALID
+        self._dvalid[index] = 0
+        self._dwrite_only[index] = 0
+        self._ddirty[index] = 0
+        return now + 1
+
+    def _store_write_only(self, now: int, addr: int, partial: bool) -> int:
+        st = self.stats
+        dline = addr >> self._dl_shift
+        index = dline & self._d_mask
+        now = self._push_write(now, dline, self._wb_word_cost)
+        if self._dtags[index] == dline:
+            self._ddirty[index] = self._dirty_epoch
+            return now
+        # Write miss: update the tag, mark the line write-only (second cycle).
+        st.l1d_write_misses += 1
+        st.stall_l1_writes += 1
+        self._dtags[index] = dline
+        self._dwrite_only[index] = 1
+        self._ddirty[index] = self._dirty_epoch
+        self._dvalid[index] = self._d_full_valid
+        return now + 1
+
+    def _store_subblock(self, now: int, addr: int, partial: bool) -> int:
+        st = self.stats
+        dline = addr >> self._dl_shift
+        index = dline & self._d_mask
+        now = self._push_write(now, dline, self._wb_word_cost)
+        if self._dtags[index] == dline:
+            if not partial:
+                self._dvalid[index] |= 1 << (addr & self._dline_mask)
+            self._ddirty[index] = self._dirty_epoch
+            return now
+        # Write miss: the tag is updated in the next cycle; only a full-word
+        # write turns its valid bit on (partial-word writes leave none set).
+        st.l1d_write_misses += 1
+        st.stall_l1_writes += 1
+        self._dtags[index] = dline
+        self._dwrite_only[index] = 0
+        self._dvalid[index] = 0 if partial else 1 << (addr & self._dline_mask)
+        self._ddirty[index] = self._dirty_epoch
+        return now + 1
+
+    # ------------------------------------------------------------- inspection
+
+    def l1i_contains(self, word_addr: int) -> bool:
+        """True when the word's line is resident in L1-I."""
+        line = word_addr >> self._il_shift
+        return self._itags[line & self._i_mask] == line
+
+    def l1d_contains(self, word_addr: int) -> bool:
+        """True when the word is readable from L1-D (valid for loads)."""
+        line = word_addr >> self._dl_shift
+        index = line & self._d_mask
+        return (self._dtags[index] == line
+                and not self._dwrite_only[index]
+                and bool((self._dvalid[index] >> (word_addr & self._dline_mask))
+                         & 1))
+
+    def l1d_line_state(self, word_addr: int) -> dict:
+        """Debug/inspection view of the L1-D line a word maps to."""
+        line = word_addr >> self._dl_shift
+        index = line & self._d_mask
+        return {
+            "index": index,
+            "tag": self._dtags[index],
+            "present": self._dtags[index] == line,
+            "dirty": self._ddirty[index] == self._dirty_epoch,
+            "write_only": bool(self._dwrite_only[index]),
+            "valid_mask": self._dvalid[index],
+        }

@@ -1,0 +1,122 @@
+"""Configuration serialization: SystemConfig <-> dict/JSON.
+
+Lets experiment configurations travel — reproduce a run from a file,
+archive the exact machine a number came from, or sweep from a directory of
+configs::
+
+    from repro.core.serialization import config_to_json, config_from_json
+
+    text = config_to_json(optimized_architecture())
+    config = config_from_json(text)
+
+The format is a plain nested dict of the dataclass fields, with enums as
+their string values; unknown keys are rejected (typo protection).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields
+from typing import Any, Dict
+
+from repro.core.config import (
+    BypassMode,
+    CacheConfig,
+    ConcurrencyConfig,
+    L2Config,
+    SystemConfig,
+    TLBConfig,
+    WriteBufferConfig,
+    WritePolicy,
+)
+from repro.errors import ConfigurationError
+
+_SECTIONS = {
+    "icache": CacheConfig,
+    "dcache": CacheConfig,
+    "write_buffer": WriteBufferConfig,
+    "l2": L2Config,
+    "concurrency": ConcurrencyConfig,
+    "tlb": TLBConfig,
+}
+
+_ENUM_FIELDS = {
+    "write_policy": WritePolicy,
+    "bypass": BypassMode,
+}
+
+
+def _dataclass_to_dict(obj: Any) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for f in fields(obj):
+        value = getattr(obj, f.name)
+        if hasattr(value, "value") and f.name in _ENUM_FIELDS:
+            out[f.name] = value.value
+        else:
+            out[f.name] = value
+    return out
+
+
+def config_to_dict(config: SystemConfig) -> Dict[str, Any]:
+    """Serialize a SystemConfig to a nested plain dict."""
+    out: Dict[str, Any] = {
+        "name": config.name,
+        "write_policy": config.write_policy.value,
+        "cpu_stall_cpi": config.cpu_stall_cpi,
+    }
+    for section, _ in _SECTIONS.items():
+        out[section] = _dataclass_to_dict(getattr(config, section))
+    return out
+
+
+def _build_section(cls, data: Dict[str, Any], section: str):
+    valid = {f.name for f in fields(cls)}
+    unknown = set(data) - valid
+    if unknown:
+        raise ConfigurationError(
+            f"unknown key(s) in {section}: {', '.join(sorted(unknown))}"
+        )
+    kwargs = dict(data)
+    for name, enum_cls in _ENUM_FIELDS.items():
+        if name in kwargs and isinstance(kwargs[name], str):
+            kwargs[name] = enum_cls(kwargs[name])
+    return cls(**kwargs)
+
+
+def config_from_dict(data: Dict[str, Any]) -> SystemConfig:
+    """Deserialize a SystemConfig from :func:`config_to_dict`'s format."""
+    top_valid = {"name", "write_policy", "cpu_stall_cpi", *_SECTIONS}
+    unknown = set(data) - top_valid
+    if unknown:
+        raise ConfigurationError(
+            f"unknown top-level key(s): {', '.join(sorted(unknown))}"
+        )
+    kwargs: Dict[str, Any] = {}
+    if "name" in data:
+        kwargs["name"] = data["name"]
+    if "write_policy" in data:
+        kwargs["write_policy"] = WritePolicy(data["write_policy"])
+    if "cpu_stall_cpi" in data:
+        kwargs["cpu_stall_cpi"] = data["cpu_stall_cpi"]
+    for section, cls in _SECTIONS.items():
+        if section in data:
+            kwargs[section] = _build_section(cls, data[section], section)
+    config = SystemConfig(**kwargs)
+    config.validate()
+    return config
+
+
+def config_to_json(config: SystemConfig, indent: int = 2) -> str:
+    """Serialize a SystemConfig to a JSON string."""
+    return json.dumps(config_to_dict(config), indent=indent)
+
+
+def config_from_json(text: str) -> SystemConfig:
+    """Deserialize a SystemConfig from JSON."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"invalid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ConfigurationError("configuration JSON must be an object")
+    return config_from_dict(data)

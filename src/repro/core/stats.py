@@ -1,0 +1,199 @@
+"""Simulation statistics and the CPI accounting of the paper's Fig. 4.
+
+``CPI = 1 + CPU_stall_cycles/instr + memory_stall_cycles/instr`` (Section 3).
+The memory stall cycles are broken into the same components as the Fig. 4
+histogram: L1-I miss, L1-D miss, L1 writes, WB (write-buffer waits), L2-I
+miss, L2-D miss.  TLB refill stalls are tracked separately and excluded from
+the Fig. 4 stack (the paper's histogram carries no TLB bar).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict
+
+from repro.params import CPU_STALL_CPI
+
+#: Component order of the Fig. 4 CPI stack, bottom to top.
+FIG4_COMPONENTS = (
+    "l1i_miss",
+    "l1d_miss",
+    "l1_writes",
+    "wb",
+    "l2i_miss",
+    "l2d_miss",
+)
+
+COMPONENT_LABELS = {
+    "l1i_miss": "L1-I miss",
+    "l1d_miss": "L1-D miss",
+    "l1_writes": "L1 writes",
+    "wb": "WB",
+    "l2i_miss": "L2-I miss",
+    "l2d_miss": "L2-D miss",
+}
+
+
+@dataclass
+class SimStats:
+    """Event and stall-cycle counters accumulated by the simulator."""
+
+    # ----------------------------------------------------------- event counts
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    syscalls: int = 0
+    context_switches: int = 0
+
+    l1i_misses: int = 0
+    l1d_read_misses: int = 0
+    #: Read misses caused specifically by hitting a write-only line.
+    l1d_write_only_read_misses: int = 0
+    l1d_write_misses: int = 0
+
+    l2i_accesses: int = 0
+    l2i_misses: int = 0
+    l2i_dirty_victims: int = 0
+    l2d_accesses: int = 0
+    l2d_misses: int = 0
+    l2d_dirty_victims: int = 0
+    #: L2 accesses made by draining write-buffer entries.
+    l2_write_accesses: int = 0
+    l2_write_misses: int = 0
+
+    itlb_probes: int = 0
+    itlb_misses: int = 0
+    dtlb_probes: int = 0
+    dtlb_misses: int = 0
+
+    # ------------------------------------------------- stall cycles (Fig. 4)
+    stall_l1i_miss: int = 0
+    stall_l1d_miss: int = 0
+    stall_l1_writes: int = 0
+    stall_wb: int = 0
+    stall_l2i_miss: int = 0
+    stall_l2d_miss: int = 0
+    #: TLB refills; reported separately, not part of the Fig. 4 stack.
+    stall_tlb: int = 0
+
+    #: Total simulated cycles (includes the 1 cycle/instruction base).
+    cycles: int = 0
+
+    # --------------------------------------------------------------- algebra
+
+    def add(self, other: "SimStats") -> None:
+        """Accumulate another stats object into this one."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def copy(self) -> "SimStats":
+        """A value copy."""
+        clone = SimStats()
+        clone.add(self)
+        return clone
+
+    def diff(self, earlier: "SimStats") -> "SimStats":
+        """Field-wise ``self - earlier`` (the activity between two
+        snapshots; used for per-process attribution)."""
+        delta = SimStats()
+        for f in fields(self):
+            setattr(delta, f.name,
+                    getattr(self, f.name) - getattr(earlier, f.name))
+        return delta
+
+    # ----------------------------------------------------------- miss ratios
+
+    @property
+    def l1i_miss_ratio(self) -> float:
+        """L1-I misses per instruction fetch."""
+        return self.l1i_misses / self.instructions if self.instructions else 0.0
+
+    @property
+    def l1d_miss_ratio(self) -> float:
+        """L1-D read misses per load."""
+        return self.l1d_read_misses / self.loads if self.loads else 0.0
+
+    @property
+    def l1d_write_miss_ratio(self) -> float:
+        """L1-D write misses per store."""
+        return self.l1d_write_misses / self.stores if self.stores else 0.0
+
+    @property
+    def l2_accesses(self) -> int:
+        """Demand (read) accesses to the L2: instruction + data refills."""
+        return self.l2i_accesses + self.l2d_accesses
+
+    @property
+    def l2_misses(self) -> int:
+        """Demand misses in the L2."""
+        return self.l2i_misses + self.l2d_misses
+
+    @property
+    def l2_miss_ratio(self) -> float:
+        """L2 demand misses per demand access (the paper's Table 2 metric)."""
+        return self.l2_misses / self.l2_accesses if self.l2_accesses else 0.0
+
+    @property
+    def l2i_miss_ratio(self) -> float:
+        """Instruction-side L2 miss ratio."""
+        return self.l2i_misses / self.l2i_accesses if self.l2i_accesses else 0.0
+
+    @property
+    def l2d_miss_ratio(self) -> float:
+        """Data-side L2 miss ratio."""
+        return self.l2d_misses / self.l2d_accesses if self.l2d_accesses else 0.0
+
+    # ------------------------------------------------------------------- CPI
+
+    def stall_components(self) -> Dict[str, float]:
+        """Per-instruction stall CPI for each Fig. 4 component."""
+        n = self.instructions or 1
+        return {
+            "l1i_miss": self.stall_l1i_miss / n,
+            "l1d_miss": self.stall_l1d_miss / n,
+            "l1_writes": self.stall_l1_writes / n,
+            "wb": self.stall_wb / n,
+            "l2i_miss": self.stall_l2i_miss / n,
+            "l2d_miss": self.stall_l2d_miss / n,
+        }
+
+    @property
+    def memory_stall_cycles(self) -> int:
+        """Total memory stall cycles (Fig. 4 components; excludes TLB)."""
+        return (
+            self.stall_l1i_miss
+            + self.stall_l1d_miss
+            + self.stall_l1_writes
+            + self.stall_wb
+            + self.stall_l2i_miss
+            + self.stall_l2d_miss
+        )
+
+    @property
+    def memory_cpi(self) -> float:
+        """Memory stall cycles per instruction."""
+        n = self.instructions or 1
+        return self.memory_stall_cycles / n
+
+    def cpi(self, cpu_stall_cpi: float = CPU_STALL_CPI,
+            include_tlb: bool = False) -> float:
+        """Total CPI: 1 + CPU stalls + memory stalls (+ TLB if requested)."""
+        n = self.instructions or 1
+        total = 1.0 + cpu_stall_cpi + self.memory_cpi
+        if include_tlb:
+            total += self.stall_tlb / n
+        return total
+
+    def breakdown(self, cpu_stall_cpi: float = CPU_STALL_CPI) -> Dict[str, float]:
+        """The full Fig. 4 stack, base included, keyed by component."""
+        stack = {"base": 1.0 + cpu_stall_cpi}
+        stack.update(self.stall_components())
+        return stack
+
+    def write_loss_fraction(self) -> float:
+        """Fraction of memory-system loss due to writes (Section 6 reports
+        24 % for the base architecture: L1 writes + WB waits)."""
+        total = self.memory_stall_cycles
+        if not total:
+            return 0.0
+        return (self.stall_l1_writes + self.stall_wb) / total

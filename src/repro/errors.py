@@ -1,0 +1,19 @@
+"""Exception types raised by the repro library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A simulator or cache configuration is internally inconsistent."""
+
+
+class TraceError(ReproError):
+    """A trace file or trace stream is malformed."""
+
+
+class SchedulingError(ReproError):
+    """The multiprogramming scheduler was driven into an invalid state."""

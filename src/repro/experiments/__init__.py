@@ -1,0 +1,50 @@
+"""Experiments regenerating every table and figure of the paper's evaluation.
+
+Each module reproduces one artifact; the mapping is recorded in DESIGN.md's
+per-experiment index.  Run them via::
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig5 fig6
+
+or programmatically::
+
+    from repro.experiments import run_experiment
+    result = run_experiment("fig4")
+    print(result.render())
+"""
+
+from repro.experiments.common import (
+    BENCH_SCALE,
+    DEFAULT_SCALE,
+    REGISTRY,
+    ExperimentResult,
+    ExperimentScale,
+    run_system,
+    workload,
+)
+
+
+def run_experiment(experiment_id: str,
+                   scale: ExperimentScale = DEFAULT_SCALE) -> ExperimentResult:
+    """Run one experiment by id (see ``REGISTRY`` for the list)."""
+    # Populate the registry on demand.
+    from repro.experiments import runner  # noqa: F401
+
+    if experiment_id not in REGISTRY:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {', '.join(sorted(REGISTRY))}"
+        )
+    return REGISTRY[experiment_id](scale)
+
+
+__all__ = [
+    "BENCH_SCALE",
+    "DEFAULT_SCALE",
+    "REGISTRY",
+    "ExperimentResult",
+    "ExperimentScale",
+    "run_experiment",
+    "run_system",
+    "workload",
+]

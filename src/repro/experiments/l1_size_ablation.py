@@ -1,0 +1,116 @@
+"""Section 5 ablation: primary cache size and associativity.
+
+The paper argues — without a figure — that the L1 caches should stay at
+4 KW direct-mapped: the page size caps a virtually-indexed L1-D at 4 KW,
+and although an 8 KW L1-I (or an associative L1-D) would lower the miss
+ratio, the extra SRAMs, loading and address translation raise the access
+time enough to nullify the gain.
+
+This ablation supplies the simulation-visible half of that argument: L1
+miss ratios versus size and associativity, measured by replaying a
+multiprogrammed trace slice through standalone caches
+(:class:`repro.core.cache.Cache`), plus the *break-even cycle-time
+stretch*: how much the machine's cycle time could afford to grow before the
+miss-ratio gain is nullified, assuming the whole 6-cycle L1 miss penalty
+scales with the cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.cache import Cache
+from repro.experiments.common import ExperimentResult, ExperimentScale, register
+from repro.mmu.page_table import PageTable
+from repro.params import log2i
+from repro.trace.benchmarks import default_suite
+from repro.trace.record import KIND_NONE
+from repro.trace.synthetic import SyntheticBenchmark
+
+SIZES_KW: Sequence[int] = (2, 4, 8, 16)
+WAYS: Sequence[int] = (1, 2)
+_LINE_WORDS = 4
+_CHUNK = 50_000  # instructions per process before rotating (mimics slices)
+
+
+def _measure(scale: ExperimentScale) -> Dict[Tuple[int, int], Tuple[float, float]]:
+    """Replay an interleaved multiprogrammed trace through standalone L1s.
+
+    Returns {(size_kw, ways): (icache_miss_ratio, dcache_miss_ratio)}.
+    """
+    profiles = default_suite(scale.instructions_per_benchmark)[:4]
+    page_table = PageTable()
+    caches = {
+        (size_kw, ways): (Cache(size_kw * 1024, _LINE_WORDS, ways),
+                          Cache(size_kw * 1024, _LINE_WORDS, ways))
+        for size_kw in SIZES_KW for ways in WAYS
+    }
+    shift = log2i(_LINE_WORDS)
+    sources = [SyntheticBenchmark(p, batch_size=_CHUNK) for p in profiles]
+    active = list(range(len(sources)))
+    position = 0
+    while active:
+        index = active[position % len(active)]
+        batch = sources[index].next_batch(_CHUNK)
+        if batch is None:
+            active.remove(index)
+            continue
+        position += 1
+        pid = index + 1
+        pcs = page_table.translate_batch(pid, batch.pc)
+        addrs = page_table.translate_batch(pid, batch.addr)
+        ilines = (pcs >> shift).tolist()
+        dlines = (addrs >> shift).tolist()
+        kinds = batch.kind.tolist()
+        for icache, dcache in caches.values():
+            iaccess = icache.access
+            daccess = dcache.access
+            for i, iline in enumerate(ilines):
+                iaccess(iline)
+                if kinds[i] != KIND_NONE:
+                    daccess(dlines[i])
+    return {
+        key: (icache.miss_ratio, dcache.miss_ratio)
+        for key, (icache, dcache) in caches.items()
+    }
+
+
+@register("l1size")
+def run(scale: ExperimentScale) -> ExperimentResult:
+    """Run the L1 size/associativity ablation."""
+    ratios = _measure(scale)
+    rows: List[List] = []
+    for size_kw in SIZES_KW:
+        for ways in WAYS:
+            imr, dmr = ratios[(size_kw, ways)]
+            rows.append([f"{size_kw}K", ways, imr, dmr])
+    base_imr, base_dmr = ratios[(4, 1)]
+    big_imr, big_dmr = ratios[(8, 1)]
+    assoc_imr, assoc_dmr = ratios[(4, 2)]
+    # Break-even: an L1 miss costs ~6 cycles; the CPI saved by the better
+    # cache is Δmr x 6 per reference stream.  Expressed as the fraction of
+    # the ~1.6 base CPI the cycle time could stretch before the gain is gone.
+    penalty = 6.0
+    base_cpi = 1.6
+    findings = {
+        "imr_4K_direct": base_imr,
+        "imr_gain_8K": base_imr - big_imr,
+        "dmr_4K_direct": base_dmr,
+        "dmr_gain_2way": base_dmr - assoc_dmr,
+        "breakeven_cycle_stretch_8K_icache":
+            (base_imr - big_imr) * penalty / base_cpi,
+        "breakeven_cycle_stretch_2way_dcache":
+            (base_dmr - assoc_dmr) * penalty / base_cpi,
+    }
+    return ExperimentResult(
+        experiment_id="l1size",
+        title="L1 size/associativity ablation (Section 5)",
+        headers=["size", "ways", "L1-I miss ratio", "L1-D miss ratio"],
+        rows=rows,
+        findings=findings,
+        notes=("paper: doubling L1-I or making L1-D associative lowers miss "
+               "ratios, but the required access-time increase (extra SRAMs, "
+               "translation, off-MMU tags nearly doubling cycle time) "
+               "nullifies the gain; the break-even stretches above are tiny "
+               "next to those costs"),
+    )

@@ -1,0 +1,153 @@
+"""Command-line entry point for the experiments.
+
+Usage::
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig5
+    python -m repro.experiments all --instructions 1000000
+    repro-experiments fig6 --level 8 --out results/
+
+Every experiment regenerates one of the paper's tables or figures and
+prints it as an ASCII table along with the scalar findings EXPERIMENTS.md
+tracks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments.common import DEFAULT_SCALE, REGISTRY, ExperimentScale
+
+# Importing the modules populates REGISTRY.
+from repro.experiments import (  # noqa: F401  (imported for registration)
+    ablations,
+    clock_rate,
+    fig2_multiprogramming,
+    fig3_timeslice,
+    fig4_base_breakdown,
+    fig5_write_policy,
+    fig6_l2_orgs,
+    fig7_l2i_speed_size,
+    fig8_l2d_speed_size,
+    fig9_optimizations,
+    fig10_concurrency,
+    fig11_optimized,
+    l1_size_ablation,
+    per_benchmark,
+    scaling,
+    table1_workload,
+    tech_derivation,
+    variance,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (or 'all')")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    parser.add_argument("--instructions", type=int,
+                        default=DEFAULT_SCALE.instructions_per_benchmark,
+                        help="instructions per benchmark (default %(default)s)")
+    parser.add_argument("--level", type=int, default=DEFAULT_SCALE.level,
+                        help="multiprogramming level (default %(default)s)")
+    parser.add_argument("--time-slice", type=int,
+                        default=DEFAULT_SCALE.time_slice,
+                        help="scheduler time slice in cycles")
+    parser.add_argument("--warmup-fraction", type=float,
+                        default=DEFAULT_SCALE.warmup_fraction,
+                        help="fraction of the run excluded from statistics")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="directory to also write per-experiment reports")
+    parser.add_argument("--chart", action="store_true",
+                        help="draw an ASCII chart of each result")
+    parser.add_argument("--config", type=Path, default=None,
+                        help="run a custom machine from a SystemConfig "
+                             "JSON file (ignores experiment ids)")
+    return parser
+
+
+def run_custom_config(path: Path, scale: ExperimentScale) -> str:
+    """Run a user-supplied machine configuration; returns its report."""
+    from repro.analysis.tables import format_cpi_stack
+    from repro.core.serialization import config_from_json
+    from repro.experiments.common import run_system
+
+    config = config_from_json(path.read_text())
+    stats = run_system(config, scale)
+    lines = [
+        f"== custom: {config.name} ({path}) ==",
+        f"instructions : {stats.instructions:,}",
+        f"L1-I miss    : {stats.l1i_miss_ratio:.4f}",
+        f"L1-D miss    : {stats.l1d_miss_ratio:.4f}",
+        f"L2 miss      : {stats.l2_miss_ratio:.4f}",
+        f"memory CPI   : {stats.memory_cpi:.3f}",
+        f"total CPI    : {stats.cpi(config.cpu_stall_cpi):.3f}",
+        format_cpi_stack(stats.breakdown(config.cpu_stall_cpi),
+                         title="CPI stack:"),
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.config is not None:
+        scale = ExperimentScale(
+            instructions_per_benchmark=args.instructions,
+            level=args.level,
+            time_slice=args.time_slice,
+            warmup_fraction=args.warmup_fraction,
+        )
+        print(run_custom_config(args.config, scale))
+        return 0
+    if args.list or not args.experiments:
+        print("available experiments:")
+        for experiment_id in sorted(REGISTRY):
+            print(f"  {experiment_id}")
+        return 0
+    wanted = list(args.experiments)
+    if wanted == ["all"]:
+        wanted = sorted(REGISTRY)
+    unknown = [e for e in wanted if e not in REGISTRY]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(REGISTRY))}", file=sys.stderr)
+        return 2
+    scale = ExperimentScale(
+        instructions_per_benchmark=args.instructions,
+        level=args.level,
+        time_slice=args.time_slice,
+        warmup_fraction=args.warmup_fraction,
+    )
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+    for experiment_id in wanted:
+        started = time.time()
+        result = REGISTRY[experiment_id](scale)
+        report = result.render()
+        if args.chart:
+            from repro.analysis.ascii_plot import chart_for_result
+
+            chart = chart_for_result(result)
+            if chart is not None:
+                report = f"{report}\n\n{chart}"
+        elapsed = time.time() - started
+        print(report)
+        print(f"[{experiment_id} completed in {elapsed:.1f}s]\n")
+        if args.out is not None:
+            path = args.out / f"{experiment_id}.txt"
+            path.write_text(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Table 1: the benchmark workload characterization.
+
+The paper's Table 1 lists each benchmark with its instruction count, loads
+and stores as a percentage of instructions, and the number of voluntary
+system calls.  This experiment regenerates the table from the synthetic
+suite by actually generating (a scaled slice of) each benchmark's trace and
+measuring the realized statistics — checking that the generator delivers
+the fractions its profiles promise, and that the whole suite lands near the
+paper's ~2.5 billion memory references and ~7.25 % store fraction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.common import ExperimentResult, ExperimentScale, register
+from repro.trace.benchmarks import TABLE1_SUITE
+from repro.trace.stream import summarize
+from repro.trace.synthetic import SyntheticBenchmark
+
+
+@register("table1")
+def run(scale: ExperimentScale) -> ExperimentResult:
+    """Regenerate Table 1."""
+    rows: List[List] = []
+    total_instructions = 0
+    total_refs = 0
+    weighted_stores = 0.0
+    for profile in TABLE1_SUITE:
+        sample = profile.scaled(
+            scale.instructions_per_benchmark / profile.instructions
+        )
+        summary = summarize(SyntheticBenchmark(sample), name=profile.name)
+        rows.append([
+            profile.name,
+            profile.category,
+            round(profile.instructions / 1e6, 1),
+            100.0 * summary.load_fraction,
+            100.0 * summary.store_fraction,
+            profile.syscalls,
+        ])
+        total_instructions += profile.instructions
+        total_refs += int(profile.instructions
+                          * (1 + summary.load_fraction
+                             + summary.store_fraction))
+        weighted_stores += profile.instructions * summary.store_fraction
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Benchmark workload (measured on scaled traces)",
+        headers=["benchmark", "type", "instructions (M, paper scale)",
+                 "loads (% of inst.)", "stores (% of inst.)",
+                 "# system calls"],
+        rows=rows,
+        findings={
+            "total_references_billion": total_refs / 1e9,
+            "suite_store_fraction": weighted_stores / total_instructions,
+        },
+        notes=("paper: ~2.5 billion references total; writes ~7.25% of "
+               "instructions overall"),
+    )

@@ -1,0 +1,6 @@
+"""Memory-management substrate: page tables with coloring, and TLBs."""
+
+from repro.mmu.page_table import DEFAULT_COLORS, PageTable
+from repro.mmu.tlb import TLB, data_tlb, instruction_tlb
+
+__all__ = ["DEFAULT_COLORS", "PageTable", "TLB", "data_tlb", "instruction_tlb"]

@@ -1,0 +1,103 @@
+"""Translation lookaside buffers.
+
+The MMU chip holds a 2-way set-associative, 32-entry instruction TLB and a
+2-way set-associative, 64-entry data TLB (paper, Section 2).  Entries are
+tagged with the PID so the TLB — like the caches — need not be flushed on a
+context switch (Section 3).
+
+Replacement is LRU within a set.  The simulator consults the TLB only when an
+access crosses a page boundary relative to the previous access of the same
+kind; a TLB object therefore also tracks how many references each probe
+covers, so miss ratios can be reported per probe or per reference.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.params import is_power_of_two
+
+
+class TLB:
+    """A PID-tagged set-associative TLB.
+
+    Args:
+        entries: total entry count (power of two).
+        ways: associativity (power of two, <= entries).
+        miss_penalty: CPU cycles charged per refill.
+    """
+
+    def __init__(self, entries: int, ways: int = 2, miss_penalty: int = 20):
+        if not is_power_of_two(entries):
+            raise ConfigurationError("TLB entry count must be a power of two")
+        if not is_power_of_two(ways) or ways > entries:
+            raise ConfigurationError("TLB ways must be a power of two <= entries")
+        if miss_penalty < 0:
+            raise ConfigurationError("TLB miss penalty must be non-negative")
+        self.entries = entries
+        self.ways = ways
+        self.sets = entries // ways
+        self.miss_penalty = miss_penalty
+        # Each set is an MRU-ordered list of (pid, vpage) tags.
+        self._sets: List[List[Tuple[int, int]]] = [[] for _ in range(self.sets)]
+        self.probes = 0
+        self.misses = 0
+
+    def access(self, pid: int, vpage: int) -> bool:
+        """Probe for (pid, vpage); refill on miss.  Returns True on a hit."""
+        self.probes += 1
+        index = vpage & (self.sets - 1)
+        entry_set = self._sets[index]
+        tag = (pid, vpage)
+        try:
+            position = entry_set.index(tag)
+        except ValueError:
+            self.misses += 1
+            entry_set.insert(0, tag)
+            if len(entry_set) > self.ways:
+                entry_set.pop()
+            return False
+        if position:
+            del entry_set[position]
+            entry_set.insert(0, tag)
+        return True
+
+    def contains(self, pid: int, vpage: int) -> bool:
+        """Non-mutating lookup (no LRU update, no counters)."""
+        index = vpage & (self.sets - 1)
+        return (pid, vpage) in self._sets[index]
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses per probe."""
+        return self.misses / self.probes if self.probes else 0.0
+
+    def invalidate_pid(self, pid: int) -> int:
+        """Drop all entries of one PID (process exit); returns entries dropped."""
+        dropped = 0
+        for entry_set in self._sets:
+            kept = [tag for tag in entry_set if tag[0] != pid]
+            dropped += len(entry_set) - len(kept)
+            entry_set[:] = kept
+        return dropped
+
+    def flush(self) -> None:
+        """Invalidate every entry (counters retained)."""
+        for entry_set in self._sets:
+            entry_set.clear()
+
+    def reset_counters(self) -> None:
+        """Zero the probe/miss counters."""
+        self.probes = 0
+        self.misses = 0
+
+
+def instruction_tlb(miss_penalty: int = 20) -> TLB:
+    """The paper's instruction TLB: 2-way set-associative, 32 entries."""
+    return TLB(entries=32, ways=2, miss_penalty=miss_penalty)
+
+
+def data_tlb(miss_penalty: int = 20) -> TLB:
+    """The paper's data TLB: 2-way set-associative, 64 entries."""
+    return TLB(entries=64, ways=2, miss_penalty=miss_penalty)

@@ -1,0 +1,70 @@
+"""Global architectural constants and small address-arithmetic helpers.
+
+The paper (and therefore this library) measures memory in 32-bit *words*:
+``4KW`` means 4096 words = 16 KB.  All addresses handled by the simulator are
+word addresses.  Virtual addresses are tagged with an 8-bit process identifier
+(PID) so that distinct processes occupy distinct address spaces and caches need
+not be flushed on a context switch (paper, Section 3).
+"""
+
+from __future__ import annotations
+
+#: Bytes per machine word (MIPS, 32-bit).
+WORD_BYTES = 4
+
+#: Page size in words.  The target machine uses 4 KW (16 KB) pages; this is the
+#: constraint that caps the virtually-indexed L1 caches at 4 KW (Section 5).
+PAGE_WORDS = 4096
+
+#: Number of bits in a word-granular virtual address (before the PID prefix).
+VADDR_BITS = 30
+
+#: Number of PID bits prefixed to virtual addresses (Section 2: 8 bits).
+PID_BITS = 8
+
+#: Maximum number of concurrently addressable processes.
+MAX_PROCESSES = 1 << PID_BITS
+
+#: The paper's CPU-stall contribution to CPI (loads, branches, multi-cycle
+#: operations).  Fig. 4 shows the 1.238 CPI horizontal axis; 1.0 of that is
+#: single-cycle issue, the remaining 0.238 is CPU stalls.
+CPU_STALL_CPI = 0.238
+
+#: Default scheduler time slice in CPU cycles (Section 3 chooses 500,000).
+DEFAULT_TIME_SLICE = 500_000
+
+#: Default multiprogramming level (Section 3 chooses eight).
+DEFAULT_MULTIPROGRAMMING_LEVEL = 8
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2i(value: int) -> int:
+    """Integer log base two of a power-of-two ``value``.
+
+    Raises:
+        ValueError: if ``value`` is not a positive power of two.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"expected a positive power of two, got {value}")
+    return value.bit_length() - 1
+
+
+def page_number(word_addr: int) -> int:
+    """Page number of a word address."""
+    return word_addr // PAGE_WORDS
+
+
+def page_offset(word_addr: int) -> int:
+    """Offset of a word address within its page."""
+    return word_addr % PAGE_WORDS
+
+
+def words_to_kw(words: int) -> str:
+    """Render a size in words the way the paper does, e.g. ``4096 -> '4KW'``."""
+    if words % 1024 == 0:
+        return f"{words // 1024}KW"
+    return f"{words}W"

@@ -1,0 +1,6 @@
+"""Multiprogramming substrate: processes and the round-robin scheduler."""
+
+from repro.sched.process import PreparedBatch, Process
+from repro.sched.scheduler import Scheduler
+
+__all__ = ["PreparedBatch", "Process", "Scheduler"]

@@ -1,0 +1,93 @@
+"""A simulated process: a PID, a trace source, and translated batches.
+
+The paper's simulator multiplexes per-benchmark trace pipes through file
+descriptors; here each :class:`Process` pulls batches from its trace source,
+translates them to physical addresses through the shared page table (page
+coloring preserves cache index bits), and hands the simulator plain Python
+lists — the fastest thing to iterate in the hot loop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import SchedulingError
+from repro.mmu.page_table import PageTable
+from repro.params import MAX_PROCESSES
+from repro.trace.record import TraceBatch
+from repro.trace.stream import TraceSource
+
+
+class PreparedBatch:
+    """One trace batch, physically translated and converted to lists."""
+
+    __slots__ = ("pcs", "kinds", "addrs", "partials", "syscalls")
+
+    def __init__(self, pcs: List[int], kinds: List[int], addrs: List[int],
+                 partials: List[bool], syscalls: List[bool]):
+        self.pcs = pcs
+        self.kinds = kinds
+        self.addrs = addrs
+        self.partials = partials
+        self.syscalls = syscalls
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    @staticmethod
+    def from_batch(batch: TraceBatch, pid: int,
+                   page_table: PageTable) -> "PreparedBatch":
+        """Translate a virtual-address batch into physical lists."""
+        pc_phys = page_table.translate_batch(pid, batch.pc)
+        addr_phys = page_table.translate_batch(pid, batch.addr)
+        return PreparedBatch(
+            pcs=pc_phys.tolist(),
+            kinds=batch.kind.tolist(),
+            addrs=addr_phys.tolist(),
+            partials=batch.partial.tolist(),
+            syscalls=batch.syscall.tolist(),
+        )
+
+
+class Process:
+    """Execution state of one benchmark within the multiprogrammed mix."""
+
+    def __init__(self, pid: int, name: str, source: TraceSource,
+                 page_table: PageTable):
+        if not 0 <= pid < MAX_PROCESSES:
+            raise SchedulingError(f"pid {pid} out of range")
+        self.pid = pid
+        self.name = name
+        self.source = source
+        self.page_table = page_table
+        self._batch: Optional[PreparedBatch] = None
+        self._pos = 0
+        self.instructions_executed = 0
+        self.finished = False
+
+    def current(self) -> Tuple[Optional[PreparedBatch], int]:
+        """The batch/offset to execute next, pulling a new batch if needed.
+
+        Returns ``(None, 0)`` once the process's trace is exhausted.
+        """
+        if self.finished:
+            return None, 0
+        if self._batch is None or self._pos >= len(self._batch):
+            raw = self.source.next_batch()
+            if raw is None or len(raw) == 0:
+                self.finished = True
+                self._batch = None
+                return None, 0
+            self._batch = PreparedBatch.from_batch(raw, self.pid,
+                                                   self.page_table)
+            self._pos = 0
+        return self._batch, self._pos
+
+    def advance(self, consumed: int) -> None:
+        """Record that ``consumed`` instructions of the current batch ran."""
+        if consumed < 0:
+            raise SchedulingError("consumed must be non-negative")
+        self._pos += consumed
+        self.instructions_executed += consumed
+        if self._batch is not None and self._pos > len(self._batch):
+            raise SchedulingError("advanced past the end of the batch")

@@ -1,0 +1,146 @@
+"""Round-robin multiprogramming scheduler (paper, Section 3).
+
+The paper's workload model: a configurable number of processes run
+concurrently (the multiprogramming level); a context switch is scheduled when
+a process executes a voluntary system call or when its time slice (500,000
+cycles by default) elapses; the next process is picked round-robin; when a
+benchmark terminates, the next benchmark in order is started; the run ends
+when every benchmark has terminated.
+
+Caches and TLBs are PID-tagged, so nothing is flushed on a switch — the cache
+interference between processes arises purely from capacity and conflict.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Sequence
+
+from repro.core.hierarchy import (
+    REASON_END,
+    REASON_SLICE,
+    REASON_SYSCALL,
+    MemorySystem,
+)
+from repro.core.stats import SimStats  # noqa: F401 (used for attribution)
+from repro.errors import SchedulingError
+from repro.params import DEFAULT_TIME_SLICE
+from repro.sched.process import Process
+
+
+class Scheduler:
+    """Drives a :class:`MemorySystem` with a multiprogrammed workload.
+
+    Args:
+        memsys: the memory system under test.
+        processes: benchmarks, in admission order.
+        time_slice: cycles per slice before a forced context switch.
+        level: multiprogramming level — how many processes are runnable at
+            once.  Defaults to all of them.
+    """
+
+    def __init__(self, memsys: MemorySystem, processes: Sequence[Process],
+                 time_slice: int = DEFAULT_TIME_SLICE,
+                 level: Optional[int] = None,
+                 track_per_process: bool = False):
+        if time_slice <= 0:
+            raise SchedulingError("time slice must be positive")
+        if not processes:
+            raise SchedulingError("at least one process is required")
+        if level is not None and level <= 0:
+            raise SchedulingError("multiprogramming level must be positive")
+        self.memsys = memsys
+        self.time_slice = time_slice
+        self.level = level or len(processes)
+        self._pending: Deque[Process] = deque(processes)
+        self._ready: Deque[Process] = deque()
+        self.context_switches = 0
+        self.instructions_run = 0
+        #: Per-process activity attribution (slice-granular snapshots of the
+        #: shared statistics); enabled by ``track_per_process``.
+        self.track_per_process = track_per_process
+        self.process_stats: dict = {p.name: SimStats() for p in processes}
+        self._admit()
+
+    def _admit(self) -> None:
+        while self._pending and len(self._ready) < self.level:
+            self._ready.append(self._pending.popleft())
+
+    @property
+    def done(self) -> bool:
+        """True once every process has terminated."""
+        return not self._ready and not self._pending
+
+    def run_one_slice(self) -> str:
+        """Run the process at the head of the ready queue for one slice.
+
+        Returns the reason the slice ended (``syscall``, ``slice``, or
+        ``terminated``).
+        """
+        if self.done:
+            raise SchedulingError("no runnable processes")
+        memsys = self.memsys
+        process = self._ready[0]
+        deadline = memsys.now + self.time_slice
+        snapshot = memsys.stats.copy() if self.track_per_process else None
+        reason = REASON_END
+        while True:
+            batch, pos = process.current()
+            if batch is None:
+                reason = "terminated"
+                break
+            result = memsys.run_slice(batch.pcs, batch.kinds, batch.addrs,
+                                      batch.partials, batch.syscalls,
+                                      pos, deadline)
+            process.advance(result.consumed)
+            self.instructions_run += result.consumed
+            if result.reason != REASON_END:
+                reason = result.reason
+                break
+            # Batch exhausted mid-slice: continue with the next batch.
+        if snapshot is not None:
+            self.process_stats[process.name].add(
+                memsys.stats.diff(snapshot))
+        self._ready.popleft()
+        if reason == "terminated":
+            self._admit()
+        else:
+            self._ready.append(process)
+        # A context switch means another process takes the CPU next; a
+        # lone process rotating back to itself does not count.
+        if self._ready and self._ready[0] is not process:
+            self.context_switches += 1
+            self.memsys.stats.context_switches += 1
+        return reason
+
+    def run(self, max_instructions: Optional[int] = None,
+            warmup_instructions: int = 0) -> SimStats:
+        """Run until every benchmark terminates (or a budget is hit).
+
+        Args:
+            max_instructions: optional global instruction budget.
+            warmup_instructions: statistics are cleared (caches kept warm)
+                after this many instructions, to exclude cold-start effects
+                from short reproduction runs.
+
+        Returns:
+            the memory system's statistics object.
+        """
+        warmed = warmup_instructions <= 0
+        while not self.done:
+            self.run_one_slice()
+            if not warmed and self.instructions_run >= warmup_instructions:
+                self.memsys.clear_stats()
+                if self.track_per_process:
+                    self.process_stats = {name: SimStats()
+                                          for name in self.process_stats}
+                warmed = True
+            if (max_instructions is not None
+                    and self.instructions_run >= max_instructions):
+                break
+        return self.memsys.stats
+
+    @property
+    def ready_processes(self) -> List[Process]:
+        """The runnable processes, head of queue first."""
+        return list(self._ready)

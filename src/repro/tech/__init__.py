@@ -1,0 +1,42 @@
+"""Technology substrate: SRAM parts, MCM interconnect, derived timing."""
+
+from repro.tech.mcm import MCM, PCB, Mounting, interconnect_fraction
+from repro.tech.sram import (
+    BICMOS_8KX8,
+    GAAS_1KX32,
+    SramPart,
+    chips_needed,
+    storage_bits,
+    tag_storage_bits,
+)
+from repro.tech.timing import (
+    CYCLE_NS,
+    DerivedAccess,
+    DerivedTiming,
+    MainMemoryModel,
+    configs_from_technology,
+    derive_cache_access,
+    derive_system_timing,
+    paper_expectations,
+)
+
+__all__ = [
+    "MCM",
+    "PCB",
+    "Mounting",
+    "interconnect_fraction",
+    "BICMOS_8KX8",
+    "GAAS_1KX32",
+    "SramPart",
+    "chips_needed",
+    "storage_bits",
+    "tag_storage_bits",
+    "CYCLE_NS",
+    "DerivedAccess",
+    "DerivedTiming",
+    "MainMemoryModel",
+    "configs_from_technology",
+    "derive_cache_access",
+    "derive_system_timing",
+    "paper_expectations",
+]

@@ -1,0 +1,70 @@
+"""Interconnect model: multichip module vs. printed circuit board.
+
+The paper's premise (Section 2): at a 4 ns cycle, chip crossings dominate.
+MCM substrates bond bare dies with 10-20 micron lines, cutting flight
+distance and drive loading versus a PCB's ~1000 micron features, but even
+on the MCM the propagation delay and loading "can contribute as much as
+50 % to the overall access time" and grow with the cache's area (more
+chips = longer lines + heavier loading).
+
+This module reduces that physics to a calibrated two-parameter model per
+mounting style::
+
+    crossing_ns = base + load_factor * sqrt(chips)
+
+``sqrt(chips)`` tracks the array's linear dimension (flight distance) and
+its driver loading.  A cache access makes two crossings (address out, data
+back).  The constants are calibrated so the derived cycle counts reproduce
+the paper's numbers exactly (see :mod:`repro.tech.timing` and the ``tech``
+experiment):
+
+* 4-chip L1 on the MCM fits in the 4 ns CPU cycle (1-cycle read);
+* 32-chip L2-I on the MCM reaches 2-cycle access;
+* 128-chip BiCMOS L2 off the MCM reaches 6-cycle access (2 of which the
+  paper attributes to tag checking and communication).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Mounting:
+    """Interconnect environment for a cache array."""
+
+    name: str
+    #: Fixed per-crossing delay: pad, driver, and time of flight floor.
+    base_crossing_ns: float
+    #: Loading/distance growth per sqrt(chip count).
+    load_factor_ns: float
+
+    def crossing_ns(self, chips: int) -> float:
+        """One chip-crossing delay for an array of ``chips`` parts."""
+        if chips <= 0:
+            raise ConfigurationError("chip count must be positive")
+        return self.base_crossing_ns + self.load_factor_ns * math.sqrt(chips)
+
+    def round_trip_ns(self, chips: int) -> float:
+        """Address-out plus data-back: two crossings."""
+        return 2.0 * self.crossing_ns(chips)
+
+
+#: Bare dies on the multichip module: short lines, light loading.
+MCM = Mounting(name="MCM", base_crossing_ns=0.2, load_factor_ns=0.05)
+
+#: Packaged parts on the board, reached through the MCM connector.
+PCB = Mounting(name="PCB", base_crossing_ns=1.6, load_factor_ns=0.28)
+
+
+def interconnect_fraction(mounting: Mounting, chips: int,
+                          sram_access_ns: float) -> float:
+    """Fraction of a raw array access spent in interconnect.
+
+    The paper quotes "as much as 50%" for large on-MCM arrays.
+    """
+    wire = mounting.round_trip_ns(chips)
+    return wire / (wire + sram_access_ns)

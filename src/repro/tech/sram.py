@@ -1,0 +1,92 @@
+"""SRAM part catalog and array sizing.
+
+The machine's caches are built from two parts (paper, Section 2):
+
+* the L1 caches and L2 tags — and, in the optimized design, the on-MCM
+  L2-I — use 1K x 32-bit GaAs SRAMs with a 3 ns access time (Vitesse
+  HGaAs III);
+* the off-MCM secondary cache uses 8K x 8-bit BiCMOS SRAMs with a 10 ns
+  access time.
+
+Given a cache's capacity, :func:`chips_needed` computes how many physical
+parts implement its 32-bit-wide data array — the quantity that drives MCM
+area, interconnect loading, and therefore access time
+(:mod:`repro.tech.mcm`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Width of the data path between CPU and caches, in bits.
+DATA_PATH_BITS = 32
+
+
+@dataclass(frozen=True)
+class SramPart:
+    """One SRAM product.
+
+    Attributes:
+        name: catalog name.
+        words: addressable words per chip.
+        bits: output width per chip.
+        access_ns: address-to-data access time.
+        technology: process family, for reporting.
+    """
+
+    name: str
+    words: int
+    bits: int
+    access_ns: float
+    technology: str
+
+    def __post_init__(self) -> None:
+        if self.words <= 0 or self.bits <= 0:
+            raise ConfigurationError("SRAM geometry must be positive")
+        if self.access_ns <= 0:
+            raise ConfigurationError("SRAM access time must be positive")
+
+    @property
+    def bits_per_chip(self) -> int:
+        """Total storage per chip in bits."""
+        return self.words * self.bits
+
+
+#: The 1K x 32 GaAs part used for L1 data/instruction arrays and L2 tags.
+GAAS_1KX32 = SramPart(name="1Kx32 GaAs", words=1024, bits=32,
+                      access_ns=3.0, technology="HGaAs III")
+
+#: The 8K x 8 BiCMOS part used for the off-MCM secondary cache.
+BICMOS_8KX8 = SramPart(name="8Kx8 BiCMOS", words=8192, bits=8,
+                       access_ns=10.0, technology="BiCMOS")
+
+
+def chips_needed(cache_words: int, part: SramPart,
+                 path_bits: int = DATA_PATH_BITS) -> int:
+    """Number of parts to build a ``cache_words`` array of ``path_bits``.
+
+    Chips are ganged ``path_bits / part.bits`` wide and stacked
+    ``cache_words / part.words`` deep.
+    """
+    if cache_words <= 0:
+        raise ConfigurationError("cache size must be positive")
+    width = math.ceil(path_bits / part.bits)
+    depth = math.ceil(cache_words / part.words)
+    return width * depth
+
+
+def storage_bits(cache_words: int, path_bits: int = DATA_PATH_BITS) -> int:
+    """Bits of storage in a cache array (excluding tags)."""
+    return cache_words * path_bits
+
+
+def tag_storage_bits(cache_words: int, line_words: int,
+                     tag_bits: int) -> int:
+    """Bits of tag storage for a cache (the paper tracks this closely:
+    8 KW of 4 W-line primary tags cost 40 Kb on the MMU; doubling the line
+    to 8 W halves it to 20 Kb, Section 8)."""
+    lines = cache_words // line_words
+    return lines * tag_bits

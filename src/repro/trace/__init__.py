@@ -1,0 +1,44 @@
+"""Trace substrate: records, synthetic benchmark generation, suite, file I/O."""
+
+from repro.trace.record import (
+    KIND_LOAD,
+    KIND_NONE,
+    KIND_STORE,
+    TraceBatch,
+    WorkloadSummary,
+)
+from repro.trace.stream import BatchSource, TraceSource, drain, summarize
+from repro.trace.synthetic import (
+    BenchmarkProfile,
+    CodeProfile,
+    DataProfile,
+    SyntheticBenchmark,
+)
+from repro.trace.benchmarks import TABLE1_SUITE, default_suite, replicate_suite
+from repro.trace.replay import DinTraceSource, load_syscall_file
+from repro.trace.tracefile import export_din, import_din, load_npz, save_npz
+
+__all__ = [
+    "KIND_LOAD",
+    "KIND_NONE",
+    "KIND_STORE",
+    "TraceBatch",
+    "WorkloadSummary",
+    "BatchSource",
+    "TraceSource",
+    "drain",
+    "summarize",
+    "BenchmarkProfile",
+    "CodeProfile",
+    "DataProfile",
+    "SyntheticBenchmark",
+    "TABLE1_SUITE",
+    "default_suite",
+    "replicate_suite",
+    "DinTraceSource",
+    "load_syscall_file",
+    "export_din",
+    "import_din",
+    "load_npz",
+    "save_npz",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.trace`` entry point."""
+
+import sys
+
+from repro.trace.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,170 @@
+"""Locality analysis of traces.
+
+Tools for characterizing an address trace the way the cache literature of
+the period did — the instruments used to calibrate the synthetic workload
+against the paper's reported behaviour, and useful on their own for anyone
+replacing the synthetic suite with real traces:
+
+* :func:`footprint` — distinct lines/pages touched.
+* :func:`working_set_curve` — Denning's W(T): average distinct lines
+  touched per window of T references.
+* :func:`reuse_distance_sample` — LRU stack distances (the miss ratio of a
+  fully-associative LRU cache of capacity C is P(distance >= C)).
+* :func:`miss_ratio_curve` — miss ratio vs. cache size by direct replay
+  through :class:`repro.core.cache.Cache`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cache import Cache
+from repro.errors import TraceError
+from repro.params import PAGE_WORDS, log2i
+from repro.trace.record import KIND_NONE, TraceBatch
+
+
+def data_addresses(batch: TraceBatch) -> np.ndarray:
+    """The data (load/store) word addresses of a batch, in order."""
+    return batch.addr[batch.kind != KIND_NONE]
+
+
+def footprint(word_addrs: Iterable[int], line_words: int = 4
+              ) -> Dict[str, int]:
+    """Distinct lines and pages touched by a stream of word addresses."""
+    addrs = np.asarray(list(word_addrs) if not isinstance(word_addrs,
+                                                          np.ndarray)
+                       else word_addrs, dtype=np.int64)
+    if len(addrs) == 0:
+        return {"references": 0, "lines": 0, "pages": 0,
+                "words": 0}
+    shift = log2i(line_words)
+    return {
+        "references": int(len(addrs)),
+        "words": int(len(np.unique(addrs))),
+        "lines": int(len(np.unique(addrs >> shift))),
+        "pages": int(len(np.unique(addrs // PAGE_WORDS))),
+    }
+
+
+def working_set_curve(word_addrs: Sequence[int],
+                      window_sizes: Sequence[int],
+                      line_words: int = 4) -> List[Tuple[int, float]]:
+    """Denning's working-set function W(T).
+
+    For each window size T, the average number of distinct lines referenced
+    per disjoint window of T references.
+
+    Returns:
+        ``[(T, mean_distinct_lines), ...]`` in input order.
+    """
+    addrs = np.asarray(word_addrs, dtype=np.int64)
+    if len(addrs) == 0:
+        raise TraceError("empty address stream")
+    lines = addrs >> log2i(line_words)
+    curve: List[Tuple[int, float]] = []
+    for window in window_sizes:
+        if window <= 0:
+            raise TraceError("window sizes must be positive")
+        counts = []
+        for start in range(0, len(lines) - window + 1, window):
+            counts.append(len(np.unique(lines[start:start + window])))
+        if not counts:  # trace shorter than the window
+            counts = [len(np.unique(lines))]
+        curve.append((window, float(np.mean(counts))))
+    return curve
+
+
+def reuse_distance_sample(word_addrs: Sequence[int],
+                          line_words: int = 4,
+                          max_tracked: int = 1 << 16
+                          ) -> Counter:
+    """LRU stack distances of a line-address stream.
+
+    Returns a :class:`collections.Counter` mapping distance -> occurrences;
+    first-touch references count under the key ``-1``.  Distances beyond
+    ``max_tracked`` are clamped to ``max_tracked`` (the stack is pruned at
+    that depth to bound memory).
+
+    The miss ratio of a fully-associative LRU cache of C lines is the
+    fraction of references with distance >= C (plus first touches).
+    """
+    shift = log2i(line_words)
+    stack: List[int] = []            # MRU first
+    positions: Dict[int, int] = {}   # line -> index hint (rebuilt lazily)
+    distances: Counter = Counter()
+    for addr in word_addrs:
+        line = int(addr) >> shift
+        try:
+            depth = stack.index(line)
+        except ValueError:
+            distances[-1] += 1
+            stack.insert(0, line)
+            if len(stack) > max_tracked:
+                stack.pop()
+            continue
+        distances[min(depth, max_tracked)] += 1
+        del stack[depth]
+        stack.insert(0, line)
+    positions.clear()
+    return distances
+
+
+def lru_miss_ratio_from_distances(distances: Counter, capacity_lines: int
+                                  ) -> float:
+    """Miss ratio of a fully-associative LRU cache from a distance profile."""
+    total = sum(distances.values())
+    if total == 0:
+        return 0.0
+    misses = distances[-1] + sum(
+        count for distance, count in distances.items()
+        if distance >= capacity_lines
+    )
+    return misses / total
+
+
+def miss_ratio_curve(word_addrs: Sequence[int],
+                     cache_sizes_words: Sequence[int],
+                     line_words: int = 4,
+                     ways: int = 1,
+                     warmup: int = 0) -> List[Tuple[int, float]]:
+    """Miss ratio vs. cache size by replay through real cache models."""
+    results: List[Tuple[int, float]] = []
+    shift = log2i(line_words)
+    lines = [int(a) >> shift for a in word_addrs]
+    for size in cache_sizes_words:
+        cache = Cache(size_words=size, line_words=line_words, ways=ways)
+        for i, line in enumerate(lines):
+            if i == warmup:
+                cache.reset_counters()
+            cache.access(line)
+        results.append((size, cache.miss_ratio))
+    return results
+
+
+def locality_report(batch: TraceBatch, line_words: int = 4) -> str:
+    """A one-screen locality characterization of a trace batch."""
+    from repro.analysis.tables import format_table
+
+    data = data_addresses(batch)
+    code_fp = footprint(batch.pc, line_words)
+    data_fp = footprint(data, line_words) if len(data) else footprint([])
+    rows = [
+        ["instruction", code_fp["references"], code_fp["lines"],
+         code_fp["pages"]],
+        ["data", data_fp["references"], data_fp["lines"], data_fp["pages"]],
+    ]
+    parts = [format_table(
+        ["stream", "references", "distinct lines", "distinct pages"], rows,
+        title="footprint")]
+    if len(data) >= 4096:
+        curve = working_set_curve(data, [256, 1024, 4096],
+                                  line_words=line_words)
+        parts.append(format_table(
+            ["window (refs)", "mean distinct lines"],
+            [[t, w] for t, w in curve],
+            title="data working set W(T)", precision=1))
+    return "\n".join(parts)

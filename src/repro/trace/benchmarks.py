@@ -1,0 +1,179 @@
+"""The benchmark suite (paper, Table 1).
+
+The paper's workload is a suite of C and FORTRAN programs from the MIPS
+Performance Brief totalling about 2.5 billion memory references, run as a
+multiprogrammed mix.  The original binaries and ``pixie`` traces are not
+available, so each entry here is a :class:`BenchmarkProfile` for the synthetic
+generator, with instruction counts, load/store fractions and system-call
+counts chosen to match the era's published characteristics:
+
+* overall store fraction ~= 0.0725 of instructions (Section 6),
+* integer codes: larger/more irregular code, smaller data, byte/half-word
+  stores, frequent system calls;
+* floating-point codes: loop-dominated code, large array footprints,
+  streaming access, almost no system calls.
+
+Use :func:`default_suite` (optionally scaled down) to obtain the workload, and
+:func:`replicate_suite` to widen it for multiprogramming levels above the
+suite size.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.trace.synthetic import BenchmarkProfile, CodeProfile, DataProfile
+
+_M = 1_000_000
+
+
+def _integer(name: str, instructions: int, syscalls: int, seed: int,
+             loads: float, stores: float, code_kw: int, warm_kw: int,
+             cold_mw: float = 2.0) -> BenchmarkProfile:
+    return BenchmarkProfile(
+        name=name,
+        category="I",
+        instructions=instructions,
+        syscalls=syscalls,
+        seed=seed,
+        code=CodeProfile(
+            code_words=code_kw * 1024,
+            phase_regions=6,
+            loops_per_phase=16,
+            loop_body_mean=200,
+            loop_trip_mean=5.0,
+            phase_length=11_000,
+            far_call_prob=0.08,
+            far_block_len=14,
+        ),
+        data=DataProfile(
+            load_fraction=loads,
+            store_fraction=stores,
+            partial_store_fraction=0.22,
+            hot_words=1536,
+            warm_words=warm_kw * 1024,
+            warm_window_words=5 * 1024,
+            warm_drift=0.010,
+            stream_words=2 * 1024,
+            stream_stride=4,
+            cold_words=int(cold_mw * 1024 * 1024),
+            p_warm=0.026,
+            p_stream=0.010,
+            p_cold=0.00015,
+            cold_exponent=1.5,
+            store_locality=0.35,
+            store_run_q=0.60,
+        ),
+    )
+
+
+def _float(name: str, category: str, instructions: int, syscalls: int,
+           seed: int, loads: float, stores: float, code_kw: int,
+           warm_kw: int, stream_kw: int, cold_mw: float = 4.0) -> BenchmarkProfile:
+    return BenchmarkProfile(
+        name=name,
+        category=category,
+        instructions=instructions,
+        syscalls=syscalls,
+        seed=seed,
+        code=CodeProfile(
+            code_words=code_kw * 1024,
+            phase_regions=3,
+            loops_per_phase=8,
+            loop_body_mean=300,
+            loop_trip_mean=20.0,
+            phase_length=45_000,
+            far_call_prob=0.02,
+            far_block_len=12,
+        ),
+        data=DataProfile(
+            load_fraction=loads,
+            store_fraction=stores,
+            partial_store_fraction=0.02,
+            hot_words=1536,
+            warm_words=warm_kw * 1024,
+            warm_window_words=6 * 1024,
+            warm_drift=0.012,
+            stream_words=stream_kw * 1024,
+            stream_stride=4,
+            cold_words=int(cold_mw * 1024 * 1024),
+            p_warm=0.024,
+            p_stream=0.018,
+            p_cold=0.0002,
+            cold_exponent=1.35,
+            store_locality=0.5,
+            store_run_q=0.50,
+        ),
+    )
+
+
+#: The ten-benchmark suite standing in for the paper's Table 1.  Instruction
+#: counts total ~1.92 billion, i.e. ~2.5 billion memory references.
+TABLE1_SUITE: Sequence[BenchmarkProfile] = (
+    _integer("espresso", 437 * _M, 94, seed=11,
+             loads=0.205, stores=0.052, code_kw=8, warm_kw=24),
+    _integer("gcc", 141 * _M, 1461, seed=12,
+             loads=0.228, stores=0.097, code_kw=12, warm_kw=48),
+    _integer("li", 263 * _M, 212, seed=13,
+             loads=0.262, stores=0.118, code_kw=6, warm_kw=32),
+    _integer("eqntott", 180 * _M, 41, seed=14,
+             loads=0.196, stores=0.031, code_kw=4, warm_kw=48),
+    _float("doduc", "S", 183 * _M, 19, seed=15,
+           loads=0.252, stores=0.081, code_kw=8, warm_kw=24, stream_kw=3),
+    _float("hspice", "S", 244 * _M, 186, seed=16,
+           loads=0.268, stores=0.070, code_kw=10, warm_kw=64, stream_kw=3),
+    _float("nasa7", "D", 225 * _M, 22, seed=17,
+           loads=0.248, stores=0.084, code_kw=6, warm_kw=96, stream_kw=2),
+    _float("matrix300", "D", 145 * _M, 12, seed=18,
+           loads=0.290, stores=0.066, code_kw=4, warm_kw=32, stream_kw=2),
+    _float("tomcatv", "D", 154 * _M, 14, seed=19,
+           loads=0.244, stores=0.075, code_kw=4, warm_kw=64, stream_kw=3),
+    _float("fpppp", "D", 205 * _M, 16, seed=20,
+           loads=0.276, stores=0.092, code_kw=6, warm_kw=24, stream_kw=2),
+)
+
+
+def default_suite(instructions_per_benchmark: int = 0) -> List[BenchmarkProfile]:
+    """Return the Table 1 suite, optionally rescaled.
+
+    Args:
+        instructions_per_benchmark: if non-zero, every benchmark is scaled to
+            emit exactly this many instructions (system-call counts scale
+            proportionally).  Zero keeps the full paper-scale counts.
+    """
+    if instructions_per_benchmark <= 0:
+        return list(TABLE1_SUITE)
+    return [
+        profile.scaled(instructions_per_benchmark / profile.instructions)
+        for profile in TABLE1_SUITE
+    ]
+
+
+def replicate_suite(profiles: Sequence[BenchmarkProfile],
+                    count: int) -> List[BenchmarkProfile]:
+    """Extend a suite to ``count`` entries by cloning with fresh seeds.
+
+    Used for multiprogramming levels above the suite size (the paper sweeps up
+    to 16 concurrent processes in Fig. 2); clones behave statistically like
+    the original but produce distinct address reference sequences.
+    """
+    if count <= len(profiles):
+        return list(profiles[:count])
+    result = list(profiles)
+    i = 0
+    while len(result) < count:
+        base = profiles[i % len(profiles)]
+        clone_index = len(result)
+        result.append(
+            BenchmarkProfile(
+                name=f"{base.name}.{clone_index}",
+                category=base.category,
+                instructions=base.instructions,
+                syscalls=base.syscalls,
+                code=base.code,
+                data=base.data,
+                seed=base.seed + 1000 * (clone_index + 1),
+            )
+        )
+        i += 1
+    return result

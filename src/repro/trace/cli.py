@@ -1,0 +1,148 @@
+"""Trace tooling CLI.
+
+Usage::
+
+    python -m repro.trace list
+    python -m repro.trace generate espresso --instructions 200000 --out t.npz
+    python -m repro.trace generate gcc --instructions 50000 --din t.din
+    python -m repro.trace summarize t.npz
+    python -m repro.trace analyze t.npz --cache-sizes 1024,4096,16384
+
+``generate`` synthesizes one Table 1 benchmark's trace and writes it in the
+native ``.npz`` format and/or dinero ``din`` format (for use with other
+cache simulators).  ``summarize`` prints Table-1-style statistics and
+``analyze`` prints a locality report with a miss-ratio curve.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.trace.analysis import (
+    data_addresses,
+    locality_report,
+    miss_ratio_curve,
+)
+from repro.trace.benchmarks import TABLE1_SUITE
+from repro.trace.record import TraceBatch, WorkloadSummary
+from repro.trace.synthetic import SyntheticBenchmark
+from repro.trace.tracefile import export_din, load_npz, save_npz
+
+
+def _find_profile(name: str):
+    for profile in TABLE1_SUITE:
+        if profile.name == name:
+            return profile
+    raise SystemExit(
+        f"unknown benchmark {name!r}; see `python -m repro.trace list`"
+    )
+
+
+def _generate(args: argparse.Namespace) -> int:
+    profile = _find_profile(args.benchmark)
+    scaled = profile.scaled(args.instructions / profile.instructions)
+    bench = SyntheticBenchmark(scaled)
+    batches: List[TraceBatch] = []
+    while True:
+        batch = bench.next_batch()
+        if batch is None:
+            break
+        batches.append(batch)
+    trace = TraceBatch.concat(batches)
+    wrote = []
+    if args.out is not None:
+        save_npz(args.out, trace)
+        wrote.append(str(args.out))
+    if args.din is not None:
+        records = export_din(args.din, trace)
+        wrote.append(f"{args.din} ({records} din records)")
+    if not wrote:
+        print("nothing written: pass --out and/or --din", file=sys.stderr)
+        return 2
+    print(f"generated {len(trace):,} instructions of '{scaled.name}' -> "
+          + ", ".join(wrote))
+    return 0
+
+
+def _summarize(args: argparse.Namespace) -> int:
+    trace = load_npz(args.trace)
+    summary = WorkloadSummary(name=str(args.trace))
+    summary.add(trace)
+    print(f"trace          : {summary.name}")
+    print(f"instructions   : {summary.instructions:,}")
+    print(f"references     : {summary.references:,}")
+    print(f"loads          : {summary.loads:,} "
+          f"({100 * summary.load_fraction:.2f}% of instructions)")
+    print(f"stores         : {summary.stores:,} "
+          f"({100 * summary.store_fraction:.2f}% of instructions)")
+    print(f"partial stores : {summary.partial_stores:,}")
+    print(f"system calls   : {summary.syscalls:,}")
+    return 0
+
+
+def _analyze(args: argparse.Namespace) -> int:
+    trace = load_npz(args.trace)
+    print(locality_report(trace))
+    if args.cache_sizes:
+        sizes = [int(s) for s in args.cache_sizes.split(",")]
+        data = data_addresses(trace)
+        curve = miss_ratio_curve(data.tolist(), sizes,
+                                 warmup=min(len(data) // 4, 10_000))
+        print("\ndata miss-ratio curve (direct-mapped, 4W lines):")
+        for size, ratio in curve:
+            print(f"  {size:>8} words : {ratio:.4f}")
+    return 0
+
+
+def _list(_args: argparse.Namespace) -> int:
+    print("available benchmarks (Table 1 suite):")
+    for profile in TABLE1_SUITE:
+        print(f"  {profile.name:<10} [{profile.category}] "
+              f"{profile.instructions / 1e6:7.0f}M instructions, "
+              f"{profile.syscalls} syscalls")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Generate, summarize, analyze and export traces.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    gen = commands.add_parser("generate", help="synthesize a trace")
+    gen.add_argument("benchmark", help="Table 1 benchmark name")
+    gen.add_argument("--instructions", type=int, default=100_000)
+    gen.add_argument("--out", type=Path, default=None,
+                     help="write native .npz trace")
+    gen.add_argument("--din", type=Path, default=None,
+                     help="write dinero din trace")
+    gen.set_defaults(func=_generate)
+
+    summ = commands.add_parser("summarize", help="Table-1-style statistics")
+    summ.add_argument("trace", type=Path, help=".npz trace file")
+    summ.set_defaults(func=_summarize)
+
+    analyze = commands.add_parser("analyze", help="locality report")
+    analyze.add_argument("trace", type=Path, help=".npz trace file")
+    analyze.add_argument("--cache-sizes", default="",
+                         help="comma-separated sizes in words for a "
+                              "miss-ratio curve")
+    analyze.set_defaults(func=_analyze)
+
+    lst = commands.add_parser("list", help="list the benchmark suite")
+    lst.set_defaults(func=_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

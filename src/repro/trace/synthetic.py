@@ -1,0 +1,444 @@
+"""Synthetic address-trace generation.
+
+The paper drives its simulator with ~2.5 billion references collected from the
+MIPS benchmark suite via ``pixie``.  Those binaries and traces are not
+available, so this module provides the closest synthetic equivalent: a
+two-part locality model whose parameters are calibrated (see
+``repro.trace.benchmarks``) to land in the paper's reported ranges — write
+fraction ~7 % of instructions, L1 miss ratios of a few percent at 4 KW, L2
+local miss ratios near 1 % at 256 KW, instruction footprints that stop paying
+off past ~64 KW of L2 while data footprints keep paying to 512 KW and beyond.
+
+Instruction model
+    A benchmark's code is divided into *phase regions*.  Execution sits in one
+    phase for ``phase_length`` instructions, repeatedly choosing a loop from
+    that phase's pool (Zipf-weighted so a few loops dominate), running its body
+    for a geometrically distributed trip count, and occasionally calling a
+    "far" helper block elsewhere in the code region.  This produces the
+    sequential runs, tight reuse, and occasional excursions of real code.
+
+Data model
+    Each load/store address is drawn from a four-component mixture:
+
+    * ``hot``  — small region (stack + scalars); almost always L1-resident.
+    * ``warm`` — a *drifting window* into a mid-size region: the window is a
+      few times larger than the L1-D, so most warm accesses miss L1 but hit
+      L2; the window drifts slowly (``warm_drift`` words per warm access),
+      giving a controllable compulsory-miss floor, and a too-small (or
+      multiprogram-contended) L2 loses window lines between time slices —
+      the mechanism behind the paper's Fig. 2 L2 sensitivity to
+      multiprogramming level.
+    * ``stream`` — sequential scan through an array region (spatial locality:
+      one miss per line).
+    * ``cold`` — rare accesses over a very large region with mild power-law
+      concentration; responsible for the L2 miss-ratio floor and for the
+      continued benefit of very large L2s.
+
+    Stores draw from the same mixture with their non-hot probabilities scaled
+    by ``store_locality`` — stores are more stack/scalar-local than loads,
+    which is what gives the paper's 98 % write-hit rate at 4 KW.
+
+All randomness is drawn from a per-benchmark seeded generator, so traces are
+fully deterministic and runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.trace.record import KIND_LOAD, KIND_NONE, KIND_STORE, TraceBatch
+
+#: Virtual base addresses (word granular) of each region of a process's
+#: address space.  The layout is identical for every process; PIDs keep the
+#: spaces distinct (paper, Section 3).  Bases are staggered by a few pages so
+#: that, under page coloring, a process's regions start on different colors
+#: (real segments are not all megabyte-aligned either).
+_PAGE = 4096
+CODE_BASE = 0x0040_0000 + 3 * _PAGE
+HOT_BASE = 0x1000_0000 + 37 * _PAGE
+WARM_BASE = 0x1200_0000 + 89 * _PAGE
+STREAM_BASE = 0x1800_0000 + 151 * _PAGE
+COLD_BASE = 0x2000_0000 + 211 * _PAGE
+
+_DEFAULT_BATCH = 1 << 16
+
+
+@dataclass(frozen=True)
+class CodeProfile:
+    """Parameters of the instruction-address model."""
+
+    code_words: int = 16384
+    phase_regions: int = 4
+    loops_per_phase: int = 12
+    loop_body_mean: int = 48
+    loop_trip_mean: float = 12.0
+    phase_length: int = 400_000
+    far_call_prob: float = 0.04
+    far_block_len: int = 12
+
+    def validate(self) -> None:
+        if self.code_words < self.phase_regions * self.loop_body_mean:
+            raise ConfigurationError(
+                "code region too small for the requested loop structure"
+            )
+        if not 0.0 <= self.far_call_prob <= 1.0:
+            raise ConfigurationError("far_call_prob must be a probability")
+
+
+@dataclass(frozen=True)
+class DataProfile:
+    """Parameters of the data-address model."""
+
+    load_fraction: float = 0.22
+    store_fraction: float = 0.0725
+    partial_store_fraction: float = 0.10
+    hot_words: int = 2048
+    warm_words: int = 65536
+    warm_window_words: int = 6144
+    #: Words the warm window advances per warm access (sets the compulsory
+    #: L2-D miss floor: one new line every ``4 / warm_drift`` warm accesses).
+    warm_drift: float = 0.01
+    stream_words: int = 16384
+    #: Words the stream cursor advances per stream access (stride 4 = one
+    #: access per line, a strided column scan; stride 1 = unit-stride scan).
+    stream_stride: int = 1
+    cold_words: int = 2 * 1024 * 1024
+    p_warm: float = 0.032
+    p_stream: float = 0.015
+    p_cold: float = 0.0004
+    cold_exponent: float = 1.4
+    #: Multiplier applied to a store's non-hot component probabilities;
+    #: below 1.0 makes stores more local than loads.
+    store_locality: float = 0.4
+    #: Probability that a store continues a sequential run at the address
+    #: after the previous store (struct fills, saves, memset-like behaviour).
+    #: Runs are what give write-allocating policies (write-only, subblock)
+    #: their one-cycle hits on the stores following a write miss.
+    store_run_q: float = 0.55
+
+    @property
+    def p_hot(self) -> float:
+        """Probability mass of the hot component (the remainder)."""
+        return 1.0 - self.p_warm - self.p_stream - self.p_cold
+
+    def validate(self) -> None:
+        if not 0.0 <= self.load_fraction + self.store_fraction <= 1.0:
+            raise ConfigurationError("load + store fractions exceed 1")
+        if self.p_hot < 0.0:
+            raise ConfigurationError("mixture probabilities exceed 1")
+        for name in ("hot_words", "warm_words", "warm_window_words",
+                     "stream_words", "cold_words"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.warm_window_words > self.warm_words:
+            raise ConfigurationError("warm window larger than the warm region")
+        if self.warm_drift < 0:
+            raise ConfigurationError("warm_drift must be non-negative")
+        if self.stream_stride <= 0:
+            raise ConfigurationError("stream_stride must be positive")
+        if not 0.0 <= self.store_locality <= 1.0:
+            raise ConfigurationError("store_locality must be within [0, 1]")
+        if not 0.0 <= self.store_run_q < 1.0:
+            raise ConfigurationError("store_run_q must be within [0, 1)")
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Everything needed to synthesize one benchmark's trace."""
+
+    name: str
+    category: str  # "I" integer, "S" single-precision FP, "D" double-precision
+    instructions: int
+    syscalls: int
+    code: CodeProfile
+    data: DataProfile
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.instructions <= 0:
+            raise ConfigurationError("instructions must be positive")
+        if self.syscalls < 0:
+            raise ConfigurationError("syscalls must be non-negative")
+        if self.category not in ("I", "S", "D"):
+            raise ConfigurationError("category must be one of I, S, D")
+        self.code.validate()
+        self.data.validate()
+
+    def scaled(self, factor: float) -> "BenchmarkProfile":
+        """Return a copy with instruction/syscall counts scaled by ``factor``."""
+        return BenchmarkProfile(
+            name=self.name,
+            category=self.category,
+            instructions=max(1, int(round(self.instructions * factor))),
+            syscalls=max(0, int(round(self.syscalls * factor))),
+            code=self.code,
+            data=self.data,
+            seed=self.seed,
+        )
+
+
+class SyntheticBenchmark:
+    """Deterministic batch-by-batch trace generator for one benchmark.
+
+    Implements the ``TraceSource`` protocol used by the scheduler: repeated
+    calls to :meth:`next_batch` yield :class:`TraceBatch` objects until the
+    benchmark's instruction budget is exhausted, after which ``None`` is
+    returned.
+    """
+
+    def __init__(self, profile: BenchmarkProfile, batch_size: int = _DEFAULT_BATCH):
+        profile.validate()
+        if batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        self.profile = profile
+        self.batch_size = batch_size
+        self._rng = np.random.default_rng(profile.seed)
+        self._emitted = 0
+        self._stream_cursor = 0
+        self._warm_count = 0
+        self._loop_pools = self._build_loop_pools()
+        self._syscall_points = self._build_syscall_points()
+        self._next_syscall_idx = 0
+
+    # ------------------------------------------------------------------ setup
+
+    def _build_loop_pools(self) -> List[List[Tuple[int, int]]]:
+        """Precompute (start_pc, body_len) loop pools, one pool per phase."""
+        code = self.profile.code
+        region_words = code.code_words // code.phase_regions
+        pools: List[List[Tuple[int, int]]] = []
+        for phase in range(code.phase_regions):
+            region_base = CODE_BASE + phase * region_words
+            pool = []
+            for _ in range(code.loops_per_phase):
+                body = int(self._rng.integers(
+                    max(4, code.loop_body_mean // 3), code.loop_body_mean * 2
+                ))
+                body = min(body, region_words)
+                start = region_base + int(
+                    self._rng.integers(0, max(1, region_words - body))
+                )
+                pool.append((start, body))
+            pools.append(pool)
+        return pools
+
+    def _build_syscall_points(self) -> np.ndarray:
+        """Instruction indices at which voluntary system calls occur."""
+        n = self.profile.syscalls
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        points = self._rng.uniform(0, self.profile.instructions, size=n)
+        return np.sort(points.astype(np.int64))
+
+    # ------------------------------------------------------- instruction side
+
+    def _zipf_weights(self, n: int) -> np.ndarray:
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        weights = 1.0 / ranks ** 1.2
+        return weights / weights.sum()
+
+    def _gen_pcs(self, want: int) -> np.ndarray:
+        """Generate at least ``want`` instruction addresses (then trimmed)."""
+        code = self.profile.code
+        rng = self._rng
+        segments: List[np.ndarray] = []
+        produced = 0
+        emitted_base = self._emitted
+        while produced < want:
+            phase = (
+                (emitted_base + produced) // code.phase_length
+            ) % code.phase_regions
+            pool = self._loop_pools[phase]
+            weights = self._pool_weights(len(pool))
+            loop_idx = int(rng.choice(len(pool), p=weights))
+            start, body = pool[loop_idx]
+            trips = 1 + int(rng.geometric(1.0 / code.loop_trip_mean))
+            segment = np.tile(np.arange(start, start + body, dtype=np.int64), trips)
+            segments.append(segment)
+            produced += len(segment)
+            if rng.random() < code.far_call_prob:
+                far_start = CODE_BASE + int(
+                    rng.integers(0, max(1, code.code_words - code.far_block_len))
+                )
+                far = np.arange(
+                    far_start, far_start + code.far_block_len, dtype=np.int64
+                )
+                segments.append(far)
+                produced += len(far)
+        return np.concatenate(segments)[:want]
+
+    def _pool_weights(self, n: int) -> np.ndarray:
+        # Cached per pool size; all pools share the same size in practice.
+        cache = getattr(self, "_weights_cache", None)
+        if cache is None or len(cache) != n:
+            cache = self._zipf_weights(n)
+            self._weights_cache = cache
+        return cache
+
+    # -------------------------------------------------------------- data side
+
+    def _gen_data(self, n: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Generate kinds, data addresses and partial flags for ``n`` instrs."""
+        d = self.profile.data
+        rng = self._rng
+        u = rng.random(n)
+        kinds = np.full(n, KIND_NONE, dtype=np.uint8)
+        load_mask = u < d.load_fraction
+        kinds[load_mask] = KIND_LOAD
+        store_mask = (u >= d.load_fraction) & (
+            u < d.load_fraction + d.store_fraction
+        )
+        kinds[store_mask] = KIND_STORE
+
+        addrs = np.zeros(n, dtype=np.int64)
+        n_load = int(np.count_nonzero(load_mask))
+        if n_load:
+            addrs[load_mask] = self._gen_addresses(n_load, locality=1.0)
+        n_store = int(np.count_nonzero(store_mask))
+        if n_store:
+            fresh_addrs = self._gen_addresses(n_store,
+                                              locality=d.store_locality)
+            addrs[store_mask] = self._cluster_stores(fresh_addrs)
+
+        partial = np.zeros(n, dtype=bool)
+        if d.partial_store_fraction > 0.0:
+            store_idx = np.flatnonzero(store_mask)
+            if len(store_idx):
+                partial_draw = rng.random(len(store_idx)) < d.partial_store_fraction
+                partial[store_idx[partial_draw]] = True
+        return kinds, addrs, partial
+
+    def _cluster_stores(self, fresh_addrs: np.ndarray) -> np.ndarray:
+        """Turn independent store addresses into sequential store runs.
+
+        With probability ``store_run_q`` a store writes the word after the
+        previous store; otherwise it starts a fresh run at its drawn address.
+        (Successive stores in one run land in the same or the next cache
+        line, which is the behaviour that rewards write-allocation.)
+        """
+        q = self.profile.data.store_run_q
+        n = len(fresh_addrs)
+        if q <= 0.0 or n == 0:
+            return fresh_addrs
+        starts = self._rng.random(n) >= q
+        starts[0] = True
+        positions = np.arange(n, dtype=np.int64)
+        run_start = np.where(starts, positions, 0)
+        run_start = np.maximum.accumulate(run_start)
+        return fresh_addrs[run_start] + (positions - run_start)
+
+    def _gen_addresses(self, n: int, locality: float) -> np.ndarray:
+        """Draw ``n`` data addresses from the hot/warm/stream/cold mixture.
+
+        ``locality`` scales the non-hot component probabilities (stores pass
+        their profile's ``store_locality``; loads pass 1.0).
+        """
+        d = self.profile.data
+        rng = self._rng
+        comp = rng.random(n)
+        addrs = np.empty(n, dtype=np.int64)
+
+        hot_cut = 1.0 - (d.p_warm + d.p_stream + d.p_cold) * locality
+        warm_cut = hot_cut + d.p_warm * locality
+        stream_cut = warm_cut + d.p_stream * locality
+
+        hot_mask = comp < hot_cut
+        warm_mask = (comp >= hot_cut) & (comp < warm_cut)
+        stream_mask = (comp >= warm_cut) & (comp < stream_cut)
+        cold_mask = comp >= stream_cut
+
+        n_hot = int(np.count_nonzero(hot_mask))
+        if n_hot:
+            addrs[hot_mask] = HOT_BASE + rng.integers(
+                0, d.hot_words, size=n_hot, dtype=np.int64
+            )
+
+        n_warm = int(np.count_nonzero(warm_mask))
+        if n_warm:
+            # A window of warm_window_words that drifts warm_drift words per
+            # warm access, wrapping around the warm region.
+            starts = (
+                (self._warm_count + np.arange(n_warm, dtype=np.float64))
+                * d.warm_drift
+            ).astype(np.int64)
+            self._warm_count += n_warm
+            offsets = rng.integers(0, d.warm_window_words, size=n_warm,
+                                   dtype=np.int64)
+            addrs[warm_mask] = WARM_BASE + (starts + offsets) % d.warm_words
+
+        n_stream = int(np.count_nonzero(stream_mask))
+        if n_stream:
+            stride = d.stream_stride
+            positions = (
+                self._stream_cursor
+                + np.arange(n_stream, dtype=np.int64) * stride
+            ) % d.stream_words
+            self._stream_cursor = int(
+                (self._stream_cursor + n_stream * stride) % d.stream_words
+            )
+            addrs[stream_mask] = STREAM_BASE + positions
+
+        n_cold = int(np.count_nonzero(cold_mask))
+        if n_cold:
+            frac = rng.random(n_cold) ** d.cold_exponent
+            idx = (frac * d.cold_words).astype(np.int64)
+            addrs[cold_mask] = COLD_BASE + np.minimum(idx, d.cold_words - 1)
+
+        return addrs
+
+    # ------------------------------------------------------------- public API
+
+    @property
+    def instructions_remaining(self) -> int:
+        """Instructions not yet emitted."""
+        return self.profile.instructions - self._emitted
+
+    @property
+    def done(self) -> bool:
+        """True once the benchmark's full trace has been emitted."""
+        return self._emitted >= self.profile.instructions
+
+    def next_batch(self, max_len: Optional[int] = None) -> Optional[TraceBatch]:
+        """Produce the next batch of at most ``max_len`` instructions.
+
+        Returns ``None`` when the benchmark has terminated.
+        """
+        if self.done:
+            return None
+        want = min(
+            self.batch_size if max_len is None else max_len,
+            self.instructions_remaining,
+        )
+        pcs = self._gen_pcs(want)
+        kinds, addrs, partial = self._gen_data(want)
+        syscall = self._syscall_flags(want)
+        self._emitted += want
+        return TraceBatch(
+            pc=pcs, kind=kinds, addr=addrs, partial=partial, syscall=syscall
+        )
+
+    def _syscall_flags(self, want: int) -> np.ndarray:
+        flags = np.zeros(want, dtype=bool)
+        lo, hi = self._emitted, self._emitted + want
+        points = self._syscall_points
+        i = self._next_syscall_idx
+        while i < len(points) and points[i] < hi:
+            if points[i] >= lo:
+                flags[points[i] - lo] = True
+            i += 1
+        self._next_syscall_idx = i
+        return flags
+
+    def reset(self) -> None:
+        """Rewind the generator to reproduce the identical trace again."""
+        self._rng = np.random.default_rng(self.profile.seed)
+        self._emitted = 0
+        self._stream_cursor = 0
+        self._warm_count = 0
+        self._loop_pools = self._build_loop_pools()
+        self._syscall_points = self._build_syscall_points()
+        self._next_syscall_idx = 0

@@ -1,0 +1,145 @@
+"""Trace file I/O.
+
+Two formats are supported:
+
+* ``.npz`` — the native columnar format: fast, compact, lossless.
+* ``din``  — the classic dinero ASCII format (one ``<label> <hex-addr>`` pair
+  per reference; label 0 = data read, 1 = data write, 2 = instruction fetch),
+  provided for interoperability with other cache simulators.  Addresses in din
+  files are byte addresses, as dinero expects; metadata that dinero cannot
+  carry (partial-store and system-call flags) is dropped on export and absent
+  on import.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import List, Union
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.params import WORD_BYTES
+from repro.trace.record import KIND_LOAD, KIND_NONE, KIND_STORE, TraceBatch
+
+DIN_READ = 0
+DIN_WRITE = 1
+DIN_IFETCH = 2
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_npz(path: PathLike, batch: TraceBatch) -> None:
+    """Write a batch to the native ``.npz`` format."""
+    np.savez_compressed(
+        path,
+        pc=batch.pc,
+        kind=batch.kind,
+        addr=batch.addr,
+        partial=batch.partial,
+        syscall=batch.syscall,
+    )
+
+
+def load_npz(path: PathLike) -> TraceBatch:
+    """Read a batch from the native ``.npz`` format."""
+    with np.load(path) as data:
+        try:
+            return TraceBatch(
+                pc=data["pc"],
+                kind=data["kind"],
+                addr=data["addr"],
+                partial=data["partial"],
+                syscall=data["syscall"],
+            )
+        except KeyError as exc:
+            raise TraceError(f"trace file {path} is missing column {exc}") from exc
+
+
+def export_din(path_or_file: Union[PathLike, io.TextIOBase],
+               batch: TraceBatch) -> int:
+    """Write a batch as dinero ``din`` records; returns records written.
+
+    Each instruction contributes an ifetch record, then its data access (if
+    any), matching the reference order the simulator uses.
+    """
+    own = isinstance(path_or_file, (str, os.PathLike))
+    f = open(path_or_file, "w") if own else path_or_file
+    try:
+        count = 0
+        pcs = batch.pc
+        kinds = batch.kind
+        addrs = batch.addr
+        for i in range(len(batch)):
+            f.write(f"{DIN_IFETCH} {int(pcs[i]) * WORD_BYTES:x}\n")
+            count += 1
+            kind = kinds[i]
+            if kind != KIND_NONE:
+                label = DIN_WRITE if kind == KIND_STORE else DIN_READ
+                f.write(f"{label} {int(addrs[i]) * WORD_BYTES:x}\n")
+                count += 1
+        return count
+    finally:
+        if own:
+            f.close()
+
+
+def import_din(path_or_file: Union[PathLike, io.TextIOBase]) -> TraceBatch:
+    """Read a din file back into a batch.
+
+    Data records must follow the ifetch of the instruction that issued them
+    (the order :func:`export_din` writes).  A data record with no preceding
+    ifetch is an error; two data records after one ifetch are attributed to
+    synthetic one-instruction fetches to avoid silently dropping references.
+    """
+    own = isinstance(path_or_file, (str, os.PathLike))
+    f = open(path_or_file, "r") if own else path_or_file
+    try:
+        pcs: List[int] = []
+        kinds: List[int] = []
+        addrs: List[int] = []
+        for line_no, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise TraceError(f"malformed din record at line {line_no}: {line!r}")
+            try:
+                label = int(parts[0])
+                byte_addr = int(parts[1], 16)
+            except ValueError as exc:
+                raise TraceError(
+                    f"malformed din record at line {line_no}: {line!r}"
+                ) from exc
+            word_addr = byte_addr // WORD_BYTES
+            if label == DIN_IFETCH:
+                pcs.append(word_addr)
+                kinds.append(KIND_NONE)
+                addrs.append(0)
+            elif label in (DIN_READ, DIN_WRITE):
+                if not pcs:
+                    raise TraceError(
+                        f"data record before any ifetch at line {line_no}"
+                    )
+                if kinds[-1] != KIND_NONE:
+                    # A second data access: synthesize a repeat ifetch.
+                    pcs.append(pcs[-1])
+                    kinds.append(KIND_NONE)
+                    addrs.append(0)
+                kinds[-1] = KIND_STORE if label == DIN_WRITE else KIND_LOAD
+                addrs[-1] = word_addr
+            else:
+                raise TraceError(f"unknown din label {label} at line {line_no}")
+        n = len(pcs)
+        return TraceBatch(
+            pc=np.asarray(pcs, dtype=np.int64),
+            kind=np.asarray(kinds, dtype=np.uint8),
+            addr=np.asarray(addrs, dtype=np.int64),
+            partial=np.zeros(n, dtype=bool),
+            syscall=np.zeros(n, dtype=bool),
+        )
+    finally:
+        if own:
+            f.close()

@@ -1,0 +1,85 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.ascii_plot import bar_chart, chart_for_result, line_chart
+from repro.experiments.common import ExperimentResult
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        text = line_chart([1, 2, 3], {"a": [0.0, 0.5, 1.0]},
+                          width=20, height=5, title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "*=a" in lines[-1]
+        assert "1.0000" in lines[1]   # max on the top rail
+        assert "0.0000" in lines[-3]  # min on the bottom rail
+
+    def test_extremes_placed_on_correct_rows(self):
+        text = line_chart([0, 1], {"s": [0.0, 1.0]}, width=10, height=3)
+        rows = text.splitlines()
+        body = [line.split("|", 1)[1] for line in rows if "|" in line]
+        assert "*" in body[0]       # the max lands on the top row
+        assert "*" in body[-1]      # the min lands on the bottom row
+
+    def test_multiple_series_get_distinct_markers(self):
+        text = line_chart([1, 2], {"a": [1, 2], "b": [2, 1]})
+        assert "*=a" in text and "o=b" in text
+
+    def test_flat_series_does_not_crash(self):
+        text = line_chart([1, 2], {"a": [3.0, 3.0]})
+        assert "3.0000" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart([], {"a": []})
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"a": [1]})
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        text = bar_chart(["x", "yy"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_labels_aligned(self):
+        text = bar_chart(["a", "long"], [1, 1])
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+
+
+class TestChartForResult:
+    def make_result(self, headers, rows):
+        return ExperimentResult(experiment_id="x", title="T",
+                                headers=headers, rows=rows)
+
+    def test_multicolumn_numeric_becomes_line_chart(self):
+        result = self.make_result(["x", "a", "b"],
+                                  [[1, 0.1, 0.2], [2, 0.3, 0.1]])
+        chart = chart_for_result(result)
+        assert chart is not None
+        assert "*=a" in chart
+
+    def test_two_column_numeric_becomes_bar_chart(self):
+        result = self.make_result(["thing", "value"],
+                                  [["p", 1.0], ["q", 2.0]])
+        chart = chart_for_result(result)
+        assert chart is not None
+        assert "#" in chart
+
+    def test_text_rows_do_not_chart(self):
+        result = self.make_result(["a", "b"], [["x", "y"], ["z", "w"]])
+        assert chart_for_result(result) is None
+
+    def test_single_row_does_not_chart(self):
+        result = self.make_result(["a", "b"], [[1, 2]])
+        assert chart_for_result(result) is None

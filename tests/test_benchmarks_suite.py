@@ -1,0 +1,80 @@
+"""Unit tests for the Table 1 benchmark suite definitions."""
+
+import pytest
+
+from repro.trace.benchmarks import TABLE1_SUITE, default_suite, replicate_suite
+from repro.trace.stream import summarize
+from repro.trace.synthetic import SyntheticBenchmark
+
+
+class TestSuiteShape:
+    def test_ten_benchmarks(self):
+        assert len(TABLE1_SUITE) == 10
+
+    def test_profiles_validate(self):
+        for profile in TABLE1_SUITE:
+            profile.validate()
+
+    def test_names_unique(self):
+        names = [p.name for p in TABLE1_SUITE]
+        assert len(set(names)) == len(names)
+
+    def test_seeds_unique(self):
+        seeds = [p.seed for p in TABLE1_SUITE]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_categories_cover_integer_and_float(self):
+        categories = {p.category for p in TABLE1_SUITE}
+        assert "I" in categories
+        assert categories & {"S", "D"}
+
+    def test_total_references_near_paper(self):
+        # ~2.5 billion references (instructions x (1 + loads + stores)).
+        total = sum(
+            p.instructions
+            * (1 + p.data.load_fraction + p.data.store_fraction)
+            for p in TABLE1_SUITE
+        )
+        assert 2.0e9 < total < 3.2e9
+
+    def test_suite_store_fraction_near_paper(self):
+        # Section 6: writes are a 0.0725 fraction of instructions.
+        weighted = sum(p.instructions * p.data.store_fraction
+                       for p in TABLE1_SUITE)
+        total = sum(p.instructions for p in TABLE1_SUITE)
+        assert weighted / total == pytest.approx(0.0725, abs=0.01)
+
+
+class TestDefaultSuite:
+    def test_unscaled_returns_full_counts(self):
+        suite = default_suite()
+        assert suite[0].instructions == TABLE1_SUITE[0].instructions
+
+    def test_scaled_sets_budget(self):
+        suite = default_suite(instructions_per_benchmark=1000)
+        assert all(p.instructions == 1000 for p in suite)
+
+    def test_scaled_traces_realize_budget(self):
+        suite = default_suite(instructions_per_benchmark=5000)
+        summary = summarize(SyntheticBenchmark(suite[0]))
+        assert summary.instructions == 5000
+
+
+class TestReplicateSuite:
+    def test_truncates_when_fewer_needed(self):
+        suite = replicate_suite(TABLE1_SUITE, 4)
+        assert len(suite) == 4
+        assert suite[0].name == TABLE1_SUITE[0].name
+
+    def test_extends_with_fresh_seeds(self):
+        suite = replicate_suite(TABLE1_SUITE, 16)
+        assert len(suite) == 16
+        seeds = [p.seed for p in suite]
+        assert len(set(seeds)) == 16
+        # Clones keep the statistical profile of their template.
+        assert suite[10].data == TABLE1_SUITE[0].data
+
+    def test_clone_names_distinct(self):
+        suite = replicate_suite(TABLE1_SUITE, 13)
+        names = [p.name for p in suite]
+        assert len(set(names)) == 13

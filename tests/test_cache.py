@@ -1,0 +1,132 @@
+"""Unit tests for the generic set-associative cache model."""
+
+import pytest
+
+from repro.core.cache import INVALID, Cache, simulate_miss_ratio
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_geometry(self):
+        cache = Cache(size_words=1024, line_words=4, ways=2)
+        assert cache.lines == 256
+        assert cache.sets == 128
+        assert cache.line_shift == 2
+
+    def test_rejects_non_powers(self):
+        with pytest.raises(ConfigurationError):
+            Cache(size_words=1000, line_words=4)
+        with pytest.raises(ConfigurationError):
+            Cache(size_words=1024, line_words=3)
+        with pytest.raises(ConfigurationError):
+            Cache(size_words=1024, line_words=4, ways=3)
+
+    def test_rejects_cache_smaller_than_a_set(self):
+        with pytest.raises(ConfigurationError):
+            Cache(size_words=4, line_words=4, ways=2)
+
+
+class TestDirectMapped:
+    def test_miss_then_hit(self):
+        cache = Cache(64, 4, ways=1)
+        hit, fill = cache.access(5)
+        assert not hit and not fill.evicted
+        hit, fill = cache.access(5)
+        assert hit
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_conflict_eviction(self):
+        cache = Cache(64, 4, ways=1)  # 16 lines
+        cache.access(3)
+        hit, fill = cache.access(3 + 16)  # same set
+        assert not hit
+        assert fill.victim_tag == 3
+        assert not cache.contains(3)
+
+    def test_dirty_victim_reported(self):
+        cache = Cache(64, 4, ways=1)
+        cache.access(3, write=True)
+        assert cache.is_dirty(3)
+        _, fill = cache.access(3 + 16)
+        assert fill.victim_dirty
+
+    def test_write_marks_dirty_on_hit(self):
+        cache = Cache(64, 4, ways=1)
+        cache.access(3)
+        assert not cache.is_dirty(3)
+        cache.access(3, write=True)
+        assert cache.is_dirty(3)
+
+    def test_invalidate(self):
+        cache = Cache(64, 4, ways=1)
+        cache.access(3)
+        assert cache.invalidate(3)
+        assert not cache.contains(3)
+        assert not cache.invalidate(3)
+
+    def test_flush_counts_dirty(self):
+        cache = Cache(64, 4, ways=1)
+        cache.access(1, write=True)
+        cache.access(2)
+        assert cache.flush() == 1
+        assert cache.valid_lines == 0
+
+
+class TestSetAssociative:
+    def test_two_way_holds_two_conflicting_lines(self):
+        cache = Cache(128, 4, ways=2)  # 16 sets
+        cache.access(1)
+        cache.access(1 + 16)
+        assert cache.contains(1)
+        assert cache.contains(1 + 16)
+
+    def test_lru_replacement(self):
+        cache = Cache(128, 4, ways=2)  # 16 sets
+        cache.access(1)
+        cache.access(1 + 16)
+        cache.access(1)            # line 1 is MRU
+        _, fill = cache.access(1 + 32)
+        assert fill.victim_tag == 1 + 16
+        assert cache.contains(1)
+
+    def test_dirty_travels_with_line(self):
+        cache = Cache(128, 4, ways=2)
+        cache.access(1, write=True)
+        cache.access(1 + 16)
+        cache.access(1 + 16)
+        _, fill = cache.access(1 + 32)   # evicts LRU = line 1 (dirty)
+        assert fill.victim_tag == 1
+        assert fill.victim_dirty
+
+    def test_invalidate_and_flush(self):
+        cache = Cache(128, 4, ways=2)
+        cache.access(1, write=True)
+        cache.access(17)
+        assert cache.invalidate(1)
+        assert cache.valid_lines == 1
+        assert cache.flush() == 0
+
+    def test_bigger_cache_never_misses_more(self):
+        import random
+        rng = random.Random(7)
+        addrs = [rng.randrange(4096) for _ in range(4000)]
+        small = Cache(256, 4, ways=2)
+        big = Cache(1024, 4, ways=2)
+        small_ratio = simulate_miss_ratio(small, addrs)
+        big_ratio = simulate_miss_ratio(big, addrs)
+        # LRU caches have the inclusion property: same ways, more sets is
+        # not guaranteed, but 4x capacity on this mix must not hurt.
+        assert big_ratio <= small_ratio + 1e-9
+
+
+class TestSimulateMissRatio:
+    def test_warmup_excluded(self):
+        cache = Cache(64, 4, ways=1)
+        addrs = [0, 0, 0, 0]
+        ratio = simulate_miss_ratio(cache, addrs, warmup=1)
+        assert ratio == 0.0
+
+    def test_all_misses(self):
+        cache = Cache(64, 4, ways=1)
+        addrs = [i * 4 for i in range(32)]  # 32 distinct lines, 16-line cache
+        assert simulate_miss_ratio(cache, addrs) == 1.0

@@ -1,0 +1,137 @@
+"""Unit tests for system configuration and presets."""
+
+import pytest
+
+from repro.core.config import (
+    BypassMode,
+    CacheConfig,
+    ConcurrencyConfig,
+    L2Config,
+    SystemConfig,
+    WriteBufferConfig,
+    WritePolicy,
+    base_architecture,
+    fetch8_architecture,
+    optimized_architecture,
+    split_l2_architecture,
+)
+from repro.errors import ConfigurationError
+from repro.params import PAGE_WORDS
+
+
+class TestCacheConfig:
+    def test_l1_capped_at_page_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_words=2 * PAGE_WORDS).validate()
+
+    def test_line_must_fit(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_words=4, line_words=8).validate()
+
+    def test_lines_property(self):
+        assert CacheConfig(size_words=4096, line_words=4).lines == 1024
+
+
+class TestSystemValidation:
+    def test_dirty_bit_requires_write_only(self):
+        config = base_architecture().with_(
+            concurrency=ConcurrencyConfig(bypass=BypassMode.DIRTY_BIT),
+        )
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_i_refill_requires_split_l2(self):
+        config = base_architecture().with_(
+            concurrency=ConcurrencyConfig(i_refill_during_wb_drain=True),
+        )
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_write_through_needs_one_word_buffer(self):
+        config = base_architecture().with_(
+            write_policy=WritePolicy.WRITE_ONLY,
+        )
+        with pytest.raises(ConfigurationError):
+            config.validate()  # still has the 4W-wide victim buffer
+
+    def test_write_back_buffer_must_hold_a_line(self):
+        config = base_architecture().with_(
+            write_buffer=WriteBufferConfig(depth=4, width_words=1),
+        )
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_l2_line_not_smaller_than_l1_line(self):
+        config = base_architecture().with_(
+            l2=L2Config(size_words=256 * 1024, line_words=4),
+            icache=CacheConfig(size_words=4096, line_words=8),
+            dcache=CacheConfig(size_words=4096, line_words=8),
+        )
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+
+class TestDerivedTiming:
+    def test_base_l1_miss_penalty_is_six_cycles(self):
+        # Section 2: 2 cycles communication + 4 cycles for the 4W transfer.
+        config = base_architecture()
+        assert config.l1i_refill_cycles() == 6
+        assert config.l1d_refill_cycles() == 6
+
+    def test_eight_word_fetch_adds_one_cycle(self):
+        config = fetch8_architecture()
+        assert config.l1d_refill_cycles() == 7
+        # L2-I is 2 cycles; 8W fetch adds one transfer beat.
+        assert config.l1i_refill_cycles() == 3
+
+    def test_wb_drain_cost(self):
+        assert base_architecture().wb_drain_cost() == 6
+
+
+class TestPresets:
+    def test_base_matches_section2(self):
+        config = base_architecture()
+        assert config.icache.size_words == 4096
+        assert config.dcache.line_words == 4
+        assert config.write_policy is WritePolicy.WRITE_BACK
+        assert config.write_buffer.depth == 4
+        assert config.write_buffer.width_words == 4
+        assert config.l2.size_words == 256 * 1024
+        assert config.l2.line_words == 32
+        assert not config.l2.split
+        assert config.l2.access_time == 6
+        assert config.l2.miss_penalty_clean == 143
+        assert config.l2.miss_penalty_dirty == 237
+
+    def test_split_preset_matches_section7(self):
+        config = split_l2_architecture()
+        assert config.write_policy is WritePolicy.WRITE_ONLY
+        assert config.write_buffer.depth == 8
+        assert config.write_buffer.width_words == 1
+        assert config.l2.split
+        assert config.l2.effective_i_size == 32 * 1024
+        assert config.l2.effective_d_size == 256 * 1024
+        assert config.l2.effective_i_access == 2
+        assert config.l2.effective_d_access == 6
+
+    def test_fetch8_preset_matches_section8(self):
+        config = fetch8_architecture()
+        assert config.icache.line_words == 8
+        assert config.dcache.line_words == 8
+
+    def test_optimized_preset_matches_fig11(self):
+        config = optimized_architecture()
+        assert config.concurrency.i_refill_during_wb_drain
+        assert config.concurrency.bypass is BypassMode.DIRTY_BIT
+        assert config.concurrency.l2_dirty_buffer
+
+    def test_presets_all_validate(self):
+        for preset in (base_architecture, split_l2_architecture,
+                       fetch8_architecture, optimized_architecture):
+            preset().validate()
+
+    def test_with_returns_modified_copy(self):
+        config = base_architecture()
+        changed = config.with_(name="x")
+        assert changed.name == "x"
+        assert config.name == "base"

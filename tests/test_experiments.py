@@ -1,0 +1,100 @@
+"""Tests of the experiment registry and tiny-scale experiment runs.
+
+These are shape tests: every experiment must run end-to-end at a very small
+scale, produce the right table structure, and report its findings keys.
+Quantitative checks against the paper run at larger scale (see
+EXPERIMENTS.md and the benchmark harness).
+"""
+
+import pytest
+
+from repro.experiments import REGISTRY, ExperimentScale, run_experiment
+
+TINY = ExperimentScale(instructions_per_benchmark=8_000, level=2,
+                       time_slice=4_000, warmup_fraction=0.25)
+
+ALL_IDS = ("table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+           "fig8", "fig9", "fig10", "fig11", "l1size")
+
+ABLATION_IDS = ("wbdepth", "wboverlap", "coloring", "tech",
+                "perbench", "scaling", "clockrate", "variance")
+
+
+def test_registry_is_complete():
+    from repro.experiments import runner  # noqa: F401 - populates REGISTRY
+
+    assert set(REGISTRY) == set(ALL_IDS) | set(ABLATION_IDS)
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(KeyError):
+        run_experiment("fig99", TINY)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {}
+
+
+@pytest.mark.parametrize("experiment_id", ALL_IDS + ABLATION_IDS)
+def test_experiment_runs_and_renders(experiment_id, results):
+    result = run_experiment(experiment_id, TINY)
+    results[experiment_id] = result
+    assert result.experiment_id == experiment_id
+    assert result.rows, "experiment produced no rows"
+    width = len(result.headers)
+    assert all(len(row) == width for row in result.rows)
+    text = result.render()
+    assert experiment_id in text
+    assert result.notes in text
+
+
+class TestExperimentStructure:
+    def test_fig2_sweeps_levels(self):
+        result = run_experiment("fig2", TINY)
+        assert [row[0] for row in result.rows] == [1, 2, 4, 8, 16]
+        assert "l2_miss_rise_percent" in result.findings
+
+    def test_fig5_has_four_policies(self):
+        result = run_experiment("fig5", TINY)
+        assert len(result.headers) == 5
+        assert "crossover_access_time" in result.findings
+
+    def test_fig6_covers_28_cells(self):
+        result = run_experiment("fig6", TINY)
+        assert len(result.rows) == 7          # sizes
+        assert len(result.headers) == 5       # size + 4 organizations
+        assert "Table 2" in result.extra_text
+
+    def test_fig7_fig8_have_access_time_family(self):
+        for experiment_id in ("fig7", "fig8"):
+            result = run_experiment(experiment_id, TINY)
+            assert len(result.headers) == 11  # size + A=1..10
+            # Curves must increase with access time at fixed size.
+            for row in result.rows:
+                values = row[1:]
+                assert values == sorted(values)
+
+    def test_fig9_reports_gain_findings(self):
+        result = run_experiment("fig9", TINY)
+        for key in ("split_memory_improvement_pct", "fetch8_cpi_gain",
+                    "swap_penalty_pct"):
+            assert key in result.findings
+
+    def test_fig10_reports_all_mechanisms(self):
+        result = run_experiment("fig10", TINY)
+        for key in ("i_refill_gain", "dwb_bypass_gain_dirty_bit",
+                    "dwb_bypass_gain_associative", "l2_dirty_buffer_gain"):
+            assert key in result.findings
+
+    def test_table1_matches_suite(self):
+        result = run_experiment("table1", TINY)
+        assert len(result.rows) == 10
+        assert 0.05 < result.findings["suite_store_fraction"] < 0.10
+
+    def test_l1size_monotone_in_size(self):
+        result = run_experiment("l1size", TINY)
+        direct = {row[0]: (row[2], row[3])
+                  for row in result.rows if row[1] == 1}
+        assert direct["16K"][0] <= direct["2K"][0]
+        assert direct["16K"][1] <= direct["2K"][1]

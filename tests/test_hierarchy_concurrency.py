@@ -1,0 +1,174 @@
+"""Tests of the Section 9 concurrency mechanisms and the TLB path."""
+
+import pytest
+
+from repro.core.config import (
+    BypassMode,
+    ConcurrencyConfig,
+    TLBConfig,
+    WritePolicy,
+)
+from repro.core.hierarchy import MemorySystem
+
+from conftest import instr, load, run_ops, store, tiny_config
+
+
+def write_only_system(**kwargs) -> MemorySystem:
+    return MemorySystem(tiny_config(WritePolicy.WRITE_ONLY, **kwargs))
+
+
+def warm(ms, *addrs):
+    run_ops(ms, [instr(0)])
+    run_ops(ms, [load(a) for a in addrs])
+
+
+class TestIRefillDuringDrain:
+    def test_ifetch_miss_skips_wb_wait_with_split_l2(self):
+        concurrency = ConcurrencyConfig(i_refill_during_wb_drain=True)
+        ms = write_only_system(l2_split=True, concurrency=concurrency)
+        warm(ms, 256)
+        run_ops(ms, [instr(1)])            # keep pc line hot
+        run_ops(ms, [store(256)])          # buffer draining for 6 cycles
+        # Instruction miss to a new line: pays refill + L2-I miss but no
+        # write-buffer wait.
+        before_wb = ms.stats.stall_wb
+        run_ops(ms, [instr(64)])
+        assert ms.stats.stall_wb == before_wb
+
+    def test_baseline_ifetch_miss_waits(self):
+        ms = write_only_system(l2_split=True)
+        warm(ms, 256)
+        run_ops(ms, [store(256)])
+        before_wb = ms.stats.stall_wb
+        run_ops(ms, [instr(64)])
+        assert ms.stats.stall_wb > before_wb
+
+
+class TestDirtyBitBypass:
+    def config(self):
+        return tiny_config(
+            WritePolicy.WRITE_ONLY,
+            concurrency=ConcurrencyConfig(bypass=BypassMode.DIRTY_BIT),
+        )
+
+    def test_clean_victim_does_not_wait(self):
+        ms = MemorySystem(self.config())
+        warm(ms, 256, 320)
+        run_ops(ms, [store(256)])          # buffer busy; line 256 dirty
+        before = ms.stats.stall_wb
+        # Miss whose victim (320's line) is clean: no wait.
+        run_ops(ms, [load(324 + 64)])      # victim at 324+64's set is clean
+        assert ms.stats.stall_wb == before
+
+    def test_dirty_victim_waits(self):
+        ms = MemorySystem(self.config())
+        warm(ms, 256)
+        run_ops(ms, [store(256)])          # line 256 dirty, buffer busy
+        before = ms.stats.stall_wb
+        run_ops(ms, [load(256 + 64)])      # evicts the dirty line
+        assert ms.stats.stall_wb > before
+
+    def test_epoch_clears_dirty_bits_when_buffer_empties(self):
+        ms = MemorySystem(self.config())
+        warm(ms, 256)
+        run_ops(ms, [store(256)])
+        # Let the buffer drain completely (hot instructions burn cycles).
+        run_ops(ms, [instr(0)] * 20)
+        before = ms.stats.stall_wb
+        # Victim is "dirty" by its bit, but an empty buffer flash-clears:
+        run_ops(ms, [load(256 + 64)])
+        assert ms.stats.stall_wb == before
+
+
+class TestAssociativeBypass:
+    def config(self):
+        return tiny_config(
+            WritePolicy.WRITE_ONLY,
+            concurrency=ConcurrencyConfig(bypass=BypassMode.ASSOCIATIVE),
+        )
+
+    def test_non_matching_miss_does_not_wait(self):
+        ms = MemorySystem(self.config())
+        warm(ms, 256, 320)
+        run_ops(ms, [store(256)])
+        before = ms.stats.stall_wb
+        run_ops(ms, [load(324 + 64)])      # no buffered write to that line
+        assert ms.stats.stall_wb == before
+
+    def test_matching_miss_waits_for_the_entry(self):
+        ms = MemorySystem(self.config())
+        warm(ms, 256)
+        run_ops(ms, [store(320)])          # write-only captures line 320
+        # A read of 320 misses (write-only) and matches the buffered write.
+        before = ms.stats.stall_wb
+        run_ops(ms, [load(320)])
+        assert ms.stats.stall_wb > before
+
+
+class TestDirtyBuffer:
+    def make(self, dirty_buffer: bool) -> MemorySystem:
+        concurrency = ConcurrencyConfig(l2_dirty_buffer=dirty_buffer)
+        return MemorySystem(tiny_config(WritePolicy.WRITE_ONLY,
+                                        concurrency=concurrency))
+
+    def dirty_l2_line_then_miss(self, ms) -> int:
+        """Dirty L2 line 8 via a drained store, then evict it; returns the
+        L2-D miss stall of the evicting load."""
+        warm(ms, 256)                      # L2 line 8 (words 256..287)
+        run_ops(ms, [store(256)])          # drain dirties L2 line 8
+        run_ops(ms, [instr(0)] * 20)       # let the buffer drain
+        before = ms.stats.stall_l2d_miss
+        run_ops(ms, [load(256 + 1024)])    # L2 line 40 -> set 8, dirty victim
+        return ms.stats.stall_l2d_miss - before
+
+    def test_without_buffer_pays_dirty_penalty(self):
+        assert self.dirty_l2_line_then_miss(self.make(False)) == 237
+
+    def test_with_buffer_pays_clean_penalty(self):
+        assert self.dirty_l2_line_then_miss(self.make(True)) == 143
+
+    def test_back_to_back_dirty_misses_contend(self):
+        ms = self.make(True)
+        warm(ms, 256, 2304)                # L2 lines 8 and 72 (set 8)
+        run_ops(ms, [store(256)])
+        run_ops(ms, [instr(0)] * 20)
+        before = ms.stats.stall_l2d_miss
+        run_ops(ms, [load(256 + 1024)])    # dirty miss #1: 143, buffer busy
+        first = ms.stats.stall_l2d_miss - before
+        assert first == 143
+        # Dirty the new resident line and miss again immediately.
+        run_ops(ms, [store(256 + 1024)])
+        before = ms.stats.stall_l2d_miss
+        run_ops(ms, [load(256 + 2048)])
+        second = ms.stats.stall_l2d_miss - before
+        assert second > 143                # waited for the busy dirty buffer
+
+
+class TestTlbPath:
+    def test_tlb_misses_charge_penalty(self):
+        config = tiny_config(WritePolicy.WRITE_BACK, tlb_enabled=True)
+        ms = MemorySystem(config)
+        run_ops(ms, [instr(0)])
+        assert ms.stats.itlb_misses == 1
+        assert ms.stats.stall_tlb == config.tlb.miss_penalty
+
+    def test_same_page_probes_once(self):
+        config = tiny_config(WritePolicy.WRITE_BACK, tlb_enabled=True)
+        ms = MemorySystem(config)
+        run_ops(ms, [instr(0), instr(1), instr(2)])
+        assert ms.stats.itlb_probes == 1
+
+    def test_data_page_crossing_probes_dtlb(self):
+        config = tiny_config(WritePolicy.WRITE_BACK, tlb_enabled=True)
+        ms = MemorySystem(config)
+        run_ops(ms, [load(0), load(4096), load(0)])
+        assert ms.stats.dtlb_probes == 3   # page changed every access
+        assert ms.stats.dtlb_misses == 2   # third access hits the TLB
+
+    def test_tlb_stall_excluded_from_memory_cpi(self):
+        config = tiny_config(WritePolicy.WRITE_BACK, tlb_enabled=True)
+        ms = MemorySystem(config)
+        run_ops(ms, [instr(0)])
+        assert ms.stats.stall_tlb > 0
+        assert ms.stats.memory_stall_cycles == (
+            ms.stats.stall_l1i_miss + ms.stats.stall_l2i_miss)

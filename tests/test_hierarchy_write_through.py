@@ -1,0 +1,164 @@
+"""Semantics of the three write-through policies (Section 6):
+write-miss-invalidate, the paper's write-only, and subblock placement.
+
+Same tiny configuration as the write-back tests: 64 W L1s with 4 W lines,
+1024 W unified L2 at 6 cycles, TLB off.
+"""
+
+import pytest
+
+from repro.core.config import WritePolicy
+from repro.core.hierarchy import MemorySystem
+
+from conftest import instr, load, run_ops, store, tiny_config
+
+
+def fresh(policy: WritePolicy) -> MemorySystem:
+    return MemorySystem(tiny_config(policy))
+
+
+def warm(ms: MemorySystem, *addrs: int) -> None:
+    """Fetch pc 0 and load the given addresses so later ops hit L2."""
+    run_ops(ms, [instr(0)])
+    run_ops(ms, [load(a) for a in addrs])
+
+
+class TestWriteMissInvalidate:
+    def test_write_hit_is_one_cycle(self):
+        ms = fresh(WritePolicy.WRITE_MISS_INVALIDATE)
+        warm(ms, 256)
+        assert run_ops(ms, [store(256)]) == 1
+        assert ms.stats.stall_l1_writes == 0
+
+    def test_write_hit_keeps_line_readable(self):
+        ms = fresh(WritePolicy.WRITE_MISS_INVALIDATE)
+        warm(ms, 256)
+        run_ops(ms, [store(256)])
+        assert run_ops(ms, [load(256)]) == 1
+
+    def test_write_miss_takes_two_cycles_and_invalidates(self):
+        ms = fresh(WritePolicy.WRITE_MISS_INVALIDATE)
+        warm(ms, 256)
+        # 256 + 64 shares the L1 set with 256: the parallel data write
+        # corrupts the resident line; the second cycle invalidates it.
+        assert run_ops(ms, [store(256 + 64)]) == 2
+        assert ms.stats.stall_l1_writes == 1
+        assert not ms.l1d_contains(256)
+        assert not ms.l1d_contains(256 + 64)
+
+    def test_all_stores_enter_the_write_buffer(self):
+        ms = fresh(WritePolicy.WRITE_MISS_INVALIDATE)
+        warm(ms, 256)
+        run_ops(ms, [store(256), store(256 + 64), store(257)])
+        assert ms.stats.l2_write_accesses == 3
+
+
+class TestWriteOnly:
+    def test_write_miss_captures_the_line(self):
+        ms = fresh(WritePolicy.WRITE_ONLY)
+        warm(ms, 256)
+        assert run_ops(ms, [store(320)]) == 2     # miss: tag update cycle
+        # Subsequent writes to the captured line hit in one cycle.
+        assert run_ops(ms, [store(321)]) == 1
+        assert run_ops(ms, [store(322)]) == 1
+        assert ms.stats.l1d_write_misses == 1
+
+    def test_reads_of_write_only_line_miss_and_reallocate(self):
+        ms = fresh(WritePolicy.WRITE_ONLY)
+        warm(ms, 256)                              # L2 line 8 present
+        run_ops(ms, [store(260)])                  # capture line write-only
+        state = ms.l1d_line_state(260)
+        assert state["present"] and state["write_only"]
+        before = ms.stats.l1d_write_only_read_misses
+        cycles = run_ops(ms, [load(260)])          # must miss and refetch
+        assert cycles > 1
+        assert ms.stats.l1d_write_only_read_misses == before + 1
+        # After reallocation the line is a normal valid line.
+        assert run_ops(ms, [load(260)]) == 1
+        assert not ms.l1d_line_state(260)["write_only"]
+
+    def test_write_hit_on_normal_line_stays_readable(self):
+        ms = fresh(WritePolicy.WRITE_ONLY)
+        warm(ms, 256)
+        assert run_ops(ms, [store(256)]) == 1
+        assert run_ops(ms, [load(256)]) == 1       # still a read hit
+
+    def test_write_only_line_marked_dirty(self):
+        ms = fresh(WritePolicy.WRITE_ONLY)
+        warm(ms, 256)
+        run_ops(ms, [store(320)])
+        assert ms.l1d_line_state(320)["dirty"]
+
+
+class TestSubblock:
+    def drain(self, ms):
+        """Burn hot-fetch cycles so the write buffer empties."""
+        run_ops(ms, [instr(0)] * 10)
+
+    def test_word_write_miss_validates_only_that_word(self):
+        ms = fresh(WritePolicy.SUBBLOCK)
+        warm(ms, 256)                              # L2 line 8 present
+        assert run_ops(ms, [store(260)]) == 2      # tag update cycle
+        # The written word reads back as a hit...
+        assert run_ops(ms, [load(260)]) == 1
+        # ...but its neighbours in the same line are invalid.
+        self.drain(ms)
+        assert run_ops(ms, [load(261)]) == 1 + 6
+        # The refill validates the whole line.
+        assert run_ops(ms, [load(262)]) == 1
+
+    def test_partial_write_miss_validates_nothing(self):
+        ms = fresh(WritePolicy.SUBBLOCK)
+        warm(ms, 256)
+        assert run_ops(ms, [store(260, partial=True)]) == 2
+        self.drain(ms)
+        assert run_ops(ms, [load(260)]) == 1 + 6   # word not valid
+
+    def test_partial_write_hit_does_not_extend_validity(self):
+        ms = fresh(WritePolicy.SUBBLOCK)
+        warm(ms, 256)
+        run_ops(ms, [store(260)])                  # word 260 valid
+        run_ops(ms, [store(261, partial=True)])    # hit, no valid-bit update
+        self.drain(ms)
+        assert run_ops(ms, [load(261)]) == 1 + 6
+
+    def test_word_write_hits_extend_validity(self):
+        ms = fresh(WritePolicy.SUBBLOCK)
+        warm(ms, 256)
+        run_ops(ms, [store(260), store(261), store(262), store(263)])
+        assert ms.stats.l1d_write_misses == 1      # only the first missed
+        for word in (260, 261, 262, 263):
+            assert run_ops(ms, [load(word)]) == 1
+
+    def test_fully_loaded_line_behaves_normally(self):
+        ms = fresh(WritePolicy.SUBBLOCK)
+        warm(ms, 256)
+        assert run_ops(ms, [store(256)]) == 1      # write hit on valid line
+        assert run_ops(ms, [load(257)]) == 1
+
+
+class TestWriteBufferConsistency:
+    @pytest.mark.parametrize("policy", [
+        WritePolicy.WRITE_MISS_INVALIDATE,
+        WritePolicy.WRITE_ONLY,
+        WritePolicy.SUBBLOCK,
+    ])
+    def test_read_miss_waits_for_buffer(self, policy):
+        ms = fresh(policy)
+        warm(ms, 256, 260)          # L1 sets 0 and 1; L2 line 8 resident
+        cycles = run_ops(ms, [store(256)])
+        assert cycles == 1          # write hit; drain completes +6
+        # Immediate read miss elsewhere must wait for the buffer to empty:
+        # 1 base + 5 remaining drain + 6 refill (L2 line 8 still resident).
+        cycles = run_ops(ms, [load(264)])
+        assert cycles == 1 + 5 + 6
+        assert ms.stats.stall_wb == 5
+
+    def test_buffer_full_stalls_the_store(self):
+        ms = fresh(WritePolicy.WRITE_ONLY)
+        warm(ms, 256)
+        # Fill the 8-deep buffer with stores faster than it drains.
+        ops = [store(256 + i) for i in range(12)]
+        run_ops(ms, ops)
+        assert ms.wb.full_stall_cycles > 0
+        assert ms.stats.stall_wb > 0

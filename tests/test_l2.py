@@ -1,0 +1,89 @@
+"""Unit tests for the secondary cache model."""
+
+import pytest
+
+from repro.core.config import L2Config
+from repro.core.l2 import SecondaryCache
+from repro.errors import ConfigurationError
+
+
+class TestUnified:
+    def test_instruction_and_data_share_the_array(self):
+        l2 = SecondaryCache(L2Config(size_words=1024, line_words=32,
+                                     split=False))
+        l2.access_instruction(5)
+        hit, _ = l2.access_data_read(5)
+        assert hit
+
+    def test_write_allocates_and_dirties(self):
+        l2 = SecondaryCache(L2Config(size_words=1024, line_words=32))
+        hit, _ = l2.access_data_write(9)
+        assert not hit
+        assert l2.data_half.is_dirty(9)
+
+    def test_dirty_victim_on_conflict(self):
+        l2 = SecondaryCache(L2Config(size_words=1024, line_words=32))
+        # 32 lines; line addresses 1 and 33 conflict.
+        l2.access_data_write(1)
+        hit, victim_dirty = l2.access_data_read(1 + 32)
+        assert not hit
+        assert victim_dirty
+
+
+class TestSplit:
+    def test_halves_are_independent(self):
+        l2 = SecondaryCache(L2Config(size_words=2048, line_words=32,
+                                     split=True))
+        l2.access_instruction(5)
+        hit, _ = l2.access_data_read(5)
+        assert not hit  # the data half never saw line 5
+
+    def test_default_split_halves_capacity(self):
+        l2 = SecondaryCache(L2Config(size_words=2048, line_words=32,
+                                     split=True))
+        assert l2.instruction_half.size_words == 1024
+        assert l2.data_half.size_words == 1024
+
+    def test_physical_split_sizes(self):
+        config = L2Config(size_words=2048, line_words=32, split=True,
+                          i_size_words=512, d_size_words=4096,
+                          i_access_time=2)
+        l2 = SecondaryCache(config)
+        assert l2.instruction_half.size_words == 512
+        assert l2.data_half.size_words == 4096
+        assert config.effective_i_access == 2
+        assert config.effective_d_access == 6
+
+    def test_split_instruction_half_never_dirty(self):
+        l2 = SecondaryCache(L2Config(size_words=2048, line_words=32,
+                                     split=True))
+        l2.access_instruction(1)
+        _, victim_dirty = l2.access_instruction(1 + 16)
+        assert not victim_dirty
+
+    def test_flush(self):
+        l2 = SecondaryCache(L2Config(size_words=2048, line_words=32,
+                                     split=True))
+        l2.access_instruction(1)
+        l2.access_data_write(2)
+        assert l2.flush() == 1  # one dirty line dropped
+        assert not l2.contains(1, instruction=True)
+
+
+class TestConfigValidation:
+    def test_overrides_require_split(self):
+        with pytest.raises(ConfigurationError):
+            L2Config(size_words=1024, line_words=32, split=False,
+                     i_size_words=512).validate()
+
+    def test_dirty_penalty_floor(self):
+        with pytest.raises(ConfigurationError):
+            L2Config(miss_penalty_clean=100,
+                     miss_penalty_dirty=50).validate()
+
+    def test_contains_routes_by_side(self):
+        l2 = SecondaryCache(L2Config(size_words=2048, line_words=32,
+                                     split=True))
+        l2.access_data_read(3)
+        assert l2.contains(3)
+        assert not l2.contains(3, instruction=True)

@@ -1,0 +1,49 @@
+"""Unit tests for repro.params."""
+
+import pytest
+
+from repro import params
+
+
+class TestPowerOfTwo:
+    def test_powers_are_recognized(self):
+        for exponent in range(20):
+            assert params.is_power_of_two(1 << exponent)
+
+    def test_non_powers_are_rejected(self):
+        for value in (0, -1, -4, 3, 6, 12, 1023):
+            assert not params.is_power_of_two(value)
+
+    def test_log2i_roundtrips(self):
+        for exponent in range(24):
+            assert params.log2i(1 << exponent) == exponent
+
+    def test_log2i_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            params.log2i(12)
+        with pytest.raises(ValueError):
+            params.log2i(0)
+
+
+class TestPageArithmetic:
+    def test_page_number_and_offset_partition_the_address(self):
+        addr = 5 * params.PAGE_WORDS + 123
+        assert params.page_number(addr) == 5
+        assert params.page_offset(addr) == 123
+
+    def test_page_size_matches_l1_constraint(self):
+        # The paper's L1 caches are capped at one page: 4KW = 16KB.
+        assert params.PAGE_WORDS == 4096
+        assert params.PAGE_WORDS * params.WORD_BYTES == 16 * 1024
+
+
+class TestRendering:
+    def test_words_to_kw(self):
+        assert params.words_to_kw(4096) == "4KW"
+        assert params.words_to_kw(256 * 1024) == "256KW"
+        assert params.words_to_kw(100) == "100W"
+
+
+def test_cpu_stall_matches_fig4_axis():
+    # Fig. 4's horizontal axis sits at 1.238 CPI.
+    assert 1.0 + params.CPU_STALL_CPI == pytest.approx(1.238)

@@ -1,0 +1,192 @@
+"""Unit tests for processes and the round-robin scheduler."""
+
+import pytest
+
+from repro.core.config import WritePolicy
+from repro.core.hierarchy import MemorySystem
+from repro.errors import SchedulingError
+from repro.mmu.page_table import PageTable
+from repro.sched.process import PreparedBatch, Process
+from repro.sched.scheduler import Scheduler
+from repro.trace.stream import BatchSource
+
+from conftest import make_batch, tiny_config
+
+
+def make_process(pid: int, batches, table=None) -> Process:
+    return Process(pid=pid, name=f"p{pid}", source=BatchSource(batches),
+                   page_table=table or PageTable())
+
+
+class TestPreparedBatch:
+    def test_translation_preserves_offsets(self):
+        table = PageTable()
+        batch = make_batch(pcs=[5, 4096 + 7], kinds=[1, 2], addrs=[9, 11])
+        prepared = PreparedBatch.from_batch(batch, pid=3, page_table=table)
+        assert prepared.pcs[0] % 4096 == 5
+        assert prepared.pcs[1] % 4096 == 7
+        assert prepared.addrs[0] % 4096 == 9
+        assert len(prepared) == 2
+
+    def test_lists_not_numpy(self):
+        table = PageTable()
+        prepared = PreparedBatch.from_batch(make_batch(pcs=[1]), 1, table)
+        assert isinstance(prepared.pcs, list)
+        assert isinstance(prepared.pcs[0], int)
+
+
+class TestProcess:
+    def test_current_and_advance(self):
+        process = make_process(1, [make_batch(pcs=[1, 2, 3])])
+        batch, pos = process.current()
+        assert pos == 0 and len(batch) == 3
+        process.advance(2)
+        batch2, pos2 = process.current()
+        assert batch2 is batch and pos2 == 2
+        process.advance(1)
+        assert process.current() == (None, 0)
+        assert process.finished
+        assert process.instructions_executed == 3
+
+    def test_pulls_next_batch(self):
+        process = make_process(1, [make_batch(pcs=[1]), make_batch(pcs=[2])])
+        batch, _ = process.current()
+        process.advance(1)
+        batch2, pos = process.current()
+        assert pos == 0 and batch2 is not batch
+
+    def test_negative_advance_rejected(self):
+        process = make_process(1, [make_batch(pcs=[1])])
+        with pytest.raises(SchedulingError):
+            process.advance(-1)
+
+    def test_bad_pid_rejected(self):
+        with pytest.raises(SchedulingError):
+            make_process(9999, [])
+
+
+class TestScheduler:
+    def make_scheduler(self, n_procs=2, instr_per_proc=50, level=None,
+                       time_slice=20, syscalls=None):
+        table = PageTable()
+        memsys = MemorySystem(tiny_config(WritePolicy.WRITE_BACK))
+        processes = []
+        for pid in range(1, n_procs + 1):
+            flags = [False] * instr_per_proc
+            if syscalls:
+                for index in syscalls:
+                    flags[index] = True
+            batch = make_batch(pcs=list(range(instr_per_proc)),
+                               syscall=flags)
+            processes.append(Process(pid=pid, name=f"p{pid}",
+                                     source=BatchSource([batch]),
+                                     page_table=table))
+        return Scheduler(memsys, processes, time_slice=time_slice,
+                         level=level), processes
+
+    def test_runs_everything_to_completion(self):
+        scheduler, processes = self.make_scheduler()
+        stats = scheduler.run()
+        assert scheduler.done
+        assert stats.instructions == 100
+        assert all(p.finished for p in processes)
+
+    def test_round_robin_rotates(self):
+        scheduler, processes = self.make_scheduler(time_slice=5)
+        first = scheduler.ready_processes[0]
+        scheduler.run_one_slice()
+        assert scheduler.ready_processes[0] is not first
+        assert scheduler.context_switches == 1
+
+    def test_lone_process_never_context_switches(self):
+        scheduler, _ = self.make_scheduler(n_procs=1, time_slice=5)
+        scheduler.run()
+        assert scheduler.context_switches == 0
+
+    def test_syscall_forces_switch(self):
+        scheduler, processes = self.make_scheduler(
+            time_slice=10**9, syscalls=[4])
+        reason = scheduler.run_one_slice()
+        assert reason == "syscall"
+        # Stopped after the syscall instruction, well short of the slice.
+        assert processes[0].instructions_executed == 5
+
+    def test_admission_respects_level(self):
+        scheduler, processes = self.make_scheduler(n_procs=4, level=2)
+        assert len(scheduler.ready_processes) == 2
+        scheduler.run()
+        assert all(p.finished for p in processes)
+
+    def test_max_instructions_budget(self):
+        scheduler, _ = self.make_scheduler(instr_per_proc=1000,
+                                           time_slice=50)
+        scheduler.run(max_instructions=100)
+        assert 100 <= scheduler.instructions_run < 200
+
+    def test_warmup_clears_stats_once(self):
+        scheduler, _ = self.make_scheduler(instr_per_proc=200,
+                                           time_slice=50)
+        stats = scheduler.run(warmup_instructions=100)
+        assert stats.instructions < 400
+        assert stats.instructions >= 200  # post-warmup portion only
+
+    def test_empty_process_list_rejected(self):
+        memsys = MemorySystem(tiny_config(WritePolicy.WRITE_BACK))
+        with pytest.raises(SchedulingError):
+            Scheduler(memsys, [], time_slice=10)
+
+    def test_bad_time_slice_rejected(self):
+        scheduler, _ = self.make_scheduler()
+        memsys = MemorySystem(tiny_config(WritePolicy.WRITE_BACK))
+        with pytest.raises(SchedulingError):
+            Scheduler(memsys, scheduler.ready_processes, time_slice=0)
+
+    def test_run_one_slice_when_done_raises(self):
+        scheduler, _ = self.make_scheduler()
+        scheduler.run()
+        with pytest.raises(SchedulingError):
+            scheduler.run_one_slice()
+
+
+class TestPerProcessTracking:
+    def make_tracking_scheduler(self, instr_per_proc=60, time_slice=25):
+        table = PageTable()
+        memsys = MemorySystem(tiny_config(WritePolicy.WRITE_BACK))
+        processes = []
+        for pid in (1, 2):
+            batch = make_batch(pcs=list(range(pid * 1000,
+                                              pid * 1000 + instr_per_proc)))
+            processes.append(Process(pid=pid, name=f"p{pid}",
+                                     source=BatchSource([batch]),
+                                     page_table=table))
+        return Scheduler(memsys, processes, time_slice=time_slice,
+                         track_per_process=True)
+
+    def test_attribution_covers_everything(self):
+        scheduler = self.make_tracking_scheduler()
+        total = scheduler.run()
+        attributed = sum(s.instructions
+                         for s in scheduler.process_stats.values())
+        assert attributed == total.instructions == 120
+
+    def test_per_process_stall_attribution(self):
+        scheduler = self.make_tracking_scheduler()
+        scheduler.run()
+        for stats in scheduler.process_stats.values():
+            assert stats.instructions == 60
+            assert stats.l1i_misses > 0
+            assert stats.memory_stall_cycles >= 0
+
+    def test_warmup_resets_per_process_stats(self):
+        scheduler = self.make_tracking_scheduler(instr_per_proc=100,
+                                                 time_slice=25)
+        total = scheduler.run(warmup_instructions=100)
+        attributed = sum(s.instructions
+                         for s in scheduler.process_stats.values())
+        assert attributed == total.instructions < 200
+
+    def test_tracking_off_by_default(self):
+        scheduler, _ = TestScheduler().make_scheduler()
+        scheduler.run()
+        assert all(s.instructions == 0
+                   for s in scheduler.process_stats.values())

@@ -1,0 +1,72 @@
+"""Unit tests for multi-seed repetition and metric summaries."""
+
+import pytest
+
+from repro.analysis.repeat import (
+    MetricSummary,
+    repeat_simulation,
+    reseed_profiles,
+)
+from repro.core.config import base_architecture
+from repro.trace.benchmarks import default_suite
+
+
+class TestMetricSummary:
+    def test_mean_std_range(self):
+        summary = MetricSummary(name="x", samples=(1.0, 2.0, 3.0))
+        assert summary.mean == 2.0
+        assert summary.std == pytest.approx(1.0)
+        assert summary.low == 1.0 and summary.high == 3.0
+        assert summary.relative_std == pytest.approx(0.5)
+
+    def test_single_sample_has_zero_std(self):
+        summary = MetricSummary(name="x", samples=(5.0,))
+        assert summary.std == 0.0
+
+    def test_zero_mean_safe(self):
+        summary = MetricSummary(name="x", samples=(0.0, 0.0))
+        assert summary.relative_std == 0.0
+
+
+class TestReseed:
+    def test_seeds_shift_deterministically(self):
+        suite = default_suite(instructions_per_benchmark=1000)[:2]
+        shifted = reseed_profiles(suite, 1)
+        assert all(a.seed != b.seed for a, b in zip(suite, shifted))
+        again = reseed_profiles(suite, 1)
+        assert [p.seed for p in shifted] == [p.seed for p in again]
+
+    def test_offset_zero_is_identity(self):
+        suite = default_suite(instructions_per_benchmark=1000)[:2]
+        assert [p.seed for p in reseed_profiles(suite, 0)] == \
+            [p.seed for p in suite]
+
+
+class TestRepeatSimulation:
+    def test_summaries_cover_default_metrics(self):
+        suite = default_suite(instructions_per_benchmark=3000)[:2]
+        summaries = repeat_simulation(base_architecture(), suite, seeds=2,
+                                      time_slice=3000)
+        assert set(summaries) == {"cpi", "memory_cpi", "l1i_miss_ratio",
+                                  "l1d_miss_ratio", "l2_miss_ratio"}
+        assert all(len(s.samples) == 2 for s in summaries.values())
+        assert summaries["cpi"].mean > 1.238
+
+    def test_seeds_produce_different_samples(self):
+        suite = default_suite(instructions_per_benchmark=3000)[:2]
+        summaries = repeat_simulation(base_architecture(), suite, seeds=2,
+                                      time_slice=3000)
+        cpi = summaries["cpi"].samples
+        assert cpi[0] != cpi[1]
+
+    def test_custom_metric(self):
+        suite = default_suite(instructions_per_benchmark=2000)[:1]
+        summaries = repeat_simulation(
+            base_architecture(), suite, seeds=1, time_slice=2000,
+            metrics={"stores": lambda s: float(s.stores)})
+        assert set(summaries) == {"stores"}
+        assert summaries["stores"].mean > 0
+
+    def test_invalid_seed_count(self):
+        with pytest.raises(ValueError):
+            repeat_simulation(base_architecture(), [], seeds=0)

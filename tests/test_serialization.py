@@ -1,0 +1,74 @@
+"""Unit tests for configuration serialization."""
+
+import pytest
+
+from repro.core.config import (
+    BypassMode,
+    WritePolicy,
+    base_architecture,
+    fetch8_architecture,
+    optimized_architecture,
+    split_l2_architecture,
+)
+from repro.core.serialization import (
+    config_from_dict,
+    config_from_json,
+    config_to_dict,
+    config_to_json,
+)
+from repro.errors import ConfigurationError
+
+PRESETS = [base_architecture, split_l2_architecture, fetch8_architecture,
+           optimized_architecture]
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("preset", PRESETS,
+                             ids=[p.__name__ for p in PRESETS])
+    def test_every_preset_roundtrips(self, preset):
+        config = preset()
+        restored = config_from_dict(config_to_dict(config))
+        assert restored == config
+
+    def test_json_roundtrip(self):
+        config = optimized_architecture()
+        restored = config_from_json(config_to_json(config))
+        assert restored == config
+        assert restored.concurrency.bypass is BypassMode.DIRTY_BIT
+        assert restored.write_policy is WritePolicy.WRITE_ONLY
+
+    def test_enums_serialize_as_strings(self):
+        data = config_to_dict(optimized_architecture())
+        assert data["write_policy"] == "write-only"
+        assert data["concurrency"]["bypass"] == "dirty-bit"
+
+
+class TestErrors:
+    def test_unknown_top_level_key(self):
+        data = config_to_dict(base_architecture())
+        data["bogus"] = 1
+        with pytest.raises(ConfigurationError, match="bogus"):
+            config_from_dict(data)
+
+    def test_unknown_section_key(self):
+        data = config_to_dict(base_architecture())
+        data["l2"]["typo_field"] = 1
+        with pytest.raises(ConfigurationError, match="typo_field"):
+            config_from_dict(data)
+
+    def test_invalid_configuration_rejected(self):
+        data = config_to_dict(base_architecture())
+        data["l2"]["size_words"] = 1000  # not a power of two
+        with pytest.raises(ConfigurationError):
+            config_from_dict(data)
+
+    def test_invalid_json(self):
+        with pytest.raises(ConfigurationError, match="invalid JSON"):
+            config_from_json("{not json")
+        with pytest.raises(ConfigurationError, match="object"):
+            config_from_json("[1, 2]")
+
+    def test_partial_dict_uses_defaults(self):
+        config = config_from_dict({"name": "partial"})
+        assert config.name == "partial"
+        assert config.l2.size_words == 256 * 1024

@@ -1,0 +1,103 @@
+"""Integration tests: full simulations over synthetic workloads."""
+
+import pytest
+
+from repro import (
+    WritePolicy,
+    base_architecture,
+    default_suite,
+    optimized_architecture,
+    simulate,
+    split_l2_architecture,
+)
+from repro.core.simulator import Simulation
+
+SMALL = 20_000
+
+
+@pytest.fixture(scope="module")
+def base_stats():
+    suite = default_suite(instructions_per_benchmark=SMALL)[:4]
+    return simulate(base_architecture(), suite, level=4, time_slice=10_000)
+
+
+class TestEndToEnd:
+    def test_all_instructions_executed(self, base_stats):
+        assert base_stats.instructions == 4 * SMALL
+
+    def test_cpi_in_plausible_band(self, base_stats):
+        # This is the degenerate cold regime (tiny traces, short slices):
+        # the band only guards against gross accounting errors.  The
+        # paper-scale bands are asserted by the benchmark harness.
+        assert 1.3 < base_stats.cpi() < 4.5
+
+    def test_miss_ratios_in_plausible_bands(self, base_stats):
+        assert 0.0 < base_stats.l1i_miss_ratio < 0.15
+        assert 0.0 < base_stats.l1d_miss_ratio < 0.55
+        assert 0.0 < base_stats.l2_miss_ratio < 0.6
+
+    def test_loads_and_stores_counted(self, base_stats):
+        assert base_stats.loads > 0.15 * base_stats.instructions
+        assert base_stats.stores > 0.03 * base_stats.instructions
+
+    def test_stall_components_all_populated(self, base_stats):
+        components = base_stats.stall_components()
+        for key in ("l1i_miss", "l1d_miss", "l1_writes"):
+            assert components[key] > 0, key
+
+    def test_determinism(self):
+        suite = default_suite(instructions_per_benchmark=5000)[:2]
+        a = simulate(base_architecture(), suite, level=2, time_slice=5000)
+        b = simulate(base_architecture(), suite, level=2, time_slice=5000)
+        assert a.cycles == b.cycles
+        assert a.l1d_read_misses == b.l1d_read_misses
+        assert a.l2_misses == b.l2_misses
+
+
+class TestArchitectureOrdering:
+    """The paper's qualitative ordering should hold even at tiny scale."""
+
+    def test_optimized_beats_base(self):
+        suite = default_suite(instructions_per_benchmark=SMALL)[:4]
+        base = simulate(base_architecture(), suite, level=4,
+                        time_slice=10_000)
+        optimized = simulate(optimized_architecture(), suite, level=4,
+                             time_slice=10_000)
+        assert optimized.cpi() < base.cpi()
+
+    def test_split_l2_beats_base(self):
+        suite = default_suite(instructions_per_benchmark=SMALL)[:4]
+        base = simulate(base_architecture(), suite, level=4,
+                        time_slice=10_000)
+        split = simulate(split_l2_architecture(), suite, level=4,
+                         time_slice=10_000)
+        assert split.cpi() < base.cpi()
+
+    def test_write_policies_all_run(self):
+        from repro.core.config import base_write_buffer, write_through_buffer
+
+        suite = default_suite(instructions_per_benchmark=5000)[:2]
+        for policy in WritePolicy:
+            buffer = (base_write_buffer()
+                      if policy is WritePolicy.WRITE_BACK
+                      else write_through_buffer())
+            config = base_architecture().with_(write_policy=policy,
+                                               write_buffer=buffer)
+            stats = simulate(config, suite, level=2, time_slice=5000)
+            assert stats.instructions == 2 * 5000
+
+
+class TestSimulationObject:
+    def test_run_with_budget(self):
+        suite = default_suite(instructions_per_benchmark=50_000)[:2]
+        sim = Simulation(config=base_architecture(), profiles=suite,
+                         time_slice=5000)
+        stats = sim.run(max_instructions=10_000)
+        assert 10_000 <= stats.instructions < 30_000
+
+    def test_warmup_reduces_reported_instructions(self):
+        suite = default_suite(instructions_per_benchmark=10_000)[:2]
+        sim = Simulation(config=base_architecture(), profiles=suite,
+                         time_slice=5000, warmup_instructions=10_000)
+        stats = sim.run()
+        assert stats.instructions <= 10_000

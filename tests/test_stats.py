@@ -1,0 +1,87 @@
+"""Unit tests for statistics and CPI accounting."""
+
+import pytest
+
+from repro.core.stats import FIG4_COMPONENTS, SimStats
+
+
+def sample_stats() -> SimStats:
+    stats = SimStats()
+    stats.instructions = 1000
+    stats.loads = 250
+    stats.stores = 70
+    stats.l1i_misses = 20
+    stats.l1d_read_misses = 10
+    stats.l1d_write_misses = 2
+    stats.l2i_accesses = 20
+    stats.l2i_misses = 2
+    stats.l2d_accesses = 12
+    stats.l2d_misses = 1
+    stats.stall_l1i_miss = 120
+    stats.stall_l1d_miss = 60
+    stats.stall_l1_writes = 68
+    stats.stall_wb = 30
+    stats.stall_l2i_miss = 286
+    stats.stall_l2d_miss = 143
+    stats.stall_tlb = 40
+    return stats
+
+
+class TestRatios:
+    def test_miss_ratios(self):
+        stats = sample_stats()
+        assert stats.l1i_miss_ratio == pytest.approx(0.02)
+        assert stats.l1d_miss_ratio == pytest.approx(10 / 250)
+        assert stats.l1d_write_miss_ratio == pytest.approx(2 / 70)
+        assert stats.l2_miss_ratio == pytest.approx(3 / 32)
+        assert stats.l2i_miss_ratio == pytest.approx(0.1)
+        assert stats.l2d_miss_ratio == pytest.approx(1 / 12)
+
+    def test_zero_division_safe(self):
+        stats = SimStats()
+        assert stats.l1i_miss_ratio == 0.0
+        assert stats.l2_miss_ratio == 0.0
+        assert stats.cpi() == pytest.approx(1.238)
+
+
+class TestCpi:
+    def test_memory_cpi_sums_fig4_components(self):
+        stats = sample_stats()
+        assert stats.memory_stall_cycles == 120 + 60 + 68 + 30 + 286 + 143
+        assert stats.memory_cpi == pytest.approx(0.707)
+
+    def test_cpi_excludes_tlb_by_default(self):
+        stats = sample_stats()
+        assert stats.cpi() == pytest.approx(1.238 + 0.707)
+        assert stats.cpi(include_tlb=True) == pytest.approx(
+            1.238 + 0.707 + 0.04)
+
+    def test_breakdown_keys(self):
+        breakdown = sample_stats().breakdown()
+        assert set(breakdown) == {"base", *FIG4_COMPONENTS}
+        assert breakdown["base"] == pytest.approx(1.238)
+        assert sum(breakdown.values()) == pytest.approx(
+            sample_stats().cpi())
+
+    def test_write_loss_fraction(self):
+        stats = sample_stats()
+        expected = (68 + 30) / stats.memory_stall_cycles
+        assert stats.write_loss_fraction() == pytest.approx(expected)
+
+    def test_write_loss_fraction_empty(self):
+        assert SimStats().write_loss_fraction() == 0.0
+
+
+class TestAlgebra:
+    def test_add_accumulates_every_field(self):
+        a = sample_stats()
+        b = sample_stats()
+        a.add(b)
+        assert a.instructions == 2000
+        assert a.stall_l2d_miss == 286
+
+    def test_copy_is_independent(self):
+        a = sample_stats()
+        c = a.copy()
+        c.instructions += 1
+        assert a.instructions == 1000

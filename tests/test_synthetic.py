@@ -1,0 +1,175 @@
+"""Unit tests for the synthetic trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.trace.record import KIND_LOAD, KIND_STORE
+from repro.trace.synthetic import (
+    CODE_BASE,
+    COLD_BASE,
+    HOT_BASE,
+    STREAM_BASE,
+    WARM_BASE,
+    BenchmarkProfile,
+    CodeProfile,
+    DataProfile,
+    SyntheticBenchmark,
+)
+
+
+def small_profile(**data_overrides) -> BenchmarkProfile:
+    data = DataProfile(**data_overrides) if data_overrides else DataProfile()
+    return BenchmarkProfile(
+        name="test", category="I", instructions=30_000, syscalls=5,
+        code=CodeProfile(), data=data, seed=42,
+    )
+
+
+class TestGeneration:
+    def test_emits_exactly_the_instruction_budget(self):
+        bench = SyntheticBenchmark(small_profile(), batch_size=7_000)
+        total = 0
+        while True:
+            batch = bench.next_batch()
+            if batch is None:
+                break
+            total += len(batch)
+        assert total == 30_000
+        assert bench.done
+
+    def test_batches_validate(self):
+        bench = SyntheticBenchmark(small_profile())
+        batch = bench.next_batch()
+        batch.validate()
+
+    def test_max_len_respected(self):
+        bench = SyntheticBenchmark(small_profile())
+        batch = bench.next_batch(max_len=100)
+        assert len(batch) == 100
+
+    def test_deterministic_per_seed(self):
+        a = SyntheticBenchmark(small_profile())
+        b = SyntheticBenchmark(small_profile())
+        batch_a = a.next_batch()
+        batch_b = b.next_batch()
+        assert np.array_equal(batch_a.pc, batch_b.pc)
+        assert np.array_equal(batch_a.addr, batch_b.addr)
+        assert np.array_equal(batch_a.kind, batch_b.kind)
+
+    def test_reset_reproduces_the_trace(self):
+        bench = SyntheticBenchmark(small_profile())
+        first = bench.next_batch()
+        bench.reset()
+        again = bench.next_batch()
+        assert np.array_equal(first.pc, again.pc)
+        assert np.array_equal(first.addr, again.addr)
+
+    def test_different_seeds_differ(self):
+        profile_b = BenchmarkProfile(
+            name="other", category="I", instructions=30_000, syscalls=5,
+            code=CodeProfile(), data=DataProfile(), seed=43,
+        )
+        a = SyntheticBenchmark(small_profile()).next_batch()
+        b = SyntheticBenchmark(profile_b).next_batch()
+        assert not np.array_equal(a.addr, b.addr)
+
+
+class TestStatisticalTargets:
+    def test_load_store_fractions_near_profile(self):
+        profile = small_profile()
+        bench = SyntheticBenchmark(profile)
+        batch = bench.next_batch(max_len=30_000)
+        loads = batch.load_count / len(batch)
+        stores = batch.store_count / len(batch)
+        assert loads == pytest.approx(profile.data.load_fraction, abs=0.01)
+        assert stores == pytest.approx(profile.data.store_fraction, abs=0.01)
+
+    def test_partial_stores_only_on_stores(self):
+        batch = SyntheticBenchmark(small_profile()).next_batch(max_len=20_000)
+        batch.validate()  # would raise if a partial flag sat on a non-store
+        assert batch.partial.sum() > 0
+
+    def test_syscall_count_matches_profile(self):
+        bench = SyntheticBenchmark(small_profile())
+        count = 0
+        while True:
+            batch = bench.next_batch()
+            if batch is None:
+                break
+            count += batch.syscall_count
+        assert count == 5
+
+    def test_pcs_stay_in_code_region(self):
+        profile = small_profile()
+        batch = SyntheticBenchmark(profile).next_batch(max_len=20_000)
+        assert batch.pc.min() >= CODE_BASE
+        assert batch.pc.max() < CODE_BASE + profile.code.code_words
+
+    def test_data_addresses_stay_in_their_regions(self):
+        profile = small_profile()
+        batch = SyntheticBenchmark(profile).next_batch(max_len=20_000)
+        data_mask = batch.kind != 0
+        addrs = batch.addr[data_mask]
+        d = profile.data
+        regions = (
+            (HOT_BASE, d.hot_words),
+            (WARM_BASE, d.warm_words),
+            (STREAM_BASE, d.stream_words),
+            (COLD_BASE, d.cold_words),
+        )
+        in_any = np.zeros(len(addrs), dtype=bool)
+        for base, size in regions:
+            in_any |= (addrs >= base) & (addrs < base + size)
+        # Store-run clustering may step a run a few words past a region end.
+        assert in_any.mean() > 0.995
+
+    def test_store_runs_are_sequential(self):
+        profile = small_profile(store_run_q=0.9)
+        batch = SyntheticBenchmark(profile).next_batch(max_len=20_000)
+        store_addrs = batch.addr[batch.kind == KIND_STORE]
+        deltas = np.diff(store_addrs)
+        # With q=0.9, most consecutive stores continue a +1 run.
+        assert (deltas == 1).mean() > 0.7
+
+    def test_hot_fraction_dominates(self):
+        profile = small_profile()
+        batch = SyntheticBenchmark(profile).next_batch(max_len=30_000)
+        data_mask = batch.kind != 0
+        addrs = batch.addr[data_mask]
+        hot = ((addrs >= HOT_BASE)
+               & (addrs < HOT_BASE + profile.data.hot_words)).mean()
+        assert hot > 0.9
+
+
+class TestValidation:
+    def test_rejects_bad_category(self):
+        with pytest.raises(ConfigurationError):
+            BenchmarkProfile(name="x", category="Q", instructions=10,
+                             syscalls=0, code=CodeProfile(),
+                             data=DataProfile()).validate()
+
+    def test_rejects_zero_instructions(self):
+        with pytest.raises(ConfigurationError):
+            BenchmarkProfile(name="x", category="I", instructions=0,
+                             syscalls=0, code=CodeProfile(),
+                             data=DataProfile()).validate()
+
+    def test_rejects_window_bigger_than_region(self):
+        with pytest.raises(ConfigurationError):
+            small_profile(warm_words=1024, warm_window_words=2048).validate()
+
+    def test_rejects_probability_overflow(self):
+        with pytest.raises(ConfigurationError):
+            small_profile(p_warm=0.6, p_stream=0.5).validate()
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticBenchmark(small_profile(), batch_size=0)
+
+    def test_scaled_profile(self):
+        profile = small_profile()
+        half = profile.scaled(0.5)
+        assert half.instructions == 15_000
+        assert half.syscalls in (2, 3)
+        assert half.name == profile.name

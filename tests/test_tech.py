@@ -1,0 +1,137 @@
+"""Unit tests for the technology substrate (SRAM, MCM, derived timing)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech import (
+    BICMOS_8KX8,
+    CYCLE_NS,
+    GAAS_1KX32,
+    MCM,
+    PCB,
+    MainMemoryModel,
+    Mounting,
+    SramPart,
+    chips_needed,
+    derive_cache_access,
+    derive_system_timing,
+    interconnect_fraction,
+    paper_expectations,
+    tag_storage_bits,
+)
+
+
+class TestSram:
+    def test_catalog_matches_paper(self):
+        assert GAAS_1KX32.words == 1024 and GAAS_1KX32.bits == 32
+        assert GAAS_1KX32.access_ns == 3.0
+        assert BICMOS_8KX8.words == 8192 and BICMOS_8KX8.bits == 8
+        assert BICMOS_8KX8.access_ns == 10.0
+
+    def test_chips_needed(self):
+        # 4KW L1 from 1Kx32: 4 chips (Section 5 counts 4 more for an 8KW).
+        assert chips_needed(4 * 1024, GAAS_1KX32) == 4
+        assert chips_needed(8 * 1024, GAAS_1KX32) == 8
+        # 256KW from 8Kx8: 32 deep x 4 wide.
+        assert chips_needed(256 * 1024, BICMOS_8KX8) == 128
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SramPart(name="x", words=0, bits=8, access_ns=1, technology="t")
+        with pytest.raises(ConfigurationError):
+            chips_needed(0, GAAS_1KX32)
+
+    def test_tag_storage_section8(self):
+        # Section 2/8: 8KW of primary tags cost 40Kb with 4W lines and
+        # halve to 20Kb with 8W lines.
+        tag_bits = 40 * 1024 // (8 * 1024 // 4)
+        assert tag_storage_bits(8 * 1024, 4, tag_bits) == 40 * 1024
+        assert tag_storage_bits(8 * 1024, 8, tag_bits) == 20 * 1024
+
+
+class TestMounting:
+    def test_mcm_faster_than_pcb(self):
+        for chips in (1, 4, 32, 128):
+            assert MCM.crossing_ns(chips) < PCB.crossing_ns(chips)
+
+    def test_crossing_grows_with_chips(self):
+        assert MCM.crossing_ns(128) > MCM.crossing_ns(4)
+
+    def test_round_trip_is_two_crossings(self):
+        assert MCM.round_trip_ns(16) == pytest.approx(
+            2 * MCM.crossing_ns(16))
+
+    def test_bad_chip_count(self):
+        with pytest.raises(ConfigurationError):
+            MCM.crossing_ns(0)
+
+    def test_interconnect_fraction_up_to_half(self):
+        # Section 2: delay and loading "can contribute as much as 50%".
+        assert interconnect_fraction(MCM, 512, 3.0) == pytest.approx(
+            0.5, abs=0.1)
+        assert interconnect_fraction(MCM, 4, 3.0) < 0.2
+
+
+class TestDerivedTiming:
+    def test_every_constant_matches_the_paper(self):
+        timing = derive_system_timing()
+        expected = paper_expectations()
+        assert timing.l1_read.cycles == expected["l1_read_cycles"]
+        assert timing.l2_unified.cycles == expected["l2_unified_cycles"]
+        assert (timing.l2_unified_2way.cycles
+                == expected["l2_unified_2way_cycles"])
+        assert timing.l2i_on_mcm.cycles == expected["l2i_on_mcm_cycles"]
+        assert timing.l2d_off_mcm.cycles == expected["l2d_off_mcm_cycles"]
+        assert (timing.memory.clean_miss_cycles
+                == expected["clean_miss_cycles"])
+        assert (timing.memory.dirty_miss_cycles
+                == expected["dirty_miss_cycles"])
+
+    def test_l1_fits_in_the_cycle(self):
+        timing = derive_system_timing()
+        assert timing.l1_read.total_ns <= CYCLE_NS
+
+    def test_associativity_costs_one_cycle(self):
+        direct = derive_cache_access("d", 256 * 1024, BICMOS_8KX8, PCB)
+        two_way = derive_cache_access("a", 256 * 1024, BICMOS_8KX8, PCB,
+                                      ways=2)
+        assert two_way.cycles == direct.cycles + 1
+
+    def test_primary_flag_drops_controller(self):
+        primary = derive_cache_access("p", 4096, GAAS_1KX32, MCM,
+                                      is_primary=True)
+        secondary = derive_cache_access("s", 4096, GAAS_1KX32, MCM)
+        assert secondary.total_ns > primary.total_ns
+
+    def test_bigger_cache_never_faster(self):
+        small = derive_cache_access("s", 8 * 1024, GAAS_1KX32, MCM)
+        big = derive_cache_access("b", 512 * 1024, GAAS_1KX32, MCM)
+        assert big.cycles >= small.cycles
+        assert big.chips > small.chips
+
+    def test_bad_ways_rejected(self):
+        with pytest.raises(ConfigurationError):
+            derive_cache_access("x", 4096, GAAS_1KX32, MCM, ways=0)
+
+    def test_memory_model_derivation(self):
+        memory = MainMemoryModel()
+        assert memory.clean_miss_cycles == 47 + 3 * 32
+        assert memory.dirty_miss_cycles == memory.clean_miss_cycles + 94
+
+    def test_report_rows(self):
+        rows = derive_system_timing().rows()
+        assert len(rows) == 5
+        assert all(len(row) == 6 for row in rows)
+
+    def test_configs_from_technology_match_presets(self):
+        from repro.core.config import base_architecture, split_l2_architecture
+        from repro.tech import configs_from_technology
+
+        base, split = configs_from_technology()
+        hand_base = base_architecture()
+        hand_split = split_l2_architecture()
+        assert base.l2.access_time == hand_base.l2.access_time
+        assert base.l2.miss_penalty_clean == hand_base.l2.miss_penalty_clean
+        assert base.l2.miss_penalty_dirty == hand_base.l2.miss_penalty_dirty
+        assert split.l2.effective_i_access == hand_split.l2.effective_i_access
+        assert split.l2.effective_d_access == hand_split.l2.effective_d_access

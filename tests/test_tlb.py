@@ -1,0 +1,88 @@
+"""Unit tests for the TLB model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mmu.tlb import TLB, data_tlb, instruction_tlb
+
+
+class TestGeometry:
+    def test_paper_tlbs(self):
+        itlb = instruction_tlb()
+        dtlb = data_tlb()
+        assert itlb.entries == 32 and itlb.ways == 2 and itlb.sets == 16
+        assert dtlb.entries == 64 and dtlb.ways == 2 and dtlb.sets == 32
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            TLB(entries=48)
+        with pytest.raises(ConfigurationError):
+            TLB(entries=16, ways=3)
+        with pytest.raises(ConfigurationError):
+            TLB(entries=16, ways=32)
+        with pytest.raises(ConfigurationError):
+            TLB(entries=16, miss_penalty=-1)
+
+
+class TestBehaviour:
+    def test_miss_then_hit(self):
+        tlb = TLB(entries=8, ways=2)
+        assert tlb.access(1, 100) is False
+        assert tlb.access(1, 100) is True
+        assert tlb.probes == 2
+        assert tlb.misses == 1
+        assert tlb.miss_ratio == 0.5
+
+    def test_pid_tagging_prevents_cross_process_hits(self):
+        tlb = TLB(entries=8, ways=2)
+        tlb.access(1, 100)
+        assert tlb.access(2, 100) is False
+
+    def test_lru_within_set(self):
+        tlb = TLB(entries=4, ways=2)  # 2 sets
+        # Pages 0, 2, 4 all map to set 0.
+        tlb.access(1, 0)
+        tlb.access(1, 2)
+        tlb.access(1, 0)       # page 0 now MRU
+        tlb.access(1, 4)       # evicts page 2 (LRU)
+        assert tlb.contains(1, 0)
+        assert not tlb.contains(1, 2)
+        assert tlb.contains(1, 4)
+
+    def test_contains_does_not_mutate(self):
+        tlb = TLB(entries=4, ways=2)
+        tlb.access(1, 0)
+        probes = tlb.probes
+        assert tlb.contains(1, 0)
+        assert tlb.probes == probes
+
+    def test_invalidate_pid(self):
+        tlb = TLB(entries=8, ways=2)
+        tlb.access(1, 0)
+        tlb.access(2, 1)
+        dropped = tlb.invalidate_pid(1)
+        assert dropped == 1
+        assert not tlb.contains(1, 0)
+        assert tlb.contains(2, 1)
+
+    def test_flush_keeps_counters(self):
+        tlb = TLB(entries=8, ways=2)
+        tlb.access(1, 0)
+        tlb.flush()
+        assert not tlb.contains(1, 0)
+        assert tlb.probes == 1
+
+    def test_reset_counters(self):
+        tlb = TLB(entries=8, ways=2)
+        tlb.access(1, 0)
+        tlb.reset_counters()
+        assert tlb.probes == 0
+        assert tlb.misses == 0
+        assert tlb.contains(1, 0)  # contents survive
+
+    def test_capacity_bounded(self):
+        tlb = TLB(entries=8, ways=2)
+        for vpage in range(100):
+            tlb.access(1, vpage)
+        resident = sum(tlb.contains(1, vpage) for vpage in range(100))
+        assert resident <= 8

@@ -1,0 +1,153 @@
+"""Unit tests for trace locality analysis and the trace CLI."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.analysis import (
+    data_addresses,
+    footprint,
+    locality_report,
+    lru_miss_ratio_from_distances,
+    miss_ratio_curve,
+    reuse_distance_sample,
+    working_set_curve,
+)
+from repro.trace.cli import main as trace_cli
+from repro.trace.record import KIND_LOAD, KIND_NONE
+
+from conftest import make_batch
+
+
+class TestFootprint:
+    def test_counts_distinct_units(self):
+        stats = footprint([0, 1, 2, 3, 4, 4096 * 2], line_words=4)
+        assert stats["references"] == 6
+        assert stats["words"] == 6
+        assert stats["lines"] == 3   # lines 0, 1, 2048
+        assert stats["pages"] == 2
+
+    def test_empty(self):
+        assert footprint([])["references"] == 0
+
+
+class TestWorkingSet:
+    def test_single_line_ws_is_one(self):
+        curve = working_set_curve([0, 1, 2, 3] * 100, [40])
+        assert curve == [(40, 1.0)]
+
+    def test_grows_with_window(self):
+        addrs = list(range(0, 4000, 4))  # 1000 distinct lines
+        curve = working_set_curve(addrs, [10, 100, 1000])
+        ws = dict(curve)
+        assert ws[10] == 10
+        assert ws[100] == 100
+        assert ws[1000] == 1000
+
+    def test_window_longer_than_trace(self):
+        curve = working_set_curve([0, 4, 8], [100])
+        assert curve == [(100, 3.0)]
+
+    def test_rejects_empty_and_bad_window(self):
+        with pytest.raises(TraceError):
+            working_set_curve([], [10])
+        with pytest.raises(TraceError):
+            working_set_curve([1], [0])
+
+
+class TestReuseDistance:
+    def test_first_touches(self):
+        distances = reuse_distance_sample([0, 4, 8])
+        assert distances[-1] == 3
+
+    def test_immediate_reuse_is_distance_zero(self):
+        distances = reuse_distance_sample([0, 0, 0])
+        assert distances[-1] == 1
+        assert distances[0] == 2
+
+    def test_stack_distance_counts_intervening_lines(self):
+        # 0, 4, 8 touch three lines; re-touching 0 has two lines above it.
+        distances = reuse_distance_sample([0, 4, 8, 0])
+        assert distances[2] == 1
+
+    def test_lru_miss_ratio(self):
+        # Cyclic scan of 3 lines: with capacity 2 every access misses;
+        # with capacity 4 everything hits after first touch.
+        addrs = [0, 4, 8] * 50
+        distances = reuse_distance_sample(addrs)
+        assert lru_miss_ratio_from_distances(distances, 2) == 1.0
+        small = lru_miss_ratio_from_distances(distances, 4)
+        assert small == pytest.approx(3 / 150)
+
+    def test_empty_profile(self):
+        from collections import Counter
+
+        assert lru_miss_ratio_from_distances(Counter(), 4) == 0.0
+
+
+class TestMissRatioCurve:
+    def test_monotone_for_lru_like_streams(self):
+        rng = np.random.default_rng(3)
+        addrs = rng.integers(0, 8192, size=5000).tolist()
+        curve = miss_ratio_curve(addrs, [256, 1024, 4096, 16384], ways=2)
+        ratios = [ratio for _, ratio in curve]
+        assert all(a >= b - 1e-9 for a, b in zip(ratios, ratios[1:]))
+
+    def test_perfect_fit_has_no_steady_misses(self):
+        addrs = [0, 4, 8, 12] * 100
+        curve = miss_ratio_curve(addrs, [64], warmup=8)
+        assert curve[0][1] == 0.0
+
+
+class TestReportAndCli:
+    def make_trace_file(self, tmp_path):
+        batch = make_batch(
+            pcs=list(range(200)),
+            kinds=[KIND_LOAD if i % 3 == 0 else KIND_NONE
+                   for i in range(200)],
+            addrs=[i * 7 % 512 for i in range(200)],
+        )
+        path = tmp_path / "t.npz"
+        from repro.trace.tracefile import save_npz
+
+        save_npz(path, batch)
+        return path, batch
+
+    def test_data_addresses(self, tmp_path):
+        _, batch = self.make_trace_file(tmp_path)
+        data = data_addresses(batch)
+        assert len(data) == batch.load_count
+
+    def test_locality_report_renders(self, tmp_path):
+        _, batch = self.make_trace_file(tmp_path)
+        text = locality_report(batch)
+        assert "footprint" in text
+        assert "instruction" in text
+
+    def test_cli_generate_and_summarize(self, tmp_path, capsys):
+        out = tmp_path / "x.npz"
+        din = tmp_path / "x.din"
+        assert trace_cli(["generate", "gcc", "--instructions", "2000",
+                          "--out", str(out), "--din", str(din)]) == 0
+        assert out.exists() and din.exists()
+        assert trace_cli(["summarize", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "instructions   : 2,000" in text
+
+    def test_cli_analyze(self, tmp_path, capsys):
+        path, _ = self.make_trace_file(tmp_path)
+        assert trace_cli(["analyze", str(path),
+                          "--cache-sizes", "64,256"]) == 0
+        text = capsys.readouterr().out
+        assert "miss-ratio curve" in text
+
+    def test_cli_list(self, capsys):
+        assert trace_cli(["list"]) == 0
+        assert "espresso" in capsys.readouterr().out
+
+    def test_cli_generate_requires_output(self, tmp_path, capsys):
+        assert trace_cli(["generate", "gcc", "--instructions", "100"]) == 2
+
+    def test_cli_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            trace_cli(["generate", "nonsense", "--out", "x.npz"])

@@ -1,0 +1,100 @@
+"""Unit tests for trace file I/O (npz and dinero formats)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.record import KIND_LOAD, KIND_NONE, KIND_STORE
+from repro.trace.tracefile import export_din, import_din, load_npz, save_npz
+from repro.trace.synthetic import SyntheticBenchmark
+from repro.trace.benchmarks import default_suite
+
+from conftest import make_batch
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path):
+        batch = make_batch(pcs=[1, 2, 3],
+                           kinds=[KIND_LOAD, KIND_NONE, KIND_STORE],
+                           addrs=[10, 0, 20],
+                           partial=[False, False, True],
+                           syscall=[False, True, False])
+        path = tmp_path / "trace.npz"
+        save_npz(path, batch)
+        loaded = load_npz(path)
+        assert np.array_equal(loaded.pc, batch.pc)
+        assert np.array_equal(loaded.kind, batch.kind)
+        assert np.array_equal(loaded.addr, batch.addr)
+        assert np.array_equal(loaded.partial, batch.partial)
+        assert np.array_equal(loaded.syscall, batch.syscall)
+
+    def test_missing_column_raises(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, pc=np.zeros(1, dtype=np.int64))
+        with pytest.raises(TraceError):
+            load_npz(path)
+
+    def test_synthetic_roundtrip(self, tmp_path):
+        suite = default_suite(instructions_per_benchmark=2000)
+        batch = SyntheticBenchmark(suite[0]).next_batch()
+        path = tmp_path / "synth.npz"
+        save_npz(path, batch)
+        loaded = load_npz(path)
+        assert np.array_equal(loaded.addr, batch.addr)
+
+
+class TestDin:
+    def test_export_format(self):
+        batch = make_batch(pcs=[1], kinds=[KIND_STORE], addrs=[2])
+        out = io.StringIO()
+        count = export_din(out, batch)
+        assert count == 2
+        lines = out.getvalue().splitlines()
+        assert lines[0] == "2 4"   # ifetch of word 1 = byte 0x4
+        assert lines[1] == "1 8"   # write of word 2 = byte 0x8
+
+    def test_roundtrip_preserves_references(self):
+        batch = make_batch(pcs=[1, 2, 3],
+                           kinds=[KIND_LOAD, KIND_NONE, KIND_STORE],
+                           addrs=[10, 0, 20])
+        out = io.StringIO()
+        export_din(out, batch)
+        loaded = import_din(io.StringIO(out.getvalue()))
+        assert list(loaded.pc) == [1, 2, 3]
+        assert list(loaded.kind) == [KIND_LOAD, KIND_NONE, KIND_STORE]
+        assert list(loaded.addr) == [10, 0, 20]
+
+    def test_import_skips_comments_and_blanks(self):
+        text = "# header\n\n2 4\n0 8\n"
+        batch = import_din(io.StringIO(text))
+        assert len(batch) == 1
+        assert batch.kind[0] == KIND_LOAD
+
+    def test_import_rejects_garbage(self):
+        with pytest.raises(TraceError):
+            import_din(io.StringIO("not a record\n"))
+        with pytest.raises(TraceError):
+            import_din(io.StringIO("9 4\n"))
+        with pytest.raises(TraceError):
+            import_din(io.StringIO("2 zz\n"))
+
+    def test_import_rejects_data_before_ifetch(self):
+        with pytest.raises(TraceError):
+            import_din(io.StringIO("0 4\n"))
+
+    def test_two_data_records_synthesize_an_ifetch(self):
+        text = "2 4\n0 8\n1 c\n"
+        batch = import_din(io.StringIO(text))
+        assert len(batch) == 2
+        assert batch.kind[0] == KIND_LOAD
+        assert batch.kind[1] == KIND_STORE
+        assert batch.pc[0] == batch.pc[1]
+
+    def test_file_path_roundtrip(self, tmp_path):
+        batch = make_batch(pcs=[5], kinds=[KIND_LOAD], addrs=[6])
+        path = tmp_path / "t.din"
+        export_din(path, batch)
+        loaded = import_din(path)
+        assert list(loaded.addr) == [6]

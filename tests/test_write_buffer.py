@@ -1,0 +1,114 @@
+"""Unit tests for the write-buffer timing model."""
+
+import pytest
+
+from repro.core.write_buffer import WriteBuffer
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ConfigurationError):
+            WriteBuffer(depth=0)
+        with pytest.raises(ConfigurationError):
+            WriteBuffer(depth=4, overlap_cycles=-1)
+
+
+class TestDrainTiming:
+    def test_single_write_takes_full_cost(self):
+        wb = WriteBuffer(depth=4, overlap_cycles=2)
+        wb.push(now=100, line_addr=1, cost=6)
+        assert wb.empty_time == 106
+
+    def test_stream_overlaps_latency(self):
+        # Section 6: a stream of writes may overlap both latency cycles.
+        wb = WriteBuffer(depth=4, overlap_cycles=2)
+        wb.push(now=0, line_addr=1, cost=6)     # completes at 6
+        wb.push(now=1, line_addr=2, cost=6)     # pipelined: 6 + (6-2) = 10
+        assert wb.empty_time == 10
+
+    def test_idle_gap_resets_pipelining(self):
+        wb = WriteBuffer(depth=4, overlap_cycles=2)
+        wb.push(now=0, line_addr=1, cost=6)
+        wb.push(now=50, line_addr=2, cost=6)    # buffer long empty
+        assert wb.empty_time == 56
+
+    def test_expire_retires_completed_entries(self):
+        wb = WriteBuffer(depth=4, overlap_cycles=2)
+        wb.push(now=0, line_addr=1, cost=6)
+        wb.push(now=1, line_addr=2, cost=6)
+        wb.expire(7)
+        assert len(wb) == 1
+        wb.expire(10)
+        assert len(wb) == 0
+
+
+class TestFullStall:
+    def test_push_into_full_buffer_stalls_for_head(self):
+        wb = WriteBuffer(depth=2, overlap_cycles=0)
+        wb.push(now=0, line_addr=1, cost=10)    # completes 10
+        wb.push(now=0, line_addr=2, cost=10)    # completes 20
+        stall = wb.push(now=0, line_addr=3, cost=10)
+        assert stall == 10                       # waited for the head
+        assert wb.full_stall_cycles == 10
+        assert len(wb) == 2
+
+    def test_no_stall_when_space(self):
+        wb = WriteBuffer(depth=2, overlap_cycles=0)
+        assert wb.push(now=0, line_addr=1, cost=5) == 0
+
+    def test_max_occupancy_tracked(self):
+        wb = WriteBuffer(depth=4, overlap_cycles=0)
+        wb.push(0, 1, 100)
+        wb.push(0, 2, 100)
+        wb.push(0, 3, 100)
+        assert wb.max_occupancy == 3
+
+
+class TestConsistencyDisciplines:
+    def test_wait_empty(self):
+        wb = WriteBuffer(depth=4, overlap_cycles=2)
+        wb.push(now=0, line_addr=1, cost=6)
+        wb.push(now=1, line_addr=2, cost=6)      # empty at 10
+        assert wb.wait_empty(now=4) == 6
+        assert len(wb) == 0
+
+    def test_wait_empty_when_already_empty(self):
+        wb = WriteBuffer(depth=4)
+        assert wb.wait_empty(now=5) == 0
+
+    def test_flush_through_no_match_is_free(self):
+        wb = WriteBuffer(depth=4, overlap_cycles=0)
+        wb.push(now=0, line_addr=1, cost=10)
+        assert wb.flush_through(now=0, line_addr=99) == 0
+        assert len(wb) == 1
+
+    def test_flush_through_waits_for_match_and_ahead(self):
+        wb = WriteBuffer(depth=4, overlap_cycles=0)
+        wb.push(now=0, line_addr=1, cost=10)     # completes 10
+        wb.push(now=0, line_addr=2, cost=10)     # completes 20
+        wb.push(now=0, line_addr=3, cost=10)     # completes 30
+        stall = wb.flush_through(now=0, line_addr=2)
+        assert stall == 20
+        # Entries up to and including the match drained; entry 3 remains.
+        assert len(wb) == 1
+        assert wb.contains_line(3)
+        assert not wb.contains_line(2)
+
+    def test_flush_through_matches_newest_duplicate(self):
+        wb = WriteBuffer(depth=4, overlap_cycles=0)
+        wb.push(now=0, line_addr=7, cost=10)     # completes 10
+        wb.push(now=0, line_addr=8, cost=10)     # completes 20
+        wb.push(now=0, line_addr=7, cost=10)     # completes 30
+        assert wb.flush_through(now=0, line_addr=7) == 30
+        assert len(wb) == 0
+
+    def test_reset(self):
+        wb = WriteBuffer(depth=4)
+        wb.push(now=0, line_addr=1, cost=6)
+        wb.reset()
+        assert len(wb) == 0
+        assert wb.empty_time == 0
+        # Pipelining state cleared: a new push takes the full cost.
+        wb.push(now=0, line_addr=2, cost=6)
+        assert wb.empty_time == 6
