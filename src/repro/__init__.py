@@ -39,6 +39,14 @@ from repro.core import (
     split_l2_architecture,
 )
 from repro.mmu import TLB, PageTable
+from repro.robust import (
+    AuditConfig,
+    FaultInjector,
+    InvariantAuditor,
+    load_checkpoint,
+    resume,
+    save_checkpoint,
+)
 from repro.sched import Process, Scheduler
 from repro.trace import (
     TABLE1_SUITE,
@@ -82,5 +90,11 @@ __all__ = [
     "TraceBatch",
     "default_suite",
     "replicate_suite",
+    "AuditConfig",
+    "FaultInjector",
+    "InvariantAuditor",
+    "load_checkpoint",
+    "resume",
+    "save_checkpoint",
     "__version__",
 ]

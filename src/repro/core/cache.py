@@ -189,6 +189,96 @@ class Cache:
         self.hits = 0
         self.misses = 0
 
+    # ------------------------------------------------------------- robustness
+
+    def state_dict(self) -> dict:
+        """Exact snapshot of contents and counters (checkpointing)."""
+        state = {
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+        if self.ways == 1:
+            state["tags"] = list(self._tags)
+            state["dirty"] = [bool(d) for d in self._dirty]
+        else:
+            state["sets"] = [[[tag, bool(dirty)] for tag, dirty in entry_set]
+                             for entry_set in self._sets]
+        return state
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this cache.
+
+        The cache geometry must match the snapshot; mismatches raise
+        :class:`~repro.errors.CheckpointError`.
+        """
+        from repro.errors import CheckpointError
+
+        try:
+            if self.ways == 1:
+                tags = [int(t) for t in state["tags"]]
+                dirty = [bool(d) for d in state["dirty"]]
+                if len(tags) != self.sets or len(dirty) != self.sets:
+                    raise CheckpointError(
+                        f"cache snapshot has {len(tags)} sets, "
+                        f"expected {self.sets}"
+                    )
+                self._tags = tags
+                self._dirty = dirty
+            else:
+                sets = [[[int(tag), bool(dirty)] for tag, dirty in entry_set]
+                        for entry_set in state["sets"]]
+                if len(sets) != self.sets:
+                    raise CheckpointError(
+                        f"cache snapshot has {len(sets)} sets, "
+                        f"expected {self.sets}"
+                    )
+                self._sets = sets
+            self.hits = int(state["hits"])
+            self.misses = int(state["misses"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed cache snapshot: {exc}") from exc
+
+    def check_invariants(self, name: str = "cache") -> None:
+        """Assert structural integrity; raises
+        :class:`~repro.errors.StateCorruptionError` on violation.
+
+        Checks that every stored tag maps back to the set holding it (which
+        catches bit flips in the index range of a tag), that no set exceeds
+        its associativity, and that no set holds duplicate tags.
+        """
+        from repro.errors import StateCorruptionError
+
+        if self.ways == 1:
+            for index, tag in enumerate(self._tags):
+                if tag != INVALID and (tag & self.index_mask) != index:
+                    raise StateCorruptionError(
+                        f"{name}: tag {tag:#x} stored at set {index} does not "
+                        f"map there",
+                        details={"structure": name, "set": index, "tag": tag},
+                    )
+            return
+        for index, entry_set in enumerate(self._sets):
+            if len(entry_set) > self.ways:
+                raise StateCorruptionError(
+                    f"{name}: set {index} holds {len(entry_set)} lines, "
+                    f"associativity is {self.ways}",
+                    details={"structure": name, "set": index},
+                )
+            seen = set()
+            for tag, _ in entry_set:
+                if (tag & self.index_mask) != index:
+                    raise StateCorruptionError(
+                        f"{name}: tag {tag:#x} stored at set {index} does not "
+                        f"map there",
+                        details={"structure": name, "set": index, "tag": tag},
+                    )
+                if tag in seen:
+                    raise StateCorruptionError(
+                        f"{name}: duplicate tag {tag:#x} in set {index}",
+                        details={"structure": name, "set": index, "tag": tag},
+                    )
+                seen.add(tag)
+
 
 def simulate_miss_ratio(cache: Cache, word_addrs, warmup: int = 0) -> float:
     """Convenience: run word addresses through a cache, return miss ratio.

@@ -75,6 +75,9 @@ class CacheConfig:
     size_words: int = 4096
     line_words: int = 4
 
+    def __post_init__(self) -> None:
+        self.validate()
+
     def validate(self) -> None:
         if not is_power_of_two(self.size_words):
             raise ConfigurationError("L1 size must be a power of two")
@@ -108,6 +111,9 @@ class WriteBufferConfig:
     depth: int = 4
     width_words: int = 4
     overlap_cycles: int = 2
+
+    def __post_init__(self) -> None:
+        self.validate()
 
     def validate(self) -> None:
         if self.depth <= 0:
@@ -143,6 +149,9 @@ class L2Config:
     miss_penalty_clean: int = 143
     miss_penalty_dirty: int = 237
 
+    def __post_init__(self) -> None:
+        self.validate()
+
     def validate(self) -> None:
         if not is_power_of_two(self.size_words):
             raise ConfigurationError("L2 size must be a power of two")
@@ -152,6 +161,12 @@ class L2Config:
             raise ConfigurationError("L2 associativity must be a power of two")
         if self.access_time < 0:
             raise ConfigurationError("L2 access time must be non-negative")
+        if self.i_access_time is not None and self.i_access_time < 0:
+            raise ConfigurationError(
+                "L2-I access time must be non-negative")
+        if self.miss_penalty_clean < 0:
+            raise ConfigurationError(
+                "clean-miss penalty must be non-negative")
         if self.miss_penalty_dirty < self.miss_penalty_clean:
             raise ConfigurationError(
                 "dirty-miss penalty cannot be below the clean-miss penalty"
@@ -167,6 +182,14 @@ class L2Config:
         for value in (self.i_size_words, self.d_size_words):
             if value is not None and not is_power_of_two(value):
                 raise ConfigurationError("split L2 half sizes must be powers of two")
+        min_words = self.line_words * self.ways
+        for label, size in (("instruction", self.effective_i_size),
+                            ("data", self.effective_d_size)):
+            if size < min_words:
+                raise ConfigurationError(
+                    f"L2 {label} half ({size} words) cannot hold one set "
+                    f"({self.line_words} W lines x {self.ways} ways)"
+                )
 
     @property
     def effective_i_size(self) -> int:
@@ -219,10 +242,16 @@ class TLBConfig:
     miss_penalty: int = 20
     enabled: bool = True
 
+    def __post_init__(self) -> None:
+        self.validate()
+
     def validate(self) -> None:
         for n in (self.itlb_entries, self.dtlb_entries, self.ways):
             if not is_power_of_two(n):
                 raise ConfigurationError("TLB geometry must use powers of two")
+        if self.ways > min(self.itlb_entries, self.dtlb_entries):
+            raise ConfigurationError(
+                "TLB associativity cannot exceed the entry count")
         if self.miss_penalty < 0:
             raise ConfigurationError("TLB miss penalty must be non-negative")
 
@@ -242,7 +271,12 @@ class SystemConfig:
     #: CPU (non-memory) stall cycles per instruction; Fig. 4's 1.238 baseline.
     cpu_stall_cpi: float = CPU_STALL_CPI
 
+    def __post_init__(self) -> None:
+        self.validate()
+
     def validate(self) -> None:
+        if self.cpu_stall_cpi < 0:
+            raise ConfigurationError("cpu_stall_cpi must be non-negative")
         self.icache.validate()
         self.dcache.validate()
         self.write_buffer.validate()

@@ -163,6 +163,181 @@ class MemorySystem:
         st.dtlb_probes = self.dtlb.probes
         st.dtlb_misses = self.dtlb.misses
 
+    # ------------------------------------------------------------- robustness
+
+    def state_dict(self) -> dict:
+        """Exact snapshot of every piece of architectural and timing state.
+
+        Together with the scheduler/process snapshots this is sufficient to
+        resume a run bit-identically (see :mod:`repro.robust.checkpoint`).
+        """
+        return {
+            "itags": list(self._itags),
+            "dtags": list(self._dtags),
+            "ddirty": list(self._ddirty),
+            "dirty_epoch": self._dirty_epoch,
+            "dwrite_only": list(self._dwrite_only),
+            "dvalid": list(self._dvalid),
+            "l2": self.l2.state_dict(),
+            "wb": self.wb.state_dict(),
+            "itlb": self.itlb.state_dict(),
+            "dtlb": self.dtlb.state_dict(),
+            "dirty_buffer_free": self._dirty_buffer_free,
+            "last_ipage": self._last_ipage,
+            "last_dpage": self._last_dpage,
+            "stats": self.stats.to_dict(),
+            "now": self.now,
+            "cycles_base": self._cycles_base,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot taken under the same
+        configuration; raises :class:`~repro.errors.CheckpointError` on any
+        shape mismatch."""
+        from repro.errors import CheckpointError
+
+        try:
+            itags = [int(t) for t in state["itags"]]
+            dtags = [int(t) for t in state["dtags"]]
+            ddirty = [int(d) for d in state["ddirty"]]
+            dwrite_only = [int(w) for w in state["dwrite_only"]]
+            dvalid = [int(v) for v in state["dvalid"]]
+            if len(itags) != self.config.icache.lines:
+                raise CheckpointError(
+                    f"L1-I snapshot has {len(itags)} lines, expected "
+                    f"{self.config.icache.lines}"
+                )
+            dlines = self.config.dcache.lines
+            for name, column in (("dtags", dtags), ("ddirty", ddirty),
+                                 ("dwrite_only", dwrite_only),
+                                 ("dvalid", dvalid)):
+                if len(column) != dlines:
+                    raise CheckpointError(
+                        f"L1-D snapshot column {name} has {len(column)} "
+                        f"lines, expected {dlines}"
+                    )
+            self._itags = itags
+            self._dtags = dtags
+            self._ddirty = ddirty
+            self._dirty_epoch = int(state["dirty_epoch"])
+            self._dwrite_only = dwrite_only
+            self._dvalid = dvalid
+            self.l2.load_state(state["l2"])
+            self.wb.load_state(state["wb"])
+            self.itlb.load_state(state["itlb"])
+            self.dtlb.load_state(state["dtlb"])
+            self._dirty_buffer_free = int(state["dirty_buffer_free"])
+            self._last_ipage = int(state["last_ipage"])
+            self._last_dpage = int(state["last_dpage"])
+            self.stats = SimStats.from_dict(state["stats"])
+            self.now = int(state["now"])
+            self._cycles_base = int(state["cycles_base"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed memory-system snapshot: {exc}") from exc
+
+    def check_invariants(self) -> None:
+        """Audit structural invariants of the whole hierarchy.
+
+        Raises :class:`~repro.errors.StateCorruptionError` naming the first
+        violated invariant.  Checked here:
+
+        * L1-I/L1-D tags stored at an index must map back to that index
+          (catches index-range tag bit flips).
+        * An invalid L1-D line carries no valid words, no write-only mark,
+          and no current-epoch dirty mark.
+        * Dirty-epoch entries never exceed the current epoch.
+        * Write-only lines exist only under the write-only policy and are
+          always fully valid; under write-only, dirty implies fully valid.
+        * Under the write-only policy every buffered write maps to an L1-D
+          index that is currently dirty (the property the Section 9
+          dirty-bit bypass's safety argument rests on).
+        * Sub-structure integrity: write buffer (occupancy, FIFO ordering,
+          push/retire conservation), L2 halves, and both TLBs.
+        """
+        from repro.errors import StateCorruptionError
+
+        i_mask = self._i_mask
+        for index, tag in enumerate(self._itags):
+            if tag != INVALID and (tag & i_mask) != index:
+                raise StateCorruptionError(
+                    f"L1-I tag {tag:#x} stored at line {index} does not map "
+                    f"there",
+                    details={"structure": "l1i", "line": index, "tag": tag},
+                )
+        d_mask = self._d_mask
+        epoch = self._dirty_epoch
+        full_valid = self._d_full_valid
+        write_only_policy = self.config.write_policy is WritePolicy.WRITE_ONLY
+        for index, tag in enumerate(self._dtags):
+            dirty = self._ddirty[index]
+            write_only = self._dwrite_only[index]
+            valid = self._dvalid[index]
+            if dirty > epoch:
+                raise StateCorruptionError(
+                    f"L1-D line {index} dirty epoch {dirty} exceeds the "
+                    f"current epoch {epoch}",
+                    details={"structure": "l1d", "line": index},
+                )
+            if not 0 <= valid <= full_valid:
+                raise StateCorruptionError(
+                    f"L1-D line {index} valid mask {valid:#x} out of range",
+                    details={"structure": "l1d", "line": index},
+                )
+            if tag == INVALID:
+                if valid or write_only or dirty == epoch:
+                    raise StateCorruptionError(
+                        f"invalid L1-D line {index} carries live state "
+                        f"(valid={valid:#x}, write_only={write_only}, "
+                        f"dirty={dirty == epoch})",
+                        details={"structure": "l1d", "line": index},
+                    )
+                continue
+            if (tag & d_mask) != index:
+                raise StateCorruptionError(
+                    f"L1-D tag {tag:#x} stored at line {index} does not map "
+                    f"there",
+                    details={"structure": "l1d", "line": index, "tag": tag},
+                )
+            if write_only:
+                if not write_only_policy:
+                    raise StateCorruptionError(
+                        f"L1-D line {index} is write-only under policy "
+                        f"{self.config.write_policy.value}",
+                        details={"structure": "l1d", "line": index},
+                    )
+                if valid != full_valid:
+                    raise StateCorruptionError(
+                        f"write-only L1-D line {index} is not fully valid",
+                        details={"structure": "l1d", "line": index},
+                    )
+            if write_only_policy and dirty == epoch and valid != full_valid:
+                raise StateCorruptionError(
+                    f"dirty L1-D line {index} is not fully valid under the "
+                    f"write-only policy",
+                    details={"structure": "l1d", "line": index},
+                )
+        self.wb.check_invariants()
+        # Under associative bypass a load miss drains only matching entries
+        # before installing a clean line, so a shared index may legitimately
+        # go clean while another line's words are still buffered; the
+        # dirty-index property holds for the other disciplines.
+        if (write_only_policy
+                and self._bypass is not BypassMode.ASSOCIATIVE):
+            for entry_line, _ in self.wb._entries:
+                index = entry_line & d_mask
+                if (self._dtags[index] == INVALID
+                        or self._ddirty[index] != epoch):
+                    raise StateCorruptionError(
+                        f"buffered write to line {entry_line:#x} maps to "
+                        f"L1-D index {index} which is not currently dirty",
+                        details={"structure": "write_buffer",
+                                 "line": entry_line, "index": index},
+                    )
+        self.l2.check_invariants()
+        self.itlb.check_invariants("itlb")
+        self.dtlb.check_invariants("dtlb")
+
     # --------------------------------------------------------------- hot loop
 
     def run_slice(self, pcs: List[int], kinds: List[int], addrs: List[int],

@@ -87,3 +87,33 @@ class SecondaryCache:
         if self._dcache is not self._icache:
             dropped += self._dcache.flush()
         return dropped
+
+    # ------------------------------------------------------------- robustness
+
+    def state_dict(self) -> dict:
+        """Exact snapshot of both halves (one array when unified)."""
+        state = {"split": self.config.split,
+                 "icache": self._icache.state_dict()}
+        if self._dcache is not self._icache:
+            state["dcache"] = self._dcache.state_dict()
+        return state
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        from repro.errors import CheckpointError
+
+        try:
+            if bool(state["split"]) != self.config.split:
+                raise CheckpointError(
+                    "L2 snapshot split/unified organization mismatch")
+            self._icache.load_state(state["icache"])
+            if self._dcache is not self._icache:
+                self._dcache.load_state(state["dcache"])
+        except KeyError as exc:
+            raise CheckpointError(f"malformed L2 snapshot: {exc}") from exc
+
+    def check_invariants(self) -> None:
+        """Assert structural integrity of both halves."""
+        self._icache.check_invariants("l2i" if self.split else "l2")
+        if self._dcache is not self._icache:
+            self._dcache.check_invariants("l2d")

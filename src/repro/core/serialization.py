@@ -106,6 +106,47 @@ def config_from_dict(data: Dict[str, Any]) -> SystemConfig:
     return config
 
 
+def profile_to_dict(profile) -> Dict[str, Any]:
+    """Serialize a :class:`~repro.trace.synthetic.BenchmarkProfile` to a
+    nested plain dict (checkpoints embed the full workload definition)."""
+    return {
+        "name": profile.name,
+        "category": profile.category,
+        "instructions": profile.instructions,
+        "syscalls": profile.syscalls,
+        "seed": profile.seed,
+        "code": _dataclass_to_dict(profile.code),
+        "data": _dataclass_to_dict(profile.data),
+    }
+
+
+def profile_from_dict(data: Dict[str, Any]):
+    """Deserialize a BenchmarkProfile from :func:`profile_to_dict`'s format."""
+    from repro.trace.synthetic import BenchmarkProfile, CodeProfile, DataProfile
+
+    valid = {"name", "category", "instructions", "syscalls", "seed",
+             "code", "data"}
+    unknown = set(data) - valid
+    if unknown:
+        raise ConfigurationError(
+            f"unknown key(s) in profile: {', '.join(sorted(unknown))}"
+        )
+    try:
+        profile = BenchmarkProfile(
+            name=data["name"],
+            category=data["category"],
+            instructions=data["instructions"],
+            syscalls=data["syscalls"],
+            seed=data.get("seed", 0),
+            code=_build_section(CodeProfile, data.get("code", {}), "code"),
+            data=_build_section(DataProfile, data.get("data", {}), "data"),
+        )
+    except KeyError as exc:
+        raise ConfigurationError(f"profile is missing key {exc}") from exc
+    profile.validate()
+    return profile
+
+
 def config_to_json(config: SystemConfig, indent: int = 2) -> str:
     """Serialize a SystemConfig to a JSON string."""
     return json.dumps(config_to_dict(config), indent=indent)

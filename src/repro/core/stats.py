@@ -66,6 +66,10 @@ class SimStats:
     dtlb_probes: int = 0
     dtlb_misses: int = 0
 
+    #: Malformed trace records dropped by the ``errors="skip"`` recovery mode
+    #: (never silently executed; see :mod:`repro.robust`).
+    trace_records_skipped: int = 0
+
     # ------------------------------------------------- stall cycles (Fig. 4)
     stall_l1i_miss: int = 0
     stall_l1d_miss: int = 0
@@ -100,6 +104,25 @@ class SimStats:
             setattr(delta, f.name,
                     getattr(self, f.name) - getattr(earlier, f.name))
         return delta
+
+    # -------------------------------------------------------------- snapshot
+
+    def to_dict(self) -> Dict[str, int]:
+        """Exact field-by-field snapshot (checkpoint serialization)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "SimStats":
+        """Rebuild a stats object from :meth:`to_dict` output."""
+        from repro.errors import CheckpointError
+
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise CheckpointError(
+                f"unknown SimStats field(s): {', '.join(sorted(unknown))}"
+            )
+        return cls(**data)
 
     # ----------------------------------------------------------- miss ratios
 

@@ -50,6 +50,7 @@ class WriteBuffer:
         self._last_completion = 0
         # Counters.
         self.pushes = 0
+        self.retired = 0
         self.full_stall_cycles = 0
         self.max_occupancy = 0
 
@@ -66,6 +67,7 @@ class WriteBuffer:
         entries = self._entries
         while entries and entries[0][1] <= now:
             entries.popleft()
+            self.retired += 1
 
     def push(self, now: int, line_addr: int, cost: int) -> int:
         """Enqueue one entry; returns stall cycles if the buffer was full.
@@ -99,6 +101,7 @@ class WriteBuffer:
         if not self._entries:
             return 0
         stall = self._entries[-1][1] - now
+        self.retired += len(self._entries)
         self._entries.clear()
         return stall
 
@@ -117,6 +120,7 @@ class WriteBuffer:
             return 0
         while self._entries and self._entries[0][1] <= match_completion:
             self._entries.popleft()
+            self.retired += 1
         return match_completion - now
 
     def contains_line(self, line_addr: int) -> bool:
@@ -125,5 +129,80 @@ class WriteBuffer:
 
     def reset(self) -> None:
         """Empty the buffer and clear timing state (counters retained)."""
+        self.retired += len(self._entries)
         self._entries.clear()
         self._last_completion = 0
+
+    # ------------------------------------------------------------- robustness
+
+    def state_dict(self) -> dict:
+        """Exact snapshot of entries, timing, and counters (checkpointing)."""
+        return {
+            "entries": [[addr, completion] for addr, completion in self._entries],
+            "last_completion": self._last_completion,
+            "pushes": self.pushes,
+            "retired": self.retired,
+            "full_stall_cycles": self.full_stall_cycles,
+            "max_occupancy": self.max_occupancy,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        from repro.errors import CheckpointError
+
+        try:
+            entries = [(int(addr), int(completion))
+                       for addr, completion in state["entries"]]
+            if len(entries) > self.depth:
+                raise CheckpointError(
+                    f"write-buffer snapshot holds {len(entries)} entries, "
+                    f"depth is {self.depth}"
+                )
+            self._entries = deque(entries)
+            self._last_completion = int(state["last_completion"])
+            self.pushes = int(state["pushes"])
+            self.retired = int(state["retired"])
+            self.full_stall_cycles = int(state["full_stall_cycles"])
+            self.max_occupancy = int(state["max_occupancy"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed write-buffer snapshot: {exc}") from exc
+
+    def check_invariants(self) -> None:
+        """Assert structural integrity; raises
+        :class:`~repro.errors.StateCorruptionError` on violation.
+
+        Checks occupancy against depth, FIFO completion monotonicity, and
+        the push/retire conservation law ``pushes - retired == occupancy``
+        (which catches entries dropped or injected behind the model's back).
+        """
+        from repro.errors import StateCorruptionError
+
+        if len(self._entries) > self.depth:
+            raise StateCorruptionError(
+                f"write buffer holds {len(self._entries)} entries, "
+                f"depth is {self.depth}",
+                details={"structure": "write_buffer"},
+            )
+        previous = None
+        for position, (_, completion) in enumerate(self._entries):
+            if previous is not None and completion < previous:
+                raise StateCorruptionError(
+                    f"write-buffer completion times regress at entry "
+                    f"{position} ({completion} < {previous})",
+                    details={"structure": "write_buffer", "entry": position},
+                )
+            previous = completion
+        if self._entries and self._last_completion < self._entries[-1][1]:
+            raise StateCorruptionError(
+                "write-buffer last_completion is behind the tail entry",
+                details={"structure": "write_buffer"},
+            )
+        if self.pushes - self.retired != len(self._entries):
+            raise StateCorruptionError(
+                f"write-buffer conservation violated: {self.pushes} pushes - "
+                f"{self.retired} retired != {len(self._entries)} buffered",
+                details={"structure": "write_buffer",
+                         "pushes": self.pushes, "retired": self.retired,
+                         "occupancy": len(self._entries)},
+            )

@@ -17,3 +17,21 @@ class TraceError(ReproError):
 
 class SchedulingError(ReproError):
     """The multiprogramming scheduler was driven into an invalid state."""
+
+
+class StateCorruptionError(ReproError):
+    """Simulator state violates a structural invariant (bit flips, dropped
+    entries, or a divergence from the functional reference model).
+
+    Raised by the runtime invariant auditor (:mod:`repro.robust.audit`) and
+    by the ``check_invariants`` methods of the core state holders.  Carries
+    an optional ``details`` dict naming the structure and location."""
+
+    def __init__(self, message: str, details: dict = None):
+        super().__init__(message)
+        self.details = details or {}
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is missing, corrupt, or inconsistent with the run
+    being resumed (bad magic, version, checksum, or shape mismatch)."""

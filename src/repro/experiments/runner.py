@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.experiments.common import DEFAULT_SCALE, REGISTRY, ExperimentScale
+from repro.robust.atomic import atomic_write_text
 
 # Importing the modules populates REGISTRY.
 from repro.experiments import (  # noqa: F401  (imported for registration)
@@ -67,6 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fraction of the run excluded from statistics")
     parser.add_argument("--out", type=Path, default=None,
                         help="directory to also write per-experiment reports")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip experiments whose report already exists "
+                             "in --out (restart an interrupted sweep)")
     parser.add_argument("--chart", action="store_true",
                         help="draw an ASCII chart of each result")
     parser.add_argument("--config", type=Path, default=None,
@@ -128,9 +132,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         time_slice=args.time_slice,
         warmup_fraction=args.warmup_fraction,
     )
+    if args.resume and args.out is None:
+        print("--resume requires --out", file=sys.stderr)
+        return 2
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
     for experiment_id in wanted:
+        if args.resume and (args.out / f"{experiment_id}.txt").exists():
+            print(f"[{experiment_id} already done, skipping]\n")
+            continue
         started = time.time()
         result = REGISTRY[experiment_id](scale)
         report = result.render()
@@ -144,8 +154,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(report)
         print(f"[{experiment_id} completed in {elapsed:.1f}s]\n")
         if args.out is not None:
+            # Atomic: an interrupted run never leaves a truncated report,
+            # which --resume would otherwise happily treat as complete.
             path = args.out / f"{experiment_id}.txt"
-            path.write_text(report + "\n")
+            atomic_write_text(path, report + "\n")
     return 0
 
 

@@ -100,3 +100,35 @@ class PageTable:
         """Forget all mappings (fresh machine)."""
         self._map.clear()
         self._next_in_color = [0] * self.colors
+
+    # ------------------------------------------------------------- robustness
+
+    def state_dict(self) -> dict:
+        """Exact snapshot of every mapping and allocator cursor."""
+        return {
+            "colors": self.colors,
+            "map": [[pid, vpage, frame]
+                    for (pid, vpage), frame in self._map.items()],
+            "next_in_color": list(self._next_in_color),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        from repro.errors import CheckpointError
+
+        try:
+            if int(state["colors"]) != self.colors:
+                raise CheckpointError(
+                    f"page-table snapshot has {state['colors']} colors, "
+                    f"expected {self.colors}"
+                )
+            next_in_color = [int(n) for n in state["next_in_color"]]
+            if len(next_in_color) != self.colors:
+                raise CheckpointError(
+                    "page-table snapshot cursor length mismatch")
+            self._map = {(int(pid), int(vpage)): int(frame)
+                         for pid, vpage, frame in state["map"]}
+            self._next_in_color = next_in_color
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed page-table snapshot: {exc}") from exc

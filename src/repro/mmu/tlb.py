@@ -92,6 +92,60 @@ class TLB:
         self.probes = 0
         self.misses = 0
 
+    # ------------------------------------------------------------- robustness
+
+    def state_dict(self) -> dict:
+        """Exact snapshot of entries (MRU order) and counters."""
+        return {
+            "sets": [[[pid, vpage] for pid, vpage in entry_set]
+                     for entry_set in self._sets],
+            "probes": self.probes,
+            "misses": self.misses,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        from repro.errors import CheckpointError
+
+        try:
+            sets = [[(int(pid), int(vpage)) for pid, vpage in entry_set]
+                    for entry_set in state["sets"]]
+            if len(sets) != self.sets:
+                raise CheckpointError(
+                    f"TLB snapshot has {len(sets)} sets, expected {self.sets}"
+                )
+            self._sets = sets
+            self.probes = int(state["probes"])
+            self.misses = int(state["misses"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed TLB snapshot: {exc}") from exc
+
+    def check_invariants(self, name: str = "tlb") -> None:
+        """Assert structural integrity; raises
+        :class:`~repro.errors.StateCorruptionError` on violation."""
+        from repro.errors import StateCorruptionError
+
+        for index, entry_set in enumerate(self._sets):
+            if len(entry_set) > self.ways:
+                raise StateCorruptionError(
+                    f"{name}: set {index} holds {len(entry_set)} entries, "
+                    f"associativity is {self.ways}",
+                    details={"structure": name, "set": index},
+                )
+            if len(set(entry_set)) != len(entry_set):
+                raise StateCorruptionError(
+                    f"{name}: duplicate entry in set {index}",
+                    details={"structure": name, "set": index},
+                )
+            for _, vpage in entry_set:
+                if (vpage & (self.sets - 1)) != index:
+                    raise StateCorruptionError(
+                        f"{name}: vpage {vpage:#x} stored in set {index} "
+                        f"does not map there",
+                        details={"structure": name, "set": index,
+                                 "vpage": vpage},
+                    )
+
 
 def instruction_tlb(miss_penalty: int = 20) -> TLB:
     """The paper's instruction TLB: 2-way set-associative, 32 entries."""

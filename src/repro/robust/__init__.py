@@ -1,0 +1,43 @@
+"""Robustness subsystem: checkpoint/resume, fault injection, auditing.
+
+Long simulations (the paper's runs cover ~2.5 billion references) need three
+things a short run can skip:
+
+* :mod:`repro.robust.checkpoint` — atomic, checksummed snapshots of the
+  complete simulation state, and :func:`~repro.robust.checkpoint.resume`
+  which continues a run **bit-identically** to one that was never
+  interrupted.
+* :mod:`repro.robust.audit` — runtime invariant auditing: periodic
+  structural checks of the cache/write-buffer/TLB state, optionally in
+  lockstep against the functional reference model.
+* :mod:`repro.robust.faults` — a fault injector used by the test suite to
+  prove that every modeled corruption class is either *detected* (raises
+  :class:`~repro.errors.StateCorruptionError` /
+  :class:`~repro.errors.TraceError` / :class:`~repro.errors.CheckpointError`)
+  or *gracefully degraded* (skip-and-count), never silently folded into a
+  wrong CPI.
+"""
+
+from repro.robust.atomic import atomic_write_bytes, atomic_write_text
+from repro.robust.audit import AuditConfig, InvariantAuditor
+from repro.robust.checkpoint import (
+    CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+    load_checkpoint,
+    resume,
+    save_checkpoint,
+)
+from repro.robust.faults import FaultInjector
+
+__all__ = [
+    "AuditConfig",
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "FaultInjector",
+    "InvariantAuditor",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "load_checkpoint",
+    "resume",
+    "save_checkpoint",
+]

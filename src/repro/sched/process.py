@@ -5,39 +5,80 @@ descriptors; here each :class:`Process` pulls batches from its trace source,
 translates them to physical addresses through the shared page table (page
 coloring preserves cache index bits), and hands the simulator plain Python
 lists — the fastest thing to iterate in the hot loop.
+
+Every batch is validated before it reaches the hot loop: a corrupt trace
+record (unknown access kind, negative address, mismatched column lengths)
+either raises :class:`~repro.errors.TraceError` (``trace_errors="raise"``,
+the default) or is dropped and counted (``trace_errors="skip"``) — never
+silently executed, since the hot loop would misaccount it as a store.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.errors import SchedulingError
+import numpy as np
+
+from repro.errors import SchedulingError, TraceError
 from repro.mmu.page_table import PageTable
 from repro.params import MAX_PROCESSES
-from repro.trace.record import TraceBatch
+from repro.trace.record import KIND_STORE, TraceBatch
 from repro.trace.stream import TraceSource
 
 
 class PreparedBatch:
     """One trace batch, physically translated and converted to lists."""
 
-    __slots__ = ("pcs", "kinds", "addrs", "partials", "syscalls")
+    __slots__ = ("pcs", "kinds", "addrs", "partials", "syscalls", "dropped")
 
     def __init__(self, pcs: List[int], kinds: List[int], addrs: List[int],
-                 partials: List[bool], syscalls: List[bool]):
+                 partials: List[bool], syscalls: List[bool],
+                 dropped: int = 0):
         self.pcs = pcs
         self.kinds = kinds
         self.addrs = addrs
         self.partials = partials
         self.syscalls = syscalls
+        #: Malformed records dropped during preparation (skip mode only).
+        self.dropped = dropped
 
     def __len__(self) -> int:
         return len(self.pcs)
 
     @staticmethod
-    def from_batch(batch: TraceBatch, pid: int,
-                   page_table: PageTable) -> "PreparedBatch":
-        """Translate a virtual-address batch into physical lists."""
+    def from_batch(batch: TraceBatch, pid: int, page_table: PageTable,
+                   trace_errors: str = "raise") -> "PreparedBatch":
+        """Translate a virtual-address batch into physical lists.
+
+        Args:
+            batch: the raw virtual-address batch.
+            pid: owning process id (page-table key).
+            page_table: shared translation state.
+            trace_errors: ``"raise"`` rejects a corrupt batch with
+                :class:`~repro.errors.TraceError`; ``"skip"`` drops the
+                offending records and counts them in ``dropped``.
+        """
+        if trace_errors not in ("raise", "skip"):
+            raise TraceError(f"unknown trace_errors mode {trace_errors!r}")
+        dropped = 0
+        if trace_errors == "raise":
+            batch.validate()
+        else:
+            columns = (batch.pc, batch.kind, batch.addr, batch.partial,
+                       batch.syscall)
+            n = min(len(column) for column in columns)
+            if any(len(column) != n for column in columns):
+                # Truncated batch: keep the records every column still has.
+                dropped += len(batch.pc) - n
+                batch = TraceBatch(pc=batch.pc[:n], kind=batch.kind[:n],
+                                   addr=batch.addr[:n],
+                                   partial=batch.partial[:n],
+                                   syscall=batch.syscall[:n])
+            bad = batch.invalid_mask()
+            bad_rows = int(np.count_nonzero(bad))
+            if bad_rows:
+                dropped += bad_rows
+                batch = batch[~bad]
         pc_phys = page_table.translate_batch(pid, batch.pc)
         addr_phys = page_table.translate_batch(pid, batch.addr)
         return PreparedBatch(
@@ -46,6 +87,7 @@ class PreparedBatch:
             addrs=addr_phys.tolist(),
             partials=batch.partial.tolist(),
             syscalls=batch.syscall.tolist(),
+            dropped=dropped,
         )
 
 
@@ -53,17 +95,26 @@ class Process:
     """Execution state of one benchmark within the multiprogrammed mix."""
 
     def __init__(self, pid: int, name: str, source: TraceSource,
-                 page_table: PageTable):
+                 page_table: PageTable, trace_errors: str = "raise"):
         if not 0 <= pid < MAX_PROCESSES:
             raise SchedulingError(f"pid {pid} out of range")
+        if trace_errors not in ("raise", "skip"):
+            raise SchedulingError(
+                f"unknown trace_errors mode {trace_errors!r}")
         self.pid = pid
         self.name = name
         self.source = source
         self.page_table = page_table
+        self.trace_errors = trace_errors
         self._batch: Optional[PreparedBatch] = None
         self._pos = 0
         self.instructions_executed = 0
         self.finished = False
+        #: Malformed trace records dropped so far (skip mode).
+        self.records_skipped = 0
+        # Source state captured immediately before the current batch was
+        # pulled; replaying it regenerates the identical batch on resume.
+        self._pre_batch_state: Optional[dict] = None
 
     def current(self) -> Tuple[Optional[PreparedBatch], int]:
         """The batch/offset to execute next, pulling a new batch if needed.
@@ -73,14 +124,23 @@ class Process:
         if self.finished:
             return None, 0
         if self._batch is None or self._pos >= len(self._batch):
+            snapshot = (self.source.state_dict()
+                        if hasattr(self.source, "state_dict") else None)
             raw = self.source.next_batch()
             if raw is None or len(raw) == 0:
                 self.finished = True
                 self._batch = None
+                self._pre_batch_state = None
                 return None, 0
+            self._pre_batch_state = snapshot
             self._batch = PreparedBatch.from_batch(raw, self.pid,
-                                                   self.page_table)
+                                                   self.page_table,
+                                                   self.trace_errors)
+            self.records_skipped += self._batch.dropped
             self._pos = 0
+            if len(self._batch) == 0:
+                # Every record of the batch was corrupt and dropped.
+                return self.current()
         return self._batch, self._pos
 
     def advance(self, consumed: int) -> None:
@@ -91,3 +151,80 @@ class Process:
         self.instructions_executed += consumed
         if self._batch is not None and self._pos > len(self._batch):
             raise SchedulingError("advanced past the end of the batch")
+
+    # ------------------------------------------------------------- robustness
+
+    def state_dict(self) -> dict:
+        """Snapshot sufficient to resume this process bit-identically.
+
+        An in-flight batch is not serialized; instead the source state
+        captured *before* the batch was pulled travels, and resume replays
+        the pull (deterministic trace generation plus an already-populated
+        page table reproduce the identical prepared batch).
+        """
+        from repro.errors import CheckpointError
+
+        if not hasattr(self.source, "state_dict"):
+            raise CheckpointError(
+                f"trace source of process {self.name!r} "
+                f"({type(self.source).__name__}) does not support "
+                f"checkpointing (no state_dict)"
+            )
+        has_batch = self._batch is not None
+        return {
+            "pid": self.pid,
+            "name": self.name,
+            "finished": self.finished,
+            "instructions_executed": self.instructions_executed,
+            "records_skipped": self.records_skipped,
+            "pos": self._pos,
+            "has_batch": has_batch,
+            "source": (self._pre_batch_state if has_batch
+                       else self.source.state_dict()),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot.
+
+        The shared page table must already be restored: re-translating the
+        regenerated in-flight batch is then a pure lookup, yielding the
+        identical physical addresses.
+        """
+        from repro.errors import CheckpointError
+
+        try:
+            if int(state["pid"]) != self.pid or state["name"] != self.name:
+                raise CheckpointError(
+                    f"process snapshot identity mismatch: snapshot is for "
+                    f"pid {state['pid']} ({state['name']!r}), this process "
+                    f"is pid {self.pid} ({self.name!r})"
+                )
+            self.finished = bool(state["finished"])
+            self.instructions_executed = int(state["instructions_executed"])
+            self.records_skipped = int(state["records_skipped"])
+            self.source.load_state(state["source"])
+            self._batch = None
+            self._pos = 0
+            self._pre_batch_state = None
+            if state["has_batch"] and not self.finished:
+                self._pre_batch_state = state["source"]
+                raw = self.source.next_batch()
+                if raw is None or len(raw) == 0:
+                    raise CheckpointError(
+                        f"process {self.name!r} snapshot expects an in-flight "
+                        f"batch but the source produced none"
+                    )
+                self._batch = PreparedBatch.from_batch(raw, self.pid,
+                                                       self.page_table,
+                                                       self.trace_errors)
+                # The skipped count already includes this batch's drops.
+                self._pos = int(state["pos"])
+                if self._pos > len(self._batch):
+                    raise CheckpointError(
+                        f"process {self.name!r} snapshot position "
+                        f"{self._pos} exceeds the regenerated batch length "
+                        f"{len(self._batch)}"
+                    )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed process snapshot: {exc}") from exc

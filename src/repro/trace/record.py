@@ -73,9 +73,11 @@ class TraceBatch:
     def __len__(self) -> int:
         return len(self.pc)
 
-    def __getitem__(self, index: slice) -> "TraceBatch":
-        if not isinstance(index, slice):
-            raise TypeError("TraceBatch supports only slice indexing")
+    def __getitem__(self, index) -> "TraceBatch":
+        if not (isinstance(index, slice)
+                or (isinstance(index, np.ndarray) and index.dtype == bool)):
+            raise TypeError(
+                "TraceBatch supports only slice or boolean-mask indexing")
         return TraceBatch(
             pc=self.pc[index],
             kind=self.kind[index],
@@ -99,8 +101,21 @@ class TraceBatch:
         """Number of voluntary system-call instructions in the batch."""
         return int(np.count_nonzero(self.syscall))
 
+    def check_columns(self) -> None:
+        """Raise :class:`TraceError` when the columns disagree in length
+        (a truncated batch).  ``__post_init__`` enforces this at
+        construction; this re-checks arrays mutated after the fact."""
+        n = len(self.pc)
+        for name in ("kind", "addr", "partial", "syscall"):
+            if len(getattr(self, name)) != n:
+                raise TraceError(
+                    f"truncated trace batch: column '{name}' has length "
+                    f"{len(getattr(self, name))}, expected {n}"
+                )
+
     def validate(self) -> None:
         """Raise :class:`TraceError` if the batch violates trace invariants."""
+        self.check_columns()
         if np.any(self.pc < 0) or np.any(self.addr < 0):
             raise TraceError("negative address in trace batch")
         if np.any(self.kind > KIND_STORE):
@@ -108,6 +123,16 @@ class TraceBatch:
         partial_non_store = self.partial & (self.kind != KIND_STORE)
         if np.any(partial_non_store):
             raise TraceError("partial flag set on a non-store instruction")
+
+    def invalid_mask(self) -> np.ndarray:
+        """Boolean mask of records violating per-row trace invariants.
+
+        Columns must agree in length (:meth:`check_columns`); truncation is
+        a structural defect a row mask cannot express."""
+        self.check_columns()
+        return ((self.pc < 0) | (self.addr < 0)
+                | (self.kind > KIND_STORE)
+                | (self.partial & (self.kind != KIND_STORE)))
 
     def references(self) -> int:
         """Total memory references (instruction fetches + data accesses)."""

@@ -442,3 +442,36 @@ class SyntheticBenchmark:
         self._loop_pools = self._build_loop_pools()
         self._syscall_points = self._build_syscall_points()
         self._next_syscall_idx = 0
+
+    # ------------------------------------------------------------- robustness
+
+    def state_dict(self) -> dict:
+        """Exact snapshot of the generator's evolving state.
+
+        Loop pools and syscall points are deterministic functions of the
+        profile seed (they are drawn before any batch), so only the evolving
+        state needs to travel: the raw RNG state and the cursors.  Restoring
+        this snapshot into a freshly constructed generator for the same
+        profile reproduces the identical remaining trace.
+        """
+        return {
+            "rng": self._rng.bit_generator.state,
+            "emitted": self._emitted,
+            "stream_cursor": self._stream_cursor,
+            "warm_count": self._warm_count,
+            "next_syscall_idx": self._next_syscall_idx,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (same profile required)."""
+        from repro.errors import CheckpointError
+
+        try:
+            self._rng.bit_generator.state = state["rng"]
+            self._emitted = int(state["emitted"])
+            self._stream_cursor = int(state["stream_cursor"])
+            self._warm_count = int(state["warm_count"])
+            self._next_syscall_idx = int(state["next_syscall_idx"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed trace-generator snapshot: {exc}") from exc

@@ -9,13 +9,21 @@ Two formats are supported:
   files are byte addresses, as dinero expects; metadata that dinero cannot
   carry (partial-store and system-call flags) is dropped on export and absent
   on import.
+
+Corrupt input never becomes a silent wrong simulation:
+:class:`~repro.errors.TraceError` carries the 1-based line number and the
+offending text, and :func:`import_din` offers an opt-in ``errors="skip"``
+mode that drops malformed records and counts them in a
+:class:`DinParseReport` instead of aborting a long import.
 """
 
 from __future__ import annotations
 
 import io
 import os
-from typing import List, Union
+import zipfile
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -28,6 +36,27 @@ DIN_WRITE = 1
 DIN_IFETCH = 2
 
 PathLike = Union[str, os.PathLike]
+
+_NPZ_COLUMNS = ("pc", "kind", "addr", "partial", "syscall")
+
+
+@dataclass
+class DinParseReport:
+    """What ``import_din(..., errors="skip")`` dropped.
+
+    Attributes:
+        skipped: number of malformed records dropped.
+        lines: up to ``max_lines`` ``(line_no, text)`` samples of the drops.
+    """
+
+    skipped: int = 0
+    max_lines: int = 20
+    lines: List[Tuple[int, str]] = field(default_factory=list)
+
+    def record(self, line_no: int, text: str) -> None:
+        self.skipped += 1
+        if len(self.lines) < self.max_lines:
+            self.lines.append((line_no, text))
 
 
 def save_npz(path: PathLike, batch: TraceBatch) -> None:
@@ -43,18 +72,37 @@ def save_npz(path: PathLike, batch: TraceBatch) -> None:
 
 
 def load_npz(path: PathLike) -> TraceBatch:
-    """Read a batch from the native ``.npz`` format."""
-    with np.load(path) as data:
+    """Read a batch from the native ``.npz`` format.
+
+    Every way the file can be wrong — unreadable, not an npz archive,
+    missing columns, mismatched column lengths, invalid records — raises
+    :class:`~repro.errors.TraceError`.
+    """
+    try:
+        data = np.load(path)
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise TraceError(
+            f"trace file {path} is unreadable or not an npz archive: {exc}"
+        ) from exc
+    with data:
+        missing = [c for c in _NPZ_COLUMNS if c not in data.files]
+        if missing:
+            raise TraceError(
+                f"trace file {path} is missing column(s) "
+                f"{', '.join(missing)}"
+            )
         try:
-            return TraceBatch(
+            batch = TraceBatch(
                 pc=data["pc"],
                 kind=data["kind"],
                 addr=data["addr"],
                 partial=data["partial"],
                 syscall=data["syscall"],
             )
-        except KeyError as exc:
-            raise TraceError(f"trace file {path} is missing column {exc}") from exc
+        except (TraceError, ValueError) as exc:
+            raise TraceError(f"trace file {path} is corrupt: {exc}") from exc
+    batch.validate()
+    return batch
 
 
 def export_din(path_or_file: Union[PathLike, io.TextIOBase],
@@ -85,14 +133,50 @@ def export_din(path_or_file: Union[PathLike, io.TextIOBase],
             f.close()
 
 
-def import_din(path_or_file: Union[PathLike, io.TextIOBase]) -> TraceBatch:
+def _parse_din_record(line_no: int, line: str) -> Tuple[int, int]:
+    """Parse one din record into ``(label, byte_addr)`` or raise TraceError."""
+    parts = line.split()
+    if len(parts) != 2:
+        raise TraceError(f"malformed din record at line {line_no}: {line!r}")
+    try:
+        label = int(parts[0])
+        byte_addr = int(parts[1], 16)
+    except ValueError as exc:
+        raise TraceError(
+            f"malformed din record at line {line_no}: {line!r}"
+        ) from exc
+    if byte_addr < 0:
+        # int(x, 16) happily parses "-1a"; dinero addresses are unsigned.
+        raise TraceError(
+            f"negative address at line {line_no}: {line!r}"
+        )
+    if label not in (DIN_READ, DIN_WRITE, DIN_IFETCH):
+        raise TraceError(
+            f"unknown din label {label} at line {line_no}: {line!r}"
+        )
+    return label, byte_addr
+
+
+def import_din(path_or_file: Union[PathLike, io.TextIOBase],
+               errors: str = "strict",
+               report: Optional[DinParseReport] = None) -> TraceBatch:
     """Read a din file back into a batch.
 
     Data records must follow the ifetch of the instruction that issued them
     (the order :func:`export_din` writes).  A data record with no preceding
     ifetch is an error; two data records after one ifetch are attributed to
     synthetic one-instruction fetches to avoid silently dropping references.
+
+    Args:
+        path_or_file: file path or open text stream.
+        errors: ``"strict"`` (default) raises :class:`TraceError` with the
+            1-based line number and offending text; ``"skip"`` drops
+            malformed records and counts them.
+        report: optional :class:`DinParseReport` that collects the skipped
+            line numbers/text (skip mode only).
     """
+    if errors not in ("strict", "skip"):
+        raise TraceError(f"unknown errors mode {errors!r}")
     own = isinstance(path_or_file, (str, os.PathLike))
     f = open(path_or_file, "r") if own else path_or_file
     try:
@@ -103,26 +187,25 @@ def import_din(path_or_file: Union[PathLike, io.TextIOBase]) -> TraceBatch:
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
-            parts = line.split()
-            if len(parts) != 2:
-                raise TraceError(f"malformed din record at line {line_no}: {line!r}")
             try:
-                label = int(parts[0])
-                byte_addr = int(parts[1], 16)
-            except ValueError as exc:
-                raise TraceError(
-                    f"malformed din record at line {line_no}: {line!r}"
-                ) from exc
+                label, byte_addr = _parse_din_record(line_no, line)
+                if label != DIN_IFETCH and not pcs:
+                    raise TraceError(
+                        f"data record before any ifetch at line {line_no}: "
+                        f"{line!r}"
+                    )
+            except TraceError:
+                if errors == "strict":
+                    raise
+                if report is not None:
+                    report.record(line_no, line)
+                continue
             word_addr = byte_addr // WORD_BYTES
             if label == DIN_IFETCH:
                 pcs.append(word_addr)
                 kinds.append(KIND_NONE)
                 addrs.append(0)
-            elif label in (DIN_READ, DIN_WRITE):
-                if not pcs:
-                    raise TraceError(
-                        f"data record before any ifetch at line {line_no}"
-                    )
+            else:
                 if kinds[-1] != KIND_NONE:
                     # A second data access: synthesize a repeat ifetch.
                     pcs.append(pcs[-1])
@@ -130,8 +213,6 @@ def import_din(path_or_file: Union[PathLike, io.TextIOBase]) -> TraceBatch:
                     addrs.append(0)
                 kinds[-1] = KIND_STORE if label == DIN_WRITE else KIND_LOAD
                 addrs[-1] = word_addr
-            else:
-                raise TraceError(f"unknown din label {label} at line {line_no}")
         n = len(pcs)
         return TraceBatch(
             pc=np.asarray(pcs, dtype=np.int64),

@@ -1,0 +1,83 @@
+"""Runtime invariant auditing: transparent when clean, loud when not."""
+
+import pytest
+
+from repro.core.config import base_architecture, optimized_architecture
+from repro.core.simulator import Simulation
+from repro.errors import ConfigurationError, StateCorruptionError
+from repro.robust.audit import AuditConfig, InvariantAuditor
+from repro.trace.benchmarks import default_suite
+
+SUITE = default_suite(instructions_per_benchmark=20_000)[:2]
+
+
+def run_sim(config, audit=None):
+    sim = Simulation(config=config, profiles=SUITE, time_slice=4_000,
+                     audit=audit)
+    return sim, sim.run()
+
+
+class TestAuditTransparency:
+    def test_structural_audit_does_not_change_results(self):
+        _, plain = run_sim(base_architecture())
+        sim, audited = run_sim(base_architecture(),
+                               audit=AuditConfig(interval_slices=2))
+        assert audited.to_dict() == plain.to_dict()
+        assert sim.scheduler.auditor.audits_run > 0
+
+    def test_lockstep_audit_does_not_change_results(self):
+        _, plain = run_sim(optimized_architecture())
+        sim, audited = run_sim(optimized_architecture(),
+                               audit=AuditConfig(interval_slices=2,
+                                                 lockstep=True))
+        assert audited.to_dict() == plain.to_dict()
+        auditor = sim.scheduler.auditor
+        assert auditor.audits_run > 0
+        assert auditor.accesses_mirrored > 0
+
+    def test_audit_interval_respected(self):
+        sim, _ = run_sim(base_architecture(),
+                         audit=AuditConfig(interval_slices=4))
+        scheduler = sim.scheduler
+        assert scheduler.auditor.audits_run == scheduler.slices_run // 4
+
+
+class TestAuditDetection:
+    def test_manual_audit_on_clean_state(self):
+        sim, _ = run_sim(base_architecture(),
+                         audit=AuditConfig(interval_slices=8))
+        sim.scheduler.auditor.audit()  # must not raise
+
+    def test_audit_raises_on_corruption(self):
+        sim, _ = run_sim(base_architecture(),
+                         audit=AuditConfig(interval_slices=8))
+        memsys = sim.memsys
+        occupied = next(i for i, t in enumerate(memsys._dtags) if t >= 0)
+        memsys._dtags[occupied] ^= 1
+        with pytest.raises(StateCorruptionError):
+            sim.scheduler.auditor.audit()
+
+    def test_standalone_auditor(self):
+        sim, _ = run_sim(base_architecture())
+        auditor = InvariantAuditor(sim.memsys)
+        auditor.audit()
+        assert auditor.audits_run == 1
+
+    def test_error_carries_details(self):
+        sim, _ = run_sim(base_architecture())
+        memsys = sim.memsys
+        occupied = next(i for i, t in enumerate(memsys._dtags) if t >= 0)
+        memsys._dtags[occupied] ^= 1
+        with pytest.raises(StateCorruptionError) as excinfo:
+            memsys.check_invariants()
+        assert excinfo.value.details  # structured context for debugging
+
+
+class TestAuditConfig:
+    def test_bad_interval(self):
+        with pytest.raises(ConfigurationError):
+            AuditConfig(interval_slices=0)
+
+    def test_bad_sample(self):
+        with pytest.raises(ConfigurationError):
+            AuditConfig(sample=-1)

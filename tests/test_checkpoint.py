@@ -1,0 +1,251 @@
+"""Checkpoint/resume: bit-identical continuation and file verification."""
+
+import gzip
+import json
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import (
+    BypassMode,
+    WritePolicy,
+    base_architecture,
+    optimized_architecture,
+    write_through_buffer,
+)
+from repro.core.simulator import Simulation
+from repro.errors import CheckpointError
+from repro.robust.audit import AuditConfig
+from repro.robust.checkpoint import (
+    CHECKPOINT_MAGIC,
+    load_checkpoint,
+    resume,
+    save_checkpoint,
+)
+from repro.trace.benchmarks import default_suite
+
+SUITE = default_suite(instructions_per_benchmark=25_000)[:3]
+
+
+def make_sim(config, **kwargs):
+    kwargs.setdefault("time_slice", 6_000)
+    return Simulation(config=config, profiles=SUITE, **kwargs)
+
+
+def policy_config(policy, bypass):
+    base = base_architecture()
+    changes = {"write_policy": policy,
+               "concurrency": replace(base.concurrency, bypass=bypass)}
+    if policy is not WritePolicy.WRITE_BACK:
+        changes["write_buffer"] = write_through_buffer()
+    return base.with_(**changes)
+
+
+class TestBitIdenticalResume:
+    @pytest.mark.parametrize("policy,bypass", [
+        (WritePolicy.WRITE_BACK, BypassMode.NONE),
+        (WritePolicy.WRITE_MISS_INVALIDATE, BypassMode.NONE),
+        (WritePolicy.WRITE_ONLY, BypassMode.DIRTY_BIT),
+        (WritePolicy.WRITE_ONLY, BypassMode.ASSOCIATIVE),
+        (WritePolicy.SUBBLOCK, BypassMode.ASSOCIATIVE),
+    ])
+    def test_interrupted_run_matches_uninterrupted(self, tmp_path,
+                                                   policy, bypass):
+        config = policy_config(policy, bypass)
+        reference = make_sim(config).run()
+
+        interrupted = make_sim(config)
+        interrupted.run(max_instructions=30_000)
+        path = tmp_path / "run.ckpt"
+        save_checkpoint(interrupted, path)
+
+        resumed_stats = resume(path).run()
+        assert resumed_stats.to_dict() == reference.to_dict()
+
+    def test_optimized_architecture_with_warmup(self, tmp_path):
+        config = optimized_architecture()
+        reference = make_sim(config, warmup_instructions=20_000).run()
+
+        interrupted = make_sim(config, warmup_instructions=20_000)
+        # Stop after warmup already cleared the stats: the resumed run must
+        # not clear them a second time.
+        interrupted.run(max_instructions=40_000)
+        path = tmp_path / "run.ckpt"
+        save_checkpoint(interrupted, path)
+        resumed_stats = resume(path).run()
+        assert resumed_stats.to_dict() == reference.to_dict()
+
+    def test_multiple_interruptions(self, tmp_path):
+        config = base_architecture()
+        reference = make_sim(config).run()
+        path = tmp_path / "run.ckpt"
+
+        sim = make_sim(config)
+        sim.run(max_instructions=15_000)
+        save_checkpoint(sim, path)
+        for budget in (35_000, 60_000):
+            sim = resume(path)
+            sim.run(max_instructions=budget)
+            save_checkpoint(sim, path)
+        final = resume(path).run()
+        assert final.to_dict() == reference.to_dict()
+
+    def test_per_process_stats_survive(self, tmp_path):
+        config = base_architecture()
+        reference = make_sim(config, track_per_process=True)
+        reference.run()
+
+        sim = make_sim(config, track_per_process=True)
+        sim.run(max_instructions=30_000)
+        path = tmp_path / "run.ckpt"
+        save_checkpoint(sim, path)
+        resumed = resume(path)
+        resumed.run()
+        assert {n: s.to_dict() for n, s in resumed.per_process_stats.items()} \
+            == {n: s.to_dict()
+                for n, s in reference.per_process_stats.items()}
+
+    def test_completed_run_resumes_as_noop(self, tmp_path):
+        config = base_architecture()
+        sim = make_sim(config)
+        stats = sim.run()
+        path = tmp_path / "done.ckpt"
+        save_checkpoint(sim, path)
+        resumed = resume(path)
+        assert resumed.scheduler.done
+        assert resumed.run().to_dict() == stats.to_dict()
+
+
+class TestResumeProperty:
+    """Property: *any* interruption point resumes bit-identically."""
+
+    _REFERENCES = {}
+
+    @classmethod
+    def _reference(cls, policy, bypass):
+        key = (policy, bypass)
+        if key not in cls._REFERENCES:
+            cls._REFERENCES[key] = make_sim(
+                policy_config(policy, bypass)).run().to_dict()
+        return cls._REFERENCES[key]
+
+    @given(budget=st.integers(min_value=1, max_value=70_000),
+           policy_bypass=st.sampled_from([
+               (WritePolicy.WRITE_BACK, BypassMode.NONE),
+               (WritePolicy.WRITE_ONLY, BypassMode.DIRTY_BIT),
+               (WritePolicy.SUBBLOCK, BypassMode.ASSOCIATIVE),
+           ]))
+    @settings(max_examples=10, deadline=None)
+    def test_resume_from_arbitrary_point(self, tmp_path_factory,
+                                         budget, policy_bypass):
+        policy, bypass = policy_bypass
+        config = policy_config(policy, bypass)
+        path = tmp_path_factory.mktemp("ckpt") / "run.ckpt"
+        sim = make_sim(config)
+        sim.run(max_instructions=budget)
+        save_checkpoint(sim, path)
+        resumed = resume(path).run()
+        assert resumed.to_dict() == self._reference(policy, bypass)
+
+
+class TestCheckpointDrivenRun:
+    def test_checkpoint_every_writes_and_resumes(self, tmp_path):
+        config = base_architecture()
+        path = tmp_path / "auto.ckpt"
+        reference = make_sim(config).run()
+
+        sim = make_sim(config)
+        sim.run(max_instructions=40_000, checkpoint_every=10_000,
+                checkpoint_path=path)
+        assert path.exists()
+        final = resume(path).run()
+        assert final.to_dict() == reference.to_dict()
+
+    def test_checkpoint_params_must_pair(self, tmp_path):
+        sim = make_sim(base_architecture())
+        with pytest.raises(CheckpointError):
+            sim.run(checkpoint_every=1000)
+        with pytest.raises(CheckpointError):
+            sim.run(checkpoint_path=tmp_path / "x.ckpt")
+        with pytest.raises(CheckpointError):
+            sim.run(checkpoint_every=0, checkpoint_path=tmp_path / "x.ckpt")
+
+
+class TestFileVerification:
+    def _checkpoint(self, tmp_path):
+        sim = make_sim(base_architecture())
+        sim.run(max_instructions=10_000)
+        path = tmp_path / "run.ckpt"
+        save_checkpoint(sim, path)
+        return path
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(tmp_path / "nope.ckpt")
+
+    def test_not_gzip(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_bytes(b"this is not a checkpoint")
+        with pytest.raises(CheckpointError, match="gzip"):
+            load_checkpoint(path)
+
+    def test_truncated_file(self, tmp_path):
+        path = self._checkpoint(tmp_path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:len(blob) // 2])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_wrong_magic(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        envelope = {"magic": "not-a-ckpt", "version": 1,
+                    "sha256": "", "payload": {}}
+        path.write_bytes(gzip.compress(json.dumps(envelope).encode()))
+        with pytest.raises(CheckpointError, match="magic"):
+            load_checkpoint(path)
+
+    def test_unsupported_version(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        envelope = {"magic": CHECKPOINT_MAGIC, "version": 99,
+                    "sha256": "", "payload": {}}
+        path.write_bytes(gzip.compress(json.dumps(envelope).encode()))
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(path)
+
+    def test_tampered_payload_fails_checksum(self, tmp_path):
+        path = self._checkpoint(tmp_path)
+        envelope = json.loads(gzip.decompress(path.read_bytes()))
+        envelope["payload"]["scheduler"]["instructions_run"] += 1
+        path.write_bytes(gzip.compress(json.dumps(envelope).encode()))
+        with pytest.raises(CheckpointError, match="checksum"):
+            load_checkpoint(path)
+
+    def test_valid_checkpoint_loads(self, tmp_path):
+        payload = load_checkpoint(self._checkpoint(tmp_path))
+        assert set(payload) >= {"config", "profiles", "simulation",
+                                "page_table", "memsys", "scheduler"}
+
+
+class TestCheckpointRestrictions:
+    def test_lockstep_audit_refuses_checkpoint(self, tmp_path):
+        sim = make_sim(base_architecture(),
+                       audit=AuditConfig(lockstep=True))
+        sim.run(max_instructions=10_000)
+        with pytest.raises(CheckpointError, match="lockstep"):
+            save_checkpoint(sim, tmp_path / "x.ckpt")
+
+    def test_structural_audit_checkpoints_fine(self, tmp_path):
+        sim = make_sim(base_architecture(),
+                       audit=AuditConfig(interval_slices=2))
+        sim.run(max_instructions=10_000)
+        save_checkpoint(sim, tmp_path / "x.ckpt")
+        assert (tmp_path / "x.ckpt").exists()
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        sim = make_sim(base_architecture())
+        sim.run(max_instructions=10_000)
+        save_checkpoint(sim, tmp_path / "run.ckpt")
+        save_checkpoint(sim, tmp_path / "run.ckpt")  # overwrite path
+        assert [p.name for p in tmp_path.iterdir()] == ["run.ckpt"]

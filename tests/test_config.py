@@ -8,6 +8,7 @@ from repro.core.config import (
     ConcurrencyConfig,
     L2Config,
     SystemConfig,
+    TLBConfig,
     WriteBufferConfig,
     WritePolicy,
     base_architecture,
@@ -32,43 +33,74 @@ class TestCacheConfig:
         assert CacheConfig(size_words=4096, line_words=4).lines == 1024
 
 
+class TestConstructionValidation:
+    """Inconsistent configs must fail at construction, not mid-run."""
+
+    def test_invalid_cache_raises_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_words=0)
+
+    def test_negative_miss_penalty_clean(self):
+        with pytest.raises(ConfigurationError):
+            L2Config(miss_penalty_clean=-1, miss_penalty_dirty=5)
+
+    def test_negative_i_access_time(self):
+        with pytest.raises(ConfigurationError):
+            L2Config(split=True, i_access_time=-2)
+
+    def test_l2_half_must_hold_one_set(self):
+        with pytest.raises(ConfigurationError):
+            L2Config(size_words=64, line_words=32, ways=4)
+
+    def test_split_l2_tiny_half(self):
+        with pytest.raises(ConfigurationError):
+            L2Config(size_words=256 * 1024, line_words=32, split=True,
+                     i_size_words=16)
+
+    def test_tlb_ways_cannot_exceed_entries(self):
+        with pytest.raises(ConfigurationError):
+            TLBConfig(itlb_entries=4, dtlb_entries=64, ways=8)
+
+    def test_negative_cpu_stall_cpi(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(cpu_stall_cpi=-0.5)
+
+    def test_zero_write_buffer_depth(self):
+        with pytest.raises(ConfigurationError):
+            WriteBufferConfig(depth=0)
+
+
 class TestSystemValidation:
     def test_dirty_bit_requires_write_only(self):
-        config = base_architecture().with_(
-            concurrency=ConcurrencyConfig(bypass=BypassMode.DIRTY_BIT),
-        )
         with pytest.raises(ConfigurationError):
-            config.validate()
+            base_architecture().with_(
+                concurrency=ConcurrencyConfig(bypass=BypassMode.DIRTY_BIT),
+            )
 
     def test_i_refill_requires_split_l2(self):
-        config = base_architecture().with_(
-            concurrency=ConcurrencyConfig(i_refill_during_wb_drain=True),
-        )
         with pytest.raises(ConfigurationError):
-            config.validate()
+            base_architecture().with_(
+                concurrency=ConcurrencyConfig(i_refill_during_wb_drain=True),
+            )
 
     def test_write_through_needs_one_word_buffer(self):
-        config = base_architecture().with_(
-            write_policy=WritePolicy.WRITE_ONLY,
-        )
         with pytest.raises(ConfigurationError):
-            config.validate()  # still has the 4W-wide victim buffer
+            # Keeps the 4W-wide victim buffer, which write-through rejects.
+            base_architecture().with_(write_policy=WritePolicy.WRITE_ONLY)
 
     def test_write_back_buffer_must_hold_a_line(self):
-        config = base_architecture().with_(
-            write_buffer=WriteBufferConfig(depth=4, width_words=1),
-        )
         with pytest.raises(ConfigurationError):
-            config.validate()
+            base_architecture().with_(
+                write_buffer=WriteBufferConfig(depth=4, width_words=1),
+            )
 
     def test_l2_line_not_smaller_than_l1_line(self):
-        config = base_architecture().with_(
-            l2=L2Config(size_words=256 * 1024, line_words=4),
-            icache=CacheConfig(size_words=4096, line_words=8),
-            dcache=CacheConfig(size_words=4096, line_words=8),
-        )
         with pytest.raises(ConfigurationError):
-            config.validate()
+            base_architecture().with_(
+                l2=L2Config(size_words=256 * 1024, line_words=4),
+                icache=CacheConfig(size_words=4096, line_words=8),
+                dcache=CacheConfig(size_words=4096, line_words=8),
+            )
 
 
 class TestDerivedTiming:

@@ -18,6 +18,7 @@ CASES = [
     ("mcm_partitioning.py", "6000"),
     ("multiprogramming_tuning.py", "5000"),
     ("trace_toolkit.py", "8000"),
+    ("checkpoint_resume.py", "8000"),
 ]
 
 

@@ -7,7 +7,13 @@ import pytest
 
 from repro.errors import TraceError
 from repro.trace.record import KIND_LOAD, KIND_NONE, KIND_STORE
-from repro.trace.tracefile import export_din, import_din, load_npz, save_npz
+from repro.trace.tracefile import (
+    DinParseReport,
+    export_din,
+    import_din,
+    load_npz,
+    save_npz,
+)
 from repro.trace.synthetic import SyntheticBenchmark
 from repro.trace.benchmarks import default_suite
 
@@ -43,6 +49,38 @@ class TestNpz:
         save_npz(path, batch)
         loaded = load_npz(path)
         assert np.array_equal(loaded.addr, batch.addr)
+
+    def test_not_an_archive_raises(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"definitely not numpy")
+        with pytest.raises(TraceError):
+            load_npz(path)
+
+    def test_missing_file_raises_trace_error(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_npz(tmp_path / "nope.npz")
+
+    def test_mismatched_columns_raise(self, tmp_path):
+        path = tmp_path / "torn.npz"
+        np.savez(path,
+                 pc=np.zeros(4, dtype=np.int64),
+                 kind=np.zeros(4, dtype=np.uint8),
+                 addr=np.zeros(3, dtype=np.int64),  # torn write
+                 partial=np.zeros(4, dtype=bool),
+                 syscall=np.zeros(4, dtype=bool))
+        with pytest.raises(TraceError):
+            load_npz(path)
+
+    def test_invalid_records_raise(self, tmp_path):
+        path = tmp_path / "badkind.npz"
+        np.savez(path,
+                 pc=np.zeros(2, dtype=np.int64),
+                 kind=np.asarray([0, 9], dtype=np.uint8),
+                 addr=np.zeros(2, dtype=np.int64),
+                 partial=np.zeros(2, dtype=bool),
+                 syscall=np.zeros(2, dtype=bool))
+        with pytest.raises(TraceError):
+            load_npz(path)
 
 
 class TestDin:
@@ -98,3 +136,47 @@ class TestDin:
         export_din(path, batch)
         loaded = import_din(path)
         assert list(loaded.addr) == [6]
+
+    def test_error_carries_line_number_and_text(self):
+        with pytest.raises(TraceError, match=r"line 3.*'9 4'"):
+            import_din(io.StringIO("2 4\n0 8\n9 4\n"))
+
+    def test_negative_address_rejected(self):
+        # int(x, 16) happily parses "-1a"; the importer must not.
+        with pytest.raises(TraceError, match="negative"):
+            import_din(io.StringIO("2 -1a\n"))
+
+
+class TestDinSkipMode:
+    def test_skip_drops_and_counts(self):
+        text = "2 4\n9 8\nbogus line\n0 8\n2 -4\n2 c\n"
+        report = DinParseReport()
+        batch = import_din(io.StringIO(text), errors="skip", report=report)
+        assert report.skipped == 3
+        assert [line_no for line_no, _ in report.lines] == [2, 3, 5]
+        assert report.lines[1] == (3, "bogus line")
+        # The valid records survive: ifetch+load, then a second ifetch.
+        assert len(batch) == 2
+        assert batch.kind[0] == KIND_LOAD
+
+    def test_skip_drops_orphan_data_record(self):
+        report = DinParseReport()
+        batch = import_din(io.StringIO("0 4\n2 8\n"), errors="skip",
+                           report=report)
+        assert report.skipped == 1
+        assert len(batch) == 1
+
+    def test_skip_without_report(self):
+        batch = import_din(io.StringIO("garbage\n2 4\n"), errors="skip")
+        assert len(batch) == 1
+
+    def test_report_caps_samples(self):
+        text = "".join("junk\n" for _ in range(50))
+        report = DinParseReport(max_lines=5)
+        import_din(io.StringIO(text), errors="skip", report=report)
+        assert report.skipped == 50
+        assert len(report.lines) == 5
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(TraceError):
+            import_din(io.StringIO("2 4\n"), errors="ignore")
