@@ -1,0 +1,101 @@
+"""Bench the farm: serial vs. parallel wall-clock on the Fig. 5 grid.
+
+Runs the Fig. 5 write-policy sweep (20 independent points at
+``BENCH_SCALE``) twice through :func:`repro.analysis.sweep.run_sweep` —
+once with ``jobs=1``, once with ``jobs=N`` — with caching disabled so
+both runs pay full simulation cost, verifies the results are
+bit-identical, and writes the wall-clock comparison to
+``BENCH_farm.json``.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_farm.py [--jobs N] [--out PATH]
+
+The speedup figure is only meaningful on a multi-core machine; the
+bit-identical check is meaningful everywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.analysis.sweep import run_sweep
+from repro.experiments.common import BENCH_SCALE, workload
+from repro.experiments.fig5_write_policy import (
+    ACCESS_TIMES,
+    POLICIES,
+    config_for,
+)
+from repro.farm.pool import fork_available
+
+
+def fig5_grid():
+    return [(f"{policy.value}@{access}", config_for(policy, access))
+            for policy in POLICIES for access in ACCESS_TIMES]
+
+
+def serialized(points):
+    return [json.dumps(point.stats.to_dict(), sort_keys=True).encode()
+            for point in points]
+
+
+def timed_sweep(configs, profiles, jobs):
+    start = time.perf_counter()
+    points = run_sweep(configs, profiles,
+                       time_slice=BENCH_SCALE.time_slice,
+                       level=BENCH_SCALE.level,
+                       warmup_instructions=BENCH_SCALE.warmup_instructions(),
+                       jobs=jobs)
+    return time.perf_counter() - start, serialized(points)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="parallel worker count (default: 4)")
+    parser.add_argument("--out", default="BENCH_farm.json",
+                        help="output path (default: BENCH_farm.json)")
+    args = parser.parse_args(argv)
+
+    configs = fig5_grid()
+    profiles = workload(BENCH_SCALE)
+    print(f"[bench_farm] {len(configs)} points, "
+          f"{BENCH_SCALE.instructions_per_benchmark} instr/benchmark, "
+          f"level {BENCH_SCALE.level}", file=sys.stderr)
+
+    serial_s, serial_bytes = timed_sweep(configs, profiles, jobs=1)
+    print(f"[bench_farm] jobs=1: {serial_s:.2f}s", file=sys.stderr)
+    parallel_s, parallel_bytes = timed_sweep(configs, profiles,
+                                             jobs=args.jobs)
+    print(f"[bench_farm] jobs={args.jobs}: {parallel_s:.2f}s",
+          file=sys.stderr)
+
+    identical = serial_bytes == parallel_bytes
+    report = {
+        "benchmark": "farm_parallel_sweep",
+        "grid": "fig5",
+        "points": len(configs),
+        "instructions_per_benchmark": BENCH_SCALE.instructions_per_benchmark,
+        "level": BENCH_SCALE.level,
+        "time_slice": BENCH_SCALE.time_slice,
+        "jobs": args.jobs,
+        "fork_available": fork_available(),
+        "cpu_count": os.cpu_count(),
+        "serial_wall_s": round(serial_s, 3),
+        "parallel_wall_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "bit_identical": identical,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"[bench_farm] wrote {args.out}: "
+          f"speedup {report['speedup']}x, bit_identical={identical}",
+          file=sys.stderr)
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,13 @@ from repro.core import (
     simulate,
     split_l2_architecture,
 )
+from repro.farm import (
+    ResultCache,
+    RunTelemetry,
+    farm_session,
+    point_key,
+    run_points,
+)
 from repro.mmu import TLB, PageTable
 from repro.robust import (
     AuditConfig,
@@ -96,5 +103,10 @@ __all__ = [
     "load_checkpoint",
     "resume",
     "save_checkpoint",
+    "ResultCache",
+    "RunTelemetry",
+    "farm_session",
+    "point_key",
+    "run_points",
     "__version__",
 ]

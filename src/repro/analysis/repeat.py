@@ -20,7 +20,6 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.config import SystemConfig
 from repro.core.stats import SimStats
-from repro.analysis.sweep import run_point
 from repro.params import DEFAULT_TIME_SLICE
 from repro.trace.synthetic import BenchmarkProfile
 
@@ -82,22 +81,39 @@ def repeat_simulation(config: SystemConfig,
                       time_slice: int = DEFAULT_TIME_SLICE,
                       level: Optional[int] = None,
                       warmup_instructions: int = 0,
-                      metrics: Optional[Dict[str, Callable]] = None
+                      metrics: Optional[Dict[str, Callable]] = None,
+                      jobs: Optional[int] = None
                       ) -> Dict[str, MetricSummary]:
     """Run a configuration over ``seeds`` re-seeded workloads.
+
+    The repetitions are independent sweep points, so they fan out across
+    the farm (``jobs`` workers, ambient
+    :func:`~repro.farm.context.farm_session` by default) and memoize into
+    the active result cache.
 
     Returns:
         ``{metric_name: MetricSummary}`` for each requested metric.
     """
+    from repro.analysis.sweep import _resolve
+    from repro.farm.points import PointSpec, run_points
+
     if seeds < 1:
         raise ValueError("seeds must be >= 1")
     chosen = metrics if metrics is not None else DEFAULT_METRICS
-    samples: Dict[str, List[float]] = {name: [] for name in chosen}
-    for offset in range(seeds):
-        stats = run_point(config, reseed_profiles(profiles, offset),
-                          time_slice=time_slice, level=level,
-                          warmup_instructions=warmup_instructions)
-        for name, extract in chosen.items():
-            samples[name].append(extract(stats))
+    jobs, cache, telemetry, timeout, retries = _resolve(jobs, None, None)
+    specs = [
+        PointSpec(label=f"{config.name}/seed{offset}", config=config,
+                  profiles=tuple(reseed_profiles(profiles, offset)),
+                  time_slice=time_slice, level=level,
+                  warmup_instructions=warmup_instructions)
+        for offset in range(seeds)
+    ]
+    stats_list = run_points(specs, jobs=jobs, cache=cache,
+                            telemetry=telemetry, timeout=timeout,
+                            retries=retries)
+    samples: Dict[str, List[float]] = {
+        name: [extract(stats) for stats in stats_list]
+        for name, extract in chosen.items()
+    }
     return {name: MetricSummary(name=name, samples=tuple(values))
             for name, values in samples.items()}

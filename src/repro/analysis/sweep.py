@@ -4,6 +4,15 @@ Each sweep point builds a fresh :class:`~repro.core.simulator.Simulation`
 (fresh caches, page table and trace generators) so configurations are
 compared under identical, independently warmed conditions — the paper
 generates a separate simulator binary per configuration for the same reason.
+
+Execution is routed through :mod:`repro.farm`: points fan out across a
+worker pool (``jobs``) and memoize into a content-addressed result cache,
+while staying **bit-identical** to a serial in-process run (seeds live in
+the profiles, so points are order-independent; property-tested in
+``tests/test_farm_equivalence.py``).  Callers that pass nothing get the
+ambient :func:`repro.farm.context.farm_session` policy, which is how
+``repro-experiments --jobs 4`` reaches every experiment's inner loops
+without new plumbing.
 """
 
 from __future__ import annotations
@@ -12,8 +21,10 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import SystemConfig
-from repro.core.simulator import Simulation
 from repro.core.stats import SimStats
+from repro.farm.cache import ResultCache
+from repro.farm.context import current_context
+from repro.farm.points import PointSpec, run_points
 from repro.params import DEFAULT_TIME_SLICE
 from repro.trace.synthetic import BenchmarkProfile
 
@@ -27,16 +38,38 @@ class SweepPoint:
     stats: SimStats
 
 
+def _resolve(jobs: Optional[int], cache, telemetry):
+    """Fill unspecified farm settings from the ambient context."""
+    ctx = current_context()
+    if jobs is None:
+        jobs = ctx.jobs if ctx is not None else 1
+    if cache is None and ctx is not None:
+        cache = ctx.cache
+    if telemetry is None and ctx is not None:
+        telemetry = ctx.telemetry
+    timeout = ctx.task_timeout if ctx is not None else None
+    retries = ctx.retries if ctx is not None else 1
+    return jobs, cache, telemetry, timeout, retries
+
+
 def run_point(config: SystemConfig, profiles: Sequence[BenchmarkProfile],
               time_slice: int = DEFAULT_TIME_SLICE,
               level: Optional[int] = None,
               warmup_instructions: int = 0,
-              max_instructions: Optional[int] = None) -> SimStats:
-    """Run one configuration over a fresh copy of the workload."""
-    sim = Simulation(config=config, profiles=list(profiles),
-                     time_slice=time_slice, level=level,
-                     warmup_instructions=warmup_instructions)
-    return sim.run(max_instructions=max_instructions)
+              max_instructions: Optional[int] = None,
+              cache: Optional[ResultCache] = None) -> SimStats:
+    """Run one configuration over a fresh copy of the workload.
+
+    Inside a :func:`~repro.farm.context.farm_session` (or with ``cache``
+    given) the result is served from / stored into the content-addressed
+    cache; otherwise this is a plain in-process simulation.
+    """
+    _, cache, telemetry, _, _ = _resolve(1, cache, None)
+    spec = PointSpec(label=config.name, config=config,
+                     profiles=tuple(profiles), time_slice=time_slice,
+                     level=level, warmup_instructions=warmup_instructions,
+                     max_instructions=max_instructions)
+    return run_points([spec], jobs=1, cache=cache, telemetry=telemetry)[0]
 
 
 def run_sweep(configs: Sequence[Tuple[str, SystemConfig]],
@@ -45,19 +78,34 @@ def run_sweep(configs: Sequence[Tuple[str, SystemConfig]],
               level: Optional[int] = None,
               warmup_instructions: int = 0,
               max_instructions: Optional[int] = None,
-              progress: Optional[Callable[[str], None]] = None
-              ) -> List[SweepPoint]:
-    """Run every labeled configuration; returns points in input order."""
-    points: List[SweepPoint] = []
-    for label, config in configs:
-        if progress is not None:
-            progress(label)
-        stats = run_point(config, profiles, time_slice=time_slice,
-                          level=level,
-                          warmup_instructions=warmup_instructions,
-                          max_instructions=max_instructions)
-        points.append(SweepPoint(label=label, config=config, stats=stats))
-    return points
+              progress: Optional[Callable[[str], None]] = None,
+              jobs: Optional[int] = None,
+              cache: Optional[ResultCache] = None,
+              telemetry=None) -> List[SweepPoint]:
+    """Run every labeled configuration; returns points in input order.
+
+    Args:
+        jobs: worker processes for uncached points (``None`` = ambient
+            farm session's setting, else 1).
+        cache: content-addressed result cache (``None`` = ambient).
+        telemetry: per-point event sink (``None`` = ambient).
+        progress: legacy per-label hook, called in input order as each
+            point's processing starts.
+    """
+    jobs, cache, telemetry, timeout, retries = _resolve(jobs, cache,
+                                                        telemetry)
+    specs = [
+        PointSpec(label=label, config=config, profiles=tuple(profiles),
+                  time_slice=time_slice, level=level,
+                  warmup_instructions=warmup_instructions,
+                  max_instructions=max_instructions)
+        for label, config in configs
+    ]
+    stats_list = run_points(specs, jobs=jobs, cache=cache,
+                            telemetry=telemetry, timeout=timeout,
+                            retries=retries, on_point=progress)
+    return [SweepPoint(label=label, config=config, stats=stats)
+            for (label, config), stats in zip(configs, stats_list)]
 
 
 def stats_by_label(points: Sequence[SweepPoint]) -> Dict[str, SimStats]:

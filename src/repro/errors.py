@@ -35,3 +35,13 @@ class StateCorruptionError(ReproError):
 class CheckpointError(ReproError):
     """A checkpoint file is missing, corrupt, or inconsistent with the run
     being resumed (bad magic, version, checksum, or shape mismatch)."""
+
+
+class FarmError(ReproError):
+    """The sweep-execution farm could not complete a task: a worker crashed
+    more times than the retry budget allows, exceeded its timeout, or the
+    task function itself raised.  Carries the task's label."""
+
+    def __init__(self, message: str, label: str = ""):
+        super().__init__(message)
+        self.label = label

@@ -38,12 +38,33 @@ def run_experiment(experiment_id: str,
     return REGISTRY[experiment_id](scale)
 
 
+def experiment_registry():
+    """A read-only, fully populated view of the experiment registry
+    (id -> runner callable)."""
+    # Importing the runner imports every experiment module, which registers.
+    from repro.experiments import runner  # noqa: F401
+    from repro.experiments.common import experiment_registry as _view
+
+    return _view()
+
+
+def experiment_descriptions():
+    """A read-only, fully populated view of the per-experiment one-line
+    descriptions (id -> text)."""
+    from repro.experiments import runner  # noqa: F401
+    from repro.experiments.common import experiment_descriptions as _view
+
+    return _view()
+
+
 __all__ = [
     "BENCH_SCALE",
     "DEFAULT_SCALE",
     "REGISTRY",
     "ExperimentResult",
     "ExperimentScale",
+    "experiment_descriptions",
+    "experiment_registry",
     "run_experiment",
     "run_system",
     "workload",

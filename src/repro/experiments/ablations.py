@@ -37,7 +37,8 @@ WB_DEPTHS = (1, 2, 4, 8, 16)
 OVERLAPS = (0, 1, 2)
 
 
-@register("wbdepth")
+@register("wbdepth",
+          description="Write-buffer depth ablation for the write-through policies")
 def run_wb_depth(scale: ExperimentScale) -> ExperimentResult:
     """Sweep the write-through write-buffer depth (Section 6's choice: 8)."""
     rows: List[List] = []
@@ -65,7 +66,8 @@ def run_wb_depth(scale: ExperimentScale) -> ExperimentResult:
     )
 
 
-@register("wboverlap")
+@register("wboverlap",
+          description="Write-buffer drain-pipelining overlap ablation")
 def run_wb_overlap(scale: ExperimentScale) -> ExperimentResult:
     """Sweep the drain-pipelining overlap (Section 6: 'one or both')."""
     rows: List[List] = []
@@ -90,7 +92,8 @@ def run_wb_overlap(scale: ExperimentScale) -> ExperimentResult:
     )
 
 
-@register("coloring")
+@register("coloring",
+          description="Page coloring vs. pseudo-random frame allocation")
 def run_coloring(scale: ExperimentScale) -> ExperimentResult:
     """Page coloring vs. a pseudo-random frame allocator."""
     from repro.core.simulator import Simulation

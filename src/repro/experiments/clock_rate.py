@@ -32,7 +32,8 @@ CLOCKS: Sequence[Tuple[str, float]] = (
 )
 
 
-@register("clockrate")
+@register("clockrate",
+          description="CPU clock rate vs. memory CPI at a fixed wall-clock switch interval")
 def run(scale: ExperimentScale) -> ExperimentResult:
     """Sweep the CPU clock at a fixed wall-clock switch interval.
 

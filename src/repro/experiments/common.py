@@ -127,12 +127,46 @@ class ExperimentResult:
 #: Registry of experiment ids to runner callables, populated by the modules.
 REGISTRY: Dict[str, Callable[[ExperimentScale], ExperimentResult]] = {}
 
+#: One-line description per experiment id (``--list`` prints these).
+DESCRIPTIONS: Dict[str, str] = {}
 
-def register(experiment_id: str):
-    """Decorator adding an experiment's ``run`` function to the registry."""
+
+def register(experiment_id: str, description: str = ""):
+    """Decorator adding an experiment's ``run`` function to the registry.
+
+    Args:
+        experiment_id: the CLI id (``fig5``, ``table1``, ...).
+        description: one-line summary shown by ``--list``; defaults to the
+            first line of the function's docstring.
+    """
 
     def wrap(fn: Callable[[ExperimentScale], ExperimentResult]):
         REGISTRY[experiment_id] = fn
+        doc_line = (fn.__doc__ or "").strip().splitlines()
+        DESCRIPTIONS[experiment_id] = (description
+                                       or (doc_line[0] if doc_line else ""))
+        fn.experiment_id = experiment_id
+        fn.description = DESCRIPTIONS[experiment_id]
         return fn
 
     return wrap
+
+
+def experiment_registry() -> Dict[str, Callable[[ExperimentScale],
+                                                ExperimentResult]]:
+    """A read-only view of the experiment registry.
+
+    Note: the registry fills as experiment modules import; use
+    :func:`repro.experiments.experiment_registry` for a view that is
+    guaranteed fully populated.
+    """
+    from types import MappingProxyType
+
+    return MappingProxyType(REGISTRY)
+
+
+def experiment_descriptions() -> Dict[str, str]:
+    """A read-only view of the per-experiment one-line descriptions."""
+    from types import MappingProxyType
+
+    return MappingProxyType(DESCRIPTIONS)

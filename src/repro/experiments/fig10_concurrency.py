@@ -66,7 +66,8 @@ def steps():
     ]
 
 
-@register("fig10")
+@register("fig10",
+          description="Fig. 10: memory-system concurrency mechanisms")
 def run(scale: ExperimentScale) -> ExperimentResult:
     """Regenerate Fig. 10."""
     rows: List[List] = []

@@ -23,7 +23,8 @@ from repro.experiments.common import (
 )
 
 
-@register("fig11")
+@register("fig11",
+          description="Fig. 11 / Section 10: base vs. optimized architecture")
 def run(scale: ExperimentScale) -> ExperimentResult:
     """Base vs. the Fig. 11 optimized architecture."""
     base = run_system(base_architecture(), scale)

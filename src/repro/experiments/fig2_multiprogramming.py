@@ -24,7 +24,8 @@ from repro.experiments.common import (
 LEVELS: Sequence[int] = (1, 2, 4, 8, 16)
 
 
-@register("fig2")
+@register("fig2",
+          description="Fig. 2: multiprogramming level vs. CPI")
 def run(scale: ExperimentScale) -> ExperimentResult:
     """Regenerate Fig. 2."""
     config = base_architecture()

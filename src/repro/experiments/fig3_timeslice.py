@@ -25,7 +25,8 @@ TIME_SLICES: Sequence[int] = (
 )
 
 
-@register("fig3")
+@register("fig3",
+          description="Fig. 3: context-switch interval vs. CPI")
 def run(scale: ExperimentScale) -> ExperimentResult:
     """Regenerate Fig. 3."""
     config = base_architecture()

@@ -21,7 +21,8 @@ from repro.experiments.common import (
 )
 
 
-@register("fig4")
+@register("fig4",
+          description="Fig. 4: base-architecture CPI stack")
 def run(scale: ExperimentScale) -> ExperimentResult:
     """Regenerate Fig. 4."""
     config = base_architecture()

@@ -76,7 +76,8 @@ def interpolated_crossover(cpi: Dict[WritePolicy, Dict[int, float]]) -> float:
     return float("inf")
 
 
-@register("fig5")
+@register("fig5",
+          description="Fig. 5: write policy vs. L2 access time tradeoff")
 def run(scale: ExperimentScale) -> ExperimentResult:
     """Regenerate Fig. 5."""
     cpi: Dict[WritePolicy, Dict[int, float]] = {p: {} for p in POLICIES}

@@ -59,7 +59,8 @@ def run_grid(scale: ExperimentScale) -> Dict[Tuple[str, int], SimStats]:
     return grid
 
 
-@register("fig6")
+@register("fig6",
+          description="Fig. 6 + Table 2: L2 size and organization grid")
 def run(scale: ExperimentScale) -> ExperimentResult:
     """Regenerate Fig. 6 (CPI) and Table 2 (miss ratios) from one grid."""
     grid = run_grid(scale)

@@ -43,7 +43,8 @@ def config_for(i_size_kw: int) -> SystemConfig:
     )
 
 
-@register("fig7")
+@register("fig7",
+          description="Fig. 7: L2-I speed-size tradeoff")
 def run(scale: ExperimentScale) -> ExperimentResult:
     """Regenerate Fig. 7."""
     base = base_architecture()

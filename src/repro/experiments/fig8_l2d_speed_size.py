@@ -38,7 +38,8 @@ def config_for(d_size_kw: int) -> SystemConfig:
     )
 
 
-@register("fig8")
+@register("fig8",
+          description="Fig. 8: L2-D speed-size tradeoff")
 def run(scale: ExperimentScale) -> ExperimentResult:
     """Regenerate Fig. 8."""
     base = base_architecture()

@@ -45,7 +45,8 @@ def swapped_architecture():
     )
 
 
-@register("fig9")
+@register("fig9",
+          description="Fig. 9: split L2 on the MCM plus 8-word fetch")
 def run(scale: ExperimentScale) -> ExperimentResult:
     """Regenerate Fig. 9 (plus the swap control)."""
     steps = [

@@ -75,7 +75,8 @@ def _measure(scale: ExperimentScale) -> Dict[Tuple[int, int], Tuple[float, float
     }
 
 
-@register("l1size")
+@register("l1size",
+          description="Section 5: L1 size/associativity ablation")
 def run(scale: ExperimentScale) -> ExperimentResult:
     """Run the L1 size/associativity ablation."""
     ratios = _measure(scale)

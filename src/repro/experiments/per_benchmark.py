@@ -23,7 +23,8 @@ from repro.experiments.common import (
 )
 
 
-@register("perbench")
+@register("perbench",
+          description="Per-benchmark miss ratios and CPI (base architecture)")
 def run(scale: ExperimentScale) -> ExperimentResult:
     """Per-benchmark miss ratios and CPI on the base architecture."""
     sim = Simulation(config=base_architecture(), profiles=workload(scale),

@@ -5,11 +5,21 @@ Usage::
     python -m repro.experiments --list
     python -m repro.experiments fig5
     python -m repro.experiments all --instructions 1000000
+    repro-experiments all --jobs 4 --out results/      # parallel + cached
     repro-experiments fig6 --level 8 --out results/
 
 Every experiment regenerates one of the paper's tables or figures and
 prints it as an ASCII table along with the scalar findings EXPERIMENTS.md
 tracks.
+
+Execution goes through :mod:`repro.farm`: ``--jobs N`` fans independent
+experiments across forked workers, and every simulated sweep point is
+memoized in a content-addressed result cache (``--cache-dir``, disable
+with ``--no-cache``), so re-running an overlapping figure — or the same
+figure twice — skips the simulation work entirely.  Reports are
+bit-identical regardless of ``--jobs`` or cache state.  ``--manifest``
+writes the run's telemetry (per-point wall clock, throughput, cache
+hit-rate) as JSON.
 """
 
 from __future__ import annotations
@@ -17,10 +27,20 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import asdict
 from pathlib import Path
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
-from repro.experiments.common import DEFAULT_SCALE, REGISTRY, ExperimentScale
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    DESCRIPTIONS,
+    REGISTRY,
+    ExperimentScale,
+)
+from repro.farm.cache import ResultCache
+from repro.farm.context import farm_session
+from repro.farm.pool import run_tasks
+from repro.farm.telemetry import RunTelemetry
 from repro.robust.atomic import atomic_write_text
 
 # Importing the modules populates REGISTRY.
@@ -76,6 +96,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--config", type=Path, default=None,
                         help="run a custom machine from a SystemConfig "
                              "JSON file (ignores experiment ids)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for independent experiments "
+                             "(default %(default)s; results are identical "
+                             "at any value)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="content-addressed result cache root (default: "
+                             "$REPRO_FARM_CACHE or ~/.cache/repro-farm)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the sweep-point result cache")
+    parser.add_argument("--manifest", type=Path, default=None,
+                        help="write run telemetry (points, wall clock, "
+                             "cache hit-rate) to this JSON file")
     return parser
 
 
@@ -101,22 +133,82 @@ def run_custom_config(path: Path, scale: ExperimentScale) -> str:
     return "\n".join(lines)
 
 
+def _render(experiment_id: str, scale: ExperimentScale, chart: bool) -> str:
+    """Run one experiment and render its (deterministic) report text."""
+    result = REGISTRY[experiment_id](scale)
+    report = result.render()
+    if chart:
+        from repro.analysis.ascii_plot import chart_for_result
+
+        drawn = chart_for_result(result)
+        if drawn is not None:
+            report = f"{report}\n\n{drawn}"
+    return report
+
+
+def _experiment_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """One whole experiment as a farm task (runs in a pool worker).
+
+    The worker opens its own ``jobs=1`` farm session so its sweep points
+    hit the shared on-disk cache; the telemetry summary rides back to the
+    parent for aggregation.
+    """
+    scale = ExperimentScale(**payload["scale"])
+    started = time.time()
+    with farm_session(jobs=1,
+                      cache_dir=payload["cache_dir"],
+                      no_cache=payload["cache_dir"] is None) as ctx:
+        report = _render(payload["experiment_id"], scale, payload["chart"])
+    return {
+        "report": report,
+        "elapsed": time.time() - started,
+        "telemetry": ctx.telemetry.summary(),
+    }
+
+
+def _filter_resume(wanted: List[str], out: Optional[Path],
+                   resume: bool) -> List[str]:
+    """Drop already-completed experiments; a zero-byte report (a stale
+    partial write from a pre-atomic-write version) is re-run, not skipped."""
+    if not resume:
+        return wanted
+    remaining: List[str] = []
+    for experiment_id in wanted:
+        report_path = out / f"{experiment_id}.txt"
+        if report_path.exists():
+            if report_path.stat().st_size > 0:
+                print(f"[{experiment_id} already done, skipping]\n")
+                continue
+            print(f"[{experiment_id} report is empty (stale partial "
+                  f"write); re-running]")
+        remaining.append(experiment_id)
+    return remaining
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    scale = ExperimentScale(
+        instructions_per_benchmark=args.instructions,
+        level=args.level,
+        time_slice=args.time_slice,
+        warmup_fraction=args.warmup_fraction,
+    )
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    telemetry = RunTelemetry()
     if args.config is not None:
-        scale = ExperimentScale(
-            instructions_per_benchmark=args.instructions,
-            level=args.level,
-            time_slice=args.time_slice,
-            warmup_fraction=args.warmup_fraction,
-        )
-        print(run_custom_config(args.config, scale))
+        with farm_session(jobs=1, cache=cache, no_cache=args.no_cache,
+                          telemetry=telemetry):
+            print(run_custom_config(args.config, scale))
+        if args.manifest is not None:
+            telemetry.write_manifest(args.manifest)
         return 0
     if args.list or not args.experiments:
         print("available experiments:")
+        width = max(map(len, REGISTRY), default=0)
         for experiment_id in sorted(REGISTRY):
-            print(f"  {experiment_id}")
+            description = DESCRIPTIONS.get(experiment_id, "")
+            print(f"  {experiment_id:<{width}} — {description}")
         return 0
     wanted = list(args.experiments)
     if wanted == ["all"]:
@@ -126,38 +218,58 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(sorted(REGISTRY))}", file=sys.stderr)
         return 2
-    scale = ExperimentScale(
-        instructions_per_benchmark=args.instructions,
-        level=args.level,
-        time_slice=args.time_slice,
-        warmup_fraction=args.warmup_fraction,
-    )
     if args.resume and args.out is None:
         print("--resume requires --out", file=sys.stderr)
         return 2
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
-    for experiment_id in wanted:
-        if args.resume and (args.out / f"{experiment_id}.txt").exists():
-            print(f"[{experiment_id} already done, skipping]\n")
-            continue
-        started = time.time()
-        result = REGISTRY[experiment_id](scale)
-        report = result.render()
-        if args.chart:
-            from repro.analysis.ascii_plot import chart_for_result
+    wanted = _filter_resume(wanted, args.out, args.resume)
 
-            chart = chart_for_result(result)
-            if chart is not None:
-                report = f"{report}\n\n{chart}"
-        elapsed = time.time() - started
-        print(report)
-        print(f"[{experiment_id} completed in {elapsed:.1f}s]\n")
+    reports: Dict[str, str] = {}
+    elapsed: Dict[str, float] = {}
+    if args.jobs > 1 and len(wanted) > 1:
+        # Independent experiments fan out across workers; each worker's
+        # sweep points still share the on-disk result cache.
+        payloads = [{
+            "experiment_id": experiment_id,
+            "scale": asdict(scale),
+            "cache_dir": None if cache is None else str(cache.root),
+            "chart": args.chart,
+        } for experiment_id in wanted]
+
+        def collect(index: int, value: Dict[str, Any]) -> None:
+            experiment_id = wanted[index]
+            reports[experiment_id] = value["report"]
+            elapsed[experiment_id] = value["elapsed"]
+            telemetry.record_task(experiment_id, value["elapsed"],
+                                  value["telemetry"])
+
+        run_tasks(_experiment_task, payloads, jobs=args.jobs,
+                  labels=wanted, on_result=collect)
+    else:
+        with farm_session(jobs=1, cache=cache, no_cache=args.no_cache,
+                          telemetry=telemetry):
+            for experiment_id in wanted:
+                started = time.time()
+                reports[experiment_id] = _render(experiment_id, scale,
+                                                 args.chart)
+                elapsed[experiment_id] = time.time() - started
+
+    for experiment_id in wanted:
+        print(reports[experiment_id])
+        print(f"[{experiment_id} completed in {elapsed[experiment_id]:.1f}s]\n")
         if args.out is not None:
             # Atomic: an interrupted run never leaves a truncated report,
             # which --resume would otherwise happily treat as complete.
             path = args.out / f"{experiment_id}.txt"
-            atomic_write_text(path, report + "\n")
+            atomic_write_text(path, reports[experiment_id] + "\n")
+    if wanted:
+        print(f"[farm: {telemetry.format_summary()}]")
+    if args.manifest is not None:
+        telemetry.write_manifest(args.manifest)
     return 0
 
 

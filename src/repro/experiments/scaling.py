@@ -26,7 +26,8 @@ from repro.experiments.common import (
 FACTORS: Sequence[float] = (0.25, 0.5, 1.0, 2.0)
 
 
-@register("scaling")
+@register("scaling",
+          description="Scale convergence: trace length vs. reported metrics")
 def run(scale: ExperimentScale) -> ExperimentResult:
     """Sweep trace length around the requested scale."""
     config = base_architecture()

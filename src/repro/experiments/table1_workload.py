@@ -19,7 +19,8 @@ from repro.trace.stream import summarize
 from repro.trace.synthetic import SyntheticBenchmark
 
 
-@register("table1")
+@register("table1",
+          description="Table 1: benchmark workload characteristics")
 def run(scale: ExperimentScale) -> ExperimentResult:
     """Regenerate Table 1."""
     rows: List[List] = []

@@ -18,7 +18,8 @@ from repro.experiments.common import ExperimentResult, ExperimentScale, register
 from repro.tech import derive_system_timing, paper_expectations
 
 
-@register("tech")
+@register("tech",
+          description="Technology derivation: timing constants vs. the paper")
 def run(scale: ExperimentScale) -> ExperimentResult:
     """Derive the machine's timing constants and compare with the paper."""
     timing = derive_system_timing()

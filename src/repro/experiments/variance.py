@@ -26,7 +26,8 @@ from repro.experiments.common import (
 SEEDS = 5
 
 
-@register("variance")
+@register("variance",
+          description="Sampling variability over re-seeded workloads (error bars)")
 def run(scale: ExperimentScale) -> ExperimentResult:
     """Base-architecture metrics over re-seeded workloads."""
     summaries = repeat_simulation(

@@ -1,0 +1,8 @@
+"""``python -m repro.farm`` — alias for the ``repro-farm`` CLI."""
+
+import sys
+
+from repro.farm.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

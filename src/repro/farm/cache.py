@@ -1,0 +1,272 @@
+"""Content-addressed result cache: never simulate the same point twice.
+
+A *sweep point* is fully described by (SystemConfig, workload profiles,
+time slice, multiprogramming level, warmup, instruction budget).  All of
+that already serializes to plain dicts via :mod:`repro.core.serialization`,
+so a point has a canonical JSON form and therefore a SHA-256 identity —
+the cache key.  The simulator is deterministic (seeds live in the
+profiles), which is what makes memoization sound: the same key always
+denotes the same :class:`~repro.core.stats.SimStats`.
+
+On-disk format, one JSON file per point under the cache root::
+
+    {"magic": "repro-farm", "version": 1,
+     "sha256": "<hex digest of the canonical payload JSON>",
+     "payload": {"key": ..., "stats": {...}, "meta": {...}}}
+
+Entries are written with :func:`repro.robust.atomic.atomic_write_text`
+(temp file + fsync + rename), so concurrent writers of the same point
+cannot clobber each other — the rename is atomic and both write identical
+stats anyway.  Every way an entry can be wrong — unparsable, wrong magic or
+version, checksum mismatch, key mismatch, malformed stats — is *detected
+and treated as a miss* (the bad file is unlinked best-effort); a corrupt
+cache can cost time, never correctness.
+
+The configuration's ``name`` field is deliberately excluded from the
+canonical form: it is documentation, not simulation input, and excluding
+it lets differently-labelled but physically identical machines (the
+baseline that fig5/fig9/fig11 all re-run) share one entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Sequence, Tuple, Union
+
+from repro.core.config import SystemConfig
+from repro.core.serialization import config_to_dict, profile_to_dict
+from repro.core.stats import SimStats
+from repro.robust.atomic import atomic_write_text
+from repro.trace.synthetic import BenchmarkProfile
+
+PathLike = Union[str, os.PathLike]
+
+CACHE_MAGIC = "repro-farm"
+#: Bump when the canonical payload layout or the simulator's observable
+#: behaviour changes; old entries then miss instead of lying.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache root.
+CACHE_ENV_VAR = "REPRO_FARM_CACHE"
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_FARM_CACHE`` or ``~/.cache/repro-farm``."""
+    env = os.environ.get(CACHE_ENV_VAR)
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro-farm").expanduser()
+
+
+def point_payload(config: SystemConfig,
+                  profiles: Sequence[BenchmarkProfile],
+                  time_slice: int,
+                  level: Optional[int],
+                  warmup_instructions: int,
+                  max_instructions: Optional[int]) -> Dict[str, Any]:
+    """The canonical, JSON-ready description of one sweep point.
+
+    This dict is both the cache key's preimage and the exact payload a
+    pool worker rebuilds the simulation from — the key can never drift
+    from what actually ran.
+    """
+    config_dict = config_to_dict(config)
+    config_dict.pop("name", None)  # label, not simulation input
+    return {
+        "schema": CACHE_SCHEMA_VERSION,
+        "config": config_dict,
+        "profiles": [profile_to_dict(p) for p in profiles],
+        "time_slice": time_slice,
+        "level": level,
+        "warmup_instructions": warmup_instructions,
+        "max_instructions": max_instructions,
+    }
+
+
+def _canonical(payload: Dict[str, Any]) -> bytes:
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def payload_key(payload: Dict[str, Any]) -> str:
+    """SHA-256 hex digest of a canonical point payload."""
+    return hashlib.sha256(_canonical(payload)).hexdigest()
+
+
+def point_key(config: SystemConfig,
+              profiles: Sequence[BenchmarkProfile],
+              time_slice: int,
+              level: Optional[int] = None,
+              warmup_instructions: int = 0,
+              max_instructions: Optional[int] = None) -> str:
+    """The content address of one sweep point."""
+    return payload_key(point_payload(config, profiles, time_slice, level,
+                                     warmup_instructions, max_instructions))
+
+
+class ResultCache:
+    """A directory of content-addressed :class:`SimStats` results.
+
+    Hit/miss/store/corrupt counts accumulate per instance (i.e. per
+    process); :meth:`stats` combines them with on-disk totals.
+    """
+
+    def __init__(self, root: Optional[PathLike] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt_dropped = 0
+
+    # ------------------------------------------------------------------ paths
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def _entry_paths(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return iter(())
+        return iter(sorted(self.root.glob("*.json")))
+
+    # ----------------------------------------------------------------- lookup
+
+    def get(self, key: str) -> Optional[SimStats]:
+        """The cached stats for ``key``, or ``None`` (miss).
+
+        Any verification failure counts as ``corrupt_dropped`` and the
+        offending file is removed so it cannot waste a read twice.
+        """
+        path = self.path_for(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        payload = self._verify(blob, key, path)
+        if payload is None:
+            self.corrupt_dropped += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return SimStats.from_dict(payload["stats"])
+
+    def _verify(self, blob: bytes, key: str, path: Path) -> Optional[dict]:
+        try:
+            envelope = json.loads(blob.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(envelope, dict):
+            return None
+        if envelope.get("magic") != CACHE_MAGIC:
+            return None
+        if envelope.get("version") != CACHE_SCHEMA_VERSION:
+            return None
+        payload = envelope.get("payload")
+        if not isinstance(payload, dict):
+            return None
+        digest = hashlib.sha256(_canonical(payload)).hexdigest()
+        if digest != envelope.get("sha256"):
+            return None
+        if payload.get("key") != key:
+            return None
+        stats = payload.get("stats")
+        if not isinstance(stats, dict):
+            return None
+        try:
+            SimStats.from_dict(stats)
+        except Exception:
+            return None
+        return payload
+
+    # ------------------------------------------------------------------ store
+
+    def put(self, key: str, stats: SimStats,
+            meta: Optional[Dict[str, Any]] = None) -> Path:
+        """Store one result atomically; returns the entry path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": key,
+            "stats": stats.to_dict(),
+            "meta": dict(meta or {}),
+        }
+        envelope = {
+            "magic": CACHE_MAGIC,
+            "version": CACHE_SCHEMA_VERSION,
+            "sha256": hashlib.sha256(_canonical(payload)).hexdigest(),
+            "payload": payload,
+        }
+        path = self.path_for(key)
+        atomic_write_text(path, json.dumps(envelope, indent=1) + "\n")
+        self.stores += 1
+        return path
+
+    # ------------------------------------------------------------- management
+
+    def entries(self) -> Iterator[Tuple[Path, Dict[str, Any]]]:
+        """Yield ``(path, meta)`` for every readable entry."""
+        for path in self._entry_paths():
+            try:
+                envelope = json.loads(path.read_text(encoding="utf-8"))
+                meta = envelope["payload"].get("meta", {})
+            except Exception:
+                meta = {}
+            yield path, meta
+
+    def gc(self, max_age_days: Optional[float] = None,
+           keep: Optional[int] = None) -> int:
+        """Drop entries older than ``max_age_days`` and/or all but the
+        newest ``keep``; returns the number removed."""
+        paths = list(self._entry_paths())
+        by_age = sorted(paths, key=lambda p: p.stat().st_mtime, reverse=True)
+        doomed = set()
+        if max_age_days is not None:
+            cutoff = time.time() - max_age_days * 86400.0
+            doomed.update(p for p in paths if p.stat().st_mtime < cutoff)
+        if keep is not None:
+            doomed.update(by_age[keep:])
+        for path in doomed:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        return len(doomed)
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        for path in self._entry_paths():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> Dict[str, Any]:
+        """On-disk totals plus this process's hit/miss accounting."""
+        paths = list(self._entry_paths())
+        total_bytes = 0
+        for path in paths:
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                pass
+        lookups = self.hits + self.misses
+        return {
+            "root": str(self.root),
+            "entries": len(paths),
+            "bytes": total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt_dropped": self.corrupt_dropped,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }

@@ -1,0 +1,83 @@
+"""Ambient farm configuration: one context, every sweep point sees it.
+
+The experiment modules call :func:`repro.analysis.sweep.run_point` from
+deep inside their own loops; threading pool/cache handles through every
+one of those signatures would smear farm plumbing across the whole
+codebase.  Instead the runner (or any caller) opens a session::
+
+    with farm_session(jobs=4, cache_dir="~/.cache/repro-farm") as ctx:
+        run_experiment("fig5")          # every point inside is cached
+
+and ``run_point`` / ``run_sweep`` consult :func:`current_context` for the
+active cache, telemetry sink, and default job count.  Sessions nest; the
+innermost wins (a pool worker opens its own ``jobs=1`` session so nothing
+forks twice).
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.farm.cache import ResultCache
+from repro.farm.telemetry import RunTelemetry
+
+
+@dataclass
+class FarmContext:
+    """The active execution policy for sweep points."""
+
+    #: Default worker count for ``run_sweep``-style batch calls.
+    jobs: int = 1
+    cache: Optional[ResultCache] = None
+    telemetry: Optional[RunTelemetry] = None
+    #: Per-task wall-clock limit (seconds); ``None`` disables.
+    task_timeout: Optional[float] = None
+    #: Re-runs granted to a crashed or timed-out worker.
+    retries: int = 1
+
+
+_STACK: List[FarmContext] = []
+
+
+def current_context() -> Optional[FarmContext]:
+    """The innermost active :class:`FarmContext`, or ``None``."""
+    return _STACK[-1] if _STACK else None
+
+
+@contextmanager
+def farm_session(jobs: int = 1,
+                 cache: Optional[ResultCache] = None,
+                 cache_dir=None,
+                 no_cache: bool = False,
+                 telemetry: Optional[RunTelemetry] = None,
+                 quiet: bool = False,
+                 task_timeout: Optional[float] = None,
+                 retries: int = 1):
+    """Activate a :class:`FarmContext` for the duration of the block.
+
+    Args:
+        jobs: default parallelism for batched point execution.
+        cache: an existing :class:`ResultCache` to use.
+        cache_dir: build a cache rooted here (ignored if ``cache`` given).
+        no_cache: disable result caching entirely.
+        telemetry: an existing telemetry sink; one is created if omitted.
+        quiet: create the default telemetry without a progress stream.
+        task_timeout: per-point wall-clock limit in seconds.
+        retries: crash/timeout re-run budget per point.
+    """
+    if no_cache:
+        cache = None
+    elif cache is None:
+        cache = ResultCache(cache_dir)  # cache_dir=None -> default root
+    if telemetry is None:
+        telemetry = RunTelemetry(stream=None if quiet else sys.stderr)
+    ctx = FarmContext(jobs=jobs, cache=cache, telemetry=telemetry,
+                      task_timeout=task_timeout, retries=retries)
+    _STACK.append(ctx)
+    try:
+        yield ctx
+    finally:
+        _STACK.pop()

@@ -1,0 +1,139 @@
+"""Sweep points as farm tasks: specify, address, execute, memoize.
+
+A :class:`PointSpec` bundles everything a sweep point needs; its
+:meth:`~PointSpec.payload` is the canonical dict that (a) hashes to the
+cache key and (b) ships to a pool worker, which rebuilds the simulation
+from it via :mod:`repro.core.serialization`.  Because worker and key share
+one description, a cached result is by construction the result of the
+keyed computation.
+
+:func:`run_points` is the farm's main entry: cache-probe every point,
+execute the misses through :func:`repro.farm.pool.run_tasks`, store and
+narrate each result, and return stats **in input order** — callers cannot
+observe whether a point came from silicon or disk.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import SystemConfig
+from repro.core.stats import SimStats
+from repro.farm.cache import ResultCache, payload_key, point_payload
+from repro.farm.pool import run_tasks
+from repro.farm.telemetry import RunTelemetry
+from repro.params import DEFAULT_TIME_SLICE
+from repro.trace.synthetic import BenchmarkProfile
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One sweep point, fully specified."""
+
+    label: str
+    config: SystemConfig
+    profiles: Tuple[BenchmarkProfile, ...]
+    time_slice: int = DEFAULT_TIME_SLICE
+    level: Optional[int] = None
+    warmup_instructions: int = 0
+    max_instructions: Optional[int] = None
+
+    def payload(self) -> Dict[str, Any]:
+        """Canonical dict: cache-key preimage and worker input."""
+        return point_payload(self.config, self.profiles, self.time_slice,
+                             self.level, self.warmup_instructions,
+                             self.max_instructions)
+
+    def key(self) -> str:
+        """Content address of this point."""
+        return payload_key(self.payload())
+
+
+def execute_point(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one canonical point payload; the pool's task function.
+
+    Returns a picklable dict: the stats snapshot plus wall-clock so the
+    parent's telemetry can attribute time spent in workers.
+    """
+    from repro.core.serialization import config_from_dict, profile_from_dict
+    from repro.core.simulator import Simulation
+
+    config_dict = dict(payload["config"])
+    config_dict.setdefault("name", "farm-point")
+    config = config_from_dict(config_dict)
+    profiles = [profile_from_dict(p) for p in payload["profiles"]]
+    started = time.monotonic()
+    sim = Simulation(config=config, profiles=profiles,
+                     time_slice=payload["time_slice"],
+                     level=payload["level"],
+                     warmup_instructions=payload["warmup_instructions"])
+    stats = sim.run(max_instructions=payload["max_instructions"])
+    return {
+        "stats": stats.to_dict(),
+        "wall_s": time.monotonic() - started,
+    }
+
+
+def run_points(specs: Sequence[PointSpec],
+               jobs: int = 1,
+               cache: Optional[ResultCache] = None,
+               telemetry: Optional[RunTelemetry] = None,
+               timeout: Optional[float] = None,
+               retries: int = 1,
+               on_point=None) -> List[SimStats]:
+    """Execute every point (cache first, then the pool); input order out.
+
+    Args:
+        specs: the points to produce results for.
+        jobs: worker processes for the misses (1 = in-process).
+        cache: optional result cache probed/filled per point.
+        telemetry: optional sink for per-point events.
+        timeout: per-point wall-clock limit (parallel mode).
+        retries: crash/timeout re-run budget per point.
+        on_point: called with each label as its processing starts, in
+            input order (the legacy ``progress`` hook of ``run_sweep``).
+    """
+    results: List[Optional[SimStats]] = [None] * len(specs)
+    todo: List[int] = []
+    keys: List[Optional[str]] = [None] * len(specs)
+    for i, spec in enumerate(specs):
+        if on_point is not None:
+            on_point(spec.label)
+        if cache is not None:
+            keys[i] = spec.key()
+            hit = cache.get(keys[i])
+            if hit is not None:
+                results[i] = hit
+                if telemetry is not None:
+                    telemetry.record_point(spec.label, hit.instructions,
+                                           0.0, cached=True)
+                continue
+        todo.append(i)
+
+    def finish(j: int, value: Dict[str, Any]) -> None:
+        i = todo[j]
+        stats = SimStats.from_dict(value["stats"])
+        results[i] = stats
+        if cache is not None:
+            key = keys[i] if keys[i] is not None else specs[i].key()
+            cache.put(key, stats, meta={
+                "label": specs[i].label,
+                "config": specs[i].config.name,
+                "instructions": stats.instructions,
+                "wall_s": round(value["wall_s"], 3),
+                "created_unix": int(time.time()),
+            })
+        if telemetry is not None:
+            telemetry.record_point(specs[i].label, stats.instructions,
+                                   value["wall_s"], cached=False)
+
+    run_tasks(execute_point,
+              [specs[i].payload() for i in todo],
+              jobs=jobs,
+              timeout=timeout,
+              retries=retries,
+              labels=[specs[i].label for i in todo],
+              on_result=finish)
+    return results  # type: ignore[return-value]

@@ -1,0 +1,188 @@
+"""Worker pool: fan picklable tasks across forked processes.
+
+The paper farmed its sweep out as "a separate simulator binary per
+configuration"; this is the same move in-process.  ``run_tasks(fn,
+payloads)`` executes ``fn(payload)`` for every payload and returns the
+results **in payload order**, regardless of completion order — callers can
+rely on determinism.
+
+Execution model:
+
+* one forked process per task, at most ``jobs`` alive at a time (a task is
+  a whole simulation, seconds of work — per-task process cost is noise);
+* each child reports ``("ok", result)`` or ``("error", message)`` over a
+  pipe;
+* a child that *dies without reporting* (segfault, OOM-kill, ``os._exit``)
+  is retried up to ``retries`` times, then raises
+  :class:`~repro.errors.FarmError` — crashes are plausibly transient;
+* a child that exceeds ``timeout`` seconds is terminated and retried under
+  the same budget;
+* a task function that *raises* fails fast with no retry — a deterministic
+  exception would just raise again.
+
+When ``jobs <= 1`` or the platform cannot fork (Windows, some macOS
+configurations), the pool degrades to plain in-process execution with
+identical semantics except that timeouts are not enforced (there is no
+process to kill).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import FarmError
+
+#: How long one scheduling-loop wait on the children's pipes may block.
+_POLL_SECONDS = 0.05
+
+
+def fork_available() -> bool:
+    """Whether the platform supports the ``fork`` start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _child(conn, fn: Callable[[Any], Any], payload: Any) -> None:
+    try:
+        result = fn(payload)
+    except BaseException as exc:  # report, don't crash: crashes mean retry
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        return
+    conn.send(("ok", result))
+    conn.close()
+
+
+def _label(labels: Optional[Sequence[str]], index: int) -> str:
+    if labels is not None and index < len(labels):
+        return labels[index]
+    return f"task {index}"
+
+
+def _run_serial(fn, payloads, labels, on_result) -> List[Any]:
+    results: List[Any] = []
+    for index, payload in enumerate(payloads):
+        try:
+            result = fn(payload)
+        except FarmError:
+            raise
+        except Exception as exc:
+            raise FarmError(
+                f"task {_label(labels, index)!r} failed: "
+                f"{type(exc).__name__}: {exc}",
+                label=_label(labels, index)) from exc
+        results.append(result)
+        if on_result is not None:
+            on_result(index, result)
+    return results
+
+
+def run_tasks(fn: Callable[[Any], Any],
+              payloads: Sequence[Any],
+              jobs: int = 1,
+              timeout: Optional[float] = None,
+              retries: int = 1,
+              labels: Optional[Sequence[str]] = None,
+              on_result: Optional[Callable[[int, Any], None]] = None
+              ) -> List[Any]:
+    """Run ``fn`` over every payload; results in payload order.
+
+    Args:
+        fn: top-level callable (picklable not required under fork, but keep
+            it importable for readability); receives one payload.
+        payloads: task inputs; each must produce a picklable result.
+        jobs: maximum concurrently running workers.
+        timeout: per-task wall-clock limit in seconds (parallel mode only).
+        retries: how many *re-runs* a crashed or timed-out task gets.
+        labels: optional human-readable task names for errors/telemetry.
+        on_result: called as ``on_result(index, result)`` as each task
+            completes (completion order, not payload order).
+
+    Raises:
+        FarmError: a task raised, or crashed/timed out past its retry
+            budget.  Outstanding workers are terminated before raising.
+    """
+    if not payloads:
+        return []
+    if jobs <= 1 or not fork_available():
+        return _run_serial(fn, payloads, labels, on_result)
+
+    ctx = multiprocessing.get_context("fork")
+    results: List[Any] = [None] * len(payloads)
+    pending = deque(range(len(payloads)))
+    attempts: Dict[int, int] = {i: 0 for i in range(len(payloads))}
+    # index -> (process, receiving pipe end, absolute deadline or None)
+    active: Dict[int, Tuple[Any, Any, Optional[float]]] = {}
+
+    def _reap(index: int) -> None:
+        proc, conn, _ = active.pop(index)
+        try:
+            conn.close()
+        except OSError:
+            pass
+        if proc.is_alive():
+            proc.terminate()
+        proc.join()
+
+    def _retry_or_fail(index: int, what: str) -> None:
+        attempts[index] += 1
+        if attempts[index] > retries:
+            raise FarmError(
+                f"task {_label(labels, index)!r} {what} "
+                f"(attempt {attempts[index]} of {retries + 1})",
+                label=_label(labels, index))
+        pending.appendleft(index)
+
+    try:
+        while pending or active:
+            while pending and len(active) < jobs:
+                index = pending.popleft()
+                recv, send = ctx.Pipe(duplex=False)
+                proc = ctx.Process(target=_child,
+                                   args=(send, fn, payloads[index]),
+                                   daemon=True)
+                proc.start()
+                send.close()  # child holds the only writer now
+                deadline = (time.monotonic() + timeout
+                            if timeout is not None else None)
+                active[index] = (proc, recv, deadline)
+
+            ready = multiprocessing.connection.wait(
+                [conn for _, conn, _ in active.values()],
+                timeout=_POLL_SECONDS)
+            now = time.monotonic()
+            for index in list(active):
+                proc, conn, deadline = active[index]
+                if conn in ready:
+                    try:
+                        status, value = conn.recv()
+                    except (EOFError, OSError):
+                        _reap(index)
+                        _retry_or_fail(index, "crashed mid-report")
+                        continue
+                    _reap(index)
+                    if status != "ok":
+                        raise FarmError(
+                            f"task {_label(labels, index)!r} failed: {value}",
+                            label=_label(labels, index))
+                    results[index] = value
+                    if on_result is not None:
+                        on_result(index, value)
+                elif deadline is not None and now > deadline:
+                    _reap(index)
+                    _retry_or_fail(index, f"timed out after {timeout:g}s")
+                elif not proc.is_alive() and not conn.poll():
+                    code = proc.exitcode
+                    _reap(index)
+                    _retry_or_fail(index,
+                                   f"crashed (exit code {code}) "
+                                   f"without reporting a result")
+    finally:
+        for index in list(active):
+            _reap(index)
+    return results

@@ -1,0 +1,152 @@
+"""Run telemetry: per-point progress, throughput, hit-rate, JSON manifest.
+
+A :class:`RunTelemetry` collects one event per completed unit of work —
+a simulated sweep point, a cache hit that replaced one, or a whole
+experiment — and can
+
+* narrate progress to a stream (stderr by default, ``stream=None`` for
+  silence),
+* summarize throughput (simulated instructions per wall-clock second) and
+  cache hit-rate, and
+* persist the whole run as a JSON *manifest* (atomic write), which is what
+  CI asserts against instead of scraping log lines.
+
+Worker processes each carry their own telemetry; the parent folds their
+summaries back in with :meth:`merge`, so counters survive the process
+boundary.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional, TextIO, Union
+
+from repro.robust.atomic import atomic_write_text
+
+PathLike = Union[str, os.PathLike]
+
+MANIFEST_MAGIC = "repro-farm-manifest"
+MANIFEST_VERSION = 1
+
+
+class RunTelemetry:
+    """Accumulates farm events and renders progress / a run manifest."""
+
+    def __init__(self, stream: Optional[TextIO] = sys.stderr,
+                 tag: str = "farm"):
+        self.stream = stream
+        self.tag = tag
+        self.events: List[Dict[str, Any]] = []
+        self._started = time.monotonic()
+        # Counters folded in from worker-process summaries.
+        self._merged_points = 0
+        self._merged_hits = 0
+        self._merged_instructions = 0
+        self._merged_wall = 0.0
+
+    # ------------------------------------------------------------- recording
+
+    def record_point(self, label: str, instructions: int, wall_s: float,
+                     cached: bool) -> None:
+        """One sweep point finished (from simulation or from the cache)."""
+        self.events.append({
+            "kind": "point",
+            "label": label,
+            "instructions": int(instructions),
+            "wall_s": round(float(wall_s), 6),
+            "cached": bool(cached),
+        })
+        if self.stream is not None:
+            if cached:
+                detail = "cache hit"
+            else:
+                rate = instructions / wall_s if wall_s > 0 else 0.0
+                detail = (f"{wall_s:.1f}s, {instructions:,} instr, "
+                          f"{rate / 1e6:.2f} M instr/s")
+            done = sum(1 for e in self.events if e["kind"] == "point")
+            print(f"[{self.tag}] point {done}: {label} ({detail})",
+                  file=self.stream, flush=True)
+
+    def record_task(self, label: str, wall_s: float,
+                    summary: Optional[Dict[str, Any]] = None) -> None:
+        """A coarser unit (e.g. one experiment) finished; optionally fold
+        in the telemetry summary its worker process reported."""
+        event: Dict[str, Any] = {
+            "kind": "task",
+            "label": label,
+            "wall_s": round(float(wall_s), 6),
+        }
+        if summary:
+            event["points"] = summary.get("points", 0)
+            event["cache_hits"] = summary.get("cache_hits", 0)
+            self.merge(summary)
+        self.events.append(event)
+        if self.stream is not None:
+            extra = ""
+            if summary:
+                extra = (f", {summary.get('points', 0)} points, "
+                         f"{summary.get('cache_hits', 0)} cached")
+            print(f"[{self.tag}] task {label} done in {wall_s:.1f}s{extra}",
+                  file=self.stream, flush=True)
+
+    def merge(self, summary: Dict[str, Any]) -> None:
+        """Fold another telemetry's :meth:`summary` into this one's totals
+        (used across the worker-process boundary)."""
+        self._merged_points += summary.get("points", 0)
+        self._merged_hits += summary.get("cache_hits", 0)
+        self._merged_instructions += summary.get("instructions", 0)
+        self._merged_wall += summary.get("point_wall_s", 0.0)
+
+    # ------------------------------------------------------------- summaries
+
+    @property
+    def elapsed_s(self) -> float:
+        return time.monotonic() - self._started
+
+    def summary(self) -> Dict[str, Any]:
+        points = [e for e in self.events if e["kind"] == "point"]
+        n = len(points) + self._merged_points
+        hits = (sum(1 for e in points if e["cached"]) + self._merged_hits)
+        instructions = (sum(e["instructions"] for e in points)
+                        + self._merged_instructions)
+        point_wall = (sum(e["wall_s"] for e in points if not e["cached"])
+                      + self._merged_wall)
+        elapsed = self.elapsed_s
+        return {
+            "points": n,
+            "cache_hits": hits,
+            "cache_hit_rate": hits / n if n else 0.0,
+            "instructions": instructions,
+            "point_wall_s": round(point_wall, 6),
+            "elapsed_s": round(elapsed, 6),
+            "instructions_per_second": (instructions / elapsed
+                                        if elapsed > 0 else 0.0),
+        }
+
+    def format_summary(self) -> str:
+        s = self.summary()
+        return (f"{s['points']} points, {s['cache_hits']} cache hits "
+                f"({100.0 * s['cache_hit_rate']:.1f}%), "
+                f"{s['instructions']:,} instructions in "
+                f"{s['elapsed_s']:.1f}s "
+                f"({s['instructions_per_second'] / 1e6:.2f} M instr/s)")
+
+    def print_summary(self) -> None:
+        if self.stream is not None:
+            print(f"[{self.tag}] {self.format_summary()}",
+                  file=self.stream, flush=True)
+
+    # -------------------------------------------------------------- manifest
+
+    def write_manifest(self, path: PathLike) -> None:
+        """Persist the run as JSON: summary plus every event, atomically."""
+        manifest = {
+            "magic": MANIFEST_MAGIC,
+            "version": MANIFEST_VERSION,
+            "summary": self.summary(),
+            "events": self.events,
+        }
+        atomic_write_text(path, json.dumps(manifest, indent=1) + "\n")

@@ -112,6 +112,13 @@ def make_batch(pcs: Sequence[int],
     )
 
 
+@pytest.fixture(autouse=True)
+def _isolated_farm_cache(tmp_path, monkeypatch):
+    """Point the farm's result cache at a per-test directory so the suite
+    neither reads from nor pollutes the user's ~/.cache/repro-farm."""
+    monkeypatch.setenv("REPRO_FARM_CACHE", str(tmp_path / "farm-cache"))
+
+
 @pytest.fixture
 def write_back_system() -> MemorySystem:
     """A tiny write-back memory system."""
