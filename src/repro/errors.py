@@ -1,6 +1,11 @@
-"""Exception types raised by the repro library."""
+"""Exception types raised by the repro library, and the shared CLI
+error policy (:func:`cli_errors`) that turns them into one-line
+diagnostics instead of tracebacks."""
 
 from __future__ import annotations
+
+import functools
+import sys
 
 
 class ReproError(Exception):
@@ -45,3 +50,49 @@ class FarmError(ReproError):
     def __init__(self, message: str, label: str = ""):
         super().__init__(message)
         self.label = label
+
+
+class FarmCancelled(FarmError):
+    """A farm run was cancelled mid-flight (a caller set the pool's stop
+    event, e.g. a draining server abandoning a request whose deadline has
+    already been answered).  Outstanding workers were terminated and reaped
+    before this was raised."""
+
+
+class ServeError(ReproError):
+    """The simulation service could not satisfy a request: the server
+    rejected it, retries and the circuit breaker gave up, or the client's
+    total deadline budget ran out.  Carries the last HTTP status seen
+    (0 when the failure never reached the server)."""
+
+    def __init__(self, message: str, status: int = 0):
+        super().__init__(message)
+        self.status = status
+
+
+#: Error classes a command-line tool reports as a one-line message with a
+#: non-zero exit code; anything else is a genuine bug and may traceback.
+EXPECTED_CLI_ERRORS = (ReproError,)
+
+
+def cli_errors(fn):
+    """Decorate a CLI ``main(argv) -> int`` with the shared error policy.
+
+    Expected failures (:data:`EXPECTED_CLI_ERRORS`) print one
+    ``error: ...`` line on stderr and exit 1; ``Ctrl-C`` exits 130 with a
+    one-line note.  Unexpected exceptions propagate — a traceback for a
+    genuine bug is a feature.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(argv=None) -> int:
+        try:
+            return fn(argv)
+        except EXPECTED_CLI_ERRORS as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except KeyboardInterrupt:
+            print("interrupted", file=sys.stderr)
+            return 130
+
+    return wrapper

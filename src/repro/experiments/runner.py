@@ -25,12 +25,14 @@ hit-rate) as JSON.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from dataclasses import asdict
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.errors import FarmCancelled, cli_errors
 from repro.experiments.common import (
     DEFAULT_SCALE,
     DESCRIPTIONS,
@@ -42,6 +44,7 @@ from repro.farm.context import farm_session
 from repro.farm.pool import run_tasks
 from repro.farm.telemetry import RunTelemetry
 from repro.robust.atomic import atomic_write_text
+from repro.robust.signals import SignalDrain
 
 # Importing the modules populates REGISTRY.
 from repro.experiments import (  # noqa: F401  (imported for registration)
@@ -166,6 +169,24 @@ def _experiment_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def clamp_jobs(requested: int,
+               cpu_count: Optional[int] = None) -> Tuple[int, Optional[str]]:
+    """Clamp a ``--jobs`` request to the machine's CPU count.
+
+    Forked simulation workers are CPU-bound; oversubscribing buys context
+    switches, not throughput — ``BENCH_farm.json`` records a 0.874x
+    "speedup" for jobs=4 on a 1-CPU box.  Returns the effective job count
+    and a warning line when the request was clamped.
+    """
+    cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    if requested <= cpus:
+        return requested, None
+    return cpus, (f"--jobs {requested} oversubscribes this "
+                  f"{cpus}-CPU machine (simulation workers are CPU-bound "
+                  f"and parallel efficiency drops below serial); "
+                  f"clamping to {cpus}")
+
+
 def _filter_resume(wanted: List[str], out: Optional[Path],
                    resume: bool) -> List[str]:
     """Drop already-completed experiments; a zero-byte report (a stale
@@ -185,6 +206,7 @@ def _filter_resume(wanted: List[str], out: Optional[Path],
     return remaining
 
 
+@cli_errors
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -224,41 +246,59 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
+    jobs, clamp_warning = clamp_jobs(args.jobs)
+    if clamp_warning is not None:
+        print(f"[warning: {clamp_warning}]", file=sys.stderr)
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
     wanted = _filter_resume(wanted, args.out, args.resume)
 
     reports: Dict[str, str] = {}
     elapsed: Dict[str, float] = {}
-    if args.jobs > 1 and len(wanted) > 1:
-        # Independent experiments fan out across workers; each worker's
-        # sweep points still share the on-disk result cache.
-        payloads = [{
-            "experiment_id": experiment_id,
-            "scale": asdict(scale),
-            "cache_dir": None if cache is None else str(cache.root),
-            "chart": args.chart,
-        } for experiment_id in wanted]
+    interrupted = False
+    # The same latch-and-drain signal handling the server uses: SIGTERM or
+    # Ctrl-C stops cleanly between experiments, flushes every completed
+    # report and the manifest, then exits through the conventional path.
+    with SignalDrain(reraise=False) as latch:
+        if jobs > 1 and len(wanted) > 1:
+            # Independent experiments fan out across workers; each
+            # worker's sweep points still share the on-disk result cache.
+            payloads = [{
+                "experiment_id": experiment_id,
+                "scale": asdict(scale),
+                "cache_dir": None if cache is None else str(cache.root),
+                "chart": args.chart,
+            } for experiment_id in wanted]
 
-        def collect(index: int, value: Dict[str, Any]) -> None:
-            experiment_id = wanted[index]
-            reports[experiment_id] = value["report"]
-            elapsed[experiment_id] = value["elapsed"]
-            telemetry.record_task(experiment_id, value["elapsed"],
-                                  value["telemetry"])
+            def collect(index: int, value: Dict[str, Any]) -> None:
+                experiment_id = wanted[index]
+                reports[experiment_id] = value["report"]
+                elapsed[experiment_id] = value["elapsed"]
+                telemetry.record_task(experiment_id, value["elapsed"],
+                                      value["telemetry"])
 
-        run_tasks(_experiment_task, payloads, jobs=args.jobs,
-                  labels=wanted, on_result=collect)
-    else:
-        with farm_session(jobs=1, cache=cache, no_cache=args.no_cache,
-                          telemetry=telemetry):
-            for experiment_id in wanted:
-                started = time.time()
-                reports[experiment_id] = _render(experiment_id, scale,
-                                                 args.chart)
-                elapsed[experiment_id] = time.time() - started
+            try:
+                run_tasks(_experiment_task, payloads, jobs=jobs,
+                          labels=wanted, on_result=collect)
+            except FarmCancelled:
+                interrupted = True  # pool already reaped its children
+        else:
+            with farm_session(jobs=1, cache=cache, no_cache=args.no_cache,
+                              telemetry=telemetry):
+                for experiment_id in wanted:
+                    if latch.triggered:
+                        interrupted = True
+                        break
+                    started = time.time()
+                    reports[experiment_id] = _render(experiment_id, scale,
+                                                     args.chart)
+                    elapsed[experiment_id] = time.time() - started
+        interrupted = interrupted or latch.triggered
+        latch.consume()
 
     for experiment_id in wanted:
+        if experiment_id not in reports:
+            continue  # cut short by a signal
         print(reports[experiment_id])
         print(f"[{experiment_id} completed in {elapsed[experiment_id]:.1f}s]\n")
         if args.out is not None:
@@ -270,6 +310,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"[farm: {telemetry.format_summary()}]")
     if args.manifest is not None:
         telemetry.write_manifest(args.manifest)
+    if interrupted:
+        print("[interrupted: completed reports and telemetry flushed; "
+              "re-run with --resume to continue]", file=sys.stderr)
+        return 130
     return 0
 
 

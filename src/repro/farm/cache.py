@@ -223,21 +223,34 @@ class ResultCache:
     def gc(self, max_age_days: Optional[float] = None,
            keep: Optional[int] = None) -> int:
         """Drop entries older than ``max_age_days`` and/or all but the
-        newest ``keep``; returns the number removed."""
-        paths = list(self._entry_paths())
-        by_age = sorted(paths, key=lambda p: p.stat().st_mtime, reverse=True)
+        newest ``keep``; returns the number removed.
+
+        Safe to run concurrently with readers, writers, and other
+        collectors: every ``stat``/``unlink`` tolerates the file vanishing
+        between the directory listing and the call (the classic TOCTOU) —
+        a racing :meth:`get` then simply sees a miss and re-simulates.
+        """
+        ages: Dict[Path, float] = {}
+        for path in self._entry_paths():
+            try:
+                ages[path] = path.stat().st_mtime
+            except OSError:
+                continue  # vanished under us (concurrent gc/clear): skip
+        by_age = sorted(ages, key=ages.get, reverse=True)
         doomed = set()
         if max_age_days is not None:
             cutoff = time.time() - max_age_days * 86400.0
-            doomed.update(p for p in paths if p.stat().st_mtime < cutoff)
+            doomed.update(p for p, mtime in ages.items() if mtime < cutoff)
         if keep is not None:
             doomed.update(by_age[keep:])
+        removed = 0
         for path in doomed:
             try:
                 path.unlink()
+                removed += 1
             except OSError:
                 pass
-        return len(doomed)
+        return removed
 
     def clear(self) -> int:
         """Remove every entry; returns the number removed."""

@@ -20,6 +20,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.errors import cli_errors
 from repro.farm.cache import ResultCache
 
 
@@ -70,6 +71,7 @@ def _cmd_stats(cache: ResultCache, args) -> int:
     return 0
 
 
+@cli_errors
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)

@@ -15,6 +15,7 @@ observe whether a point came from silicon or disk.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -56,9 +57,19 @@ def execute_point(payload: Dict[str, Any]) -> Dict[str, Any]:
 
     Returns a picklable dict: the stats snapshot plus wall-clock so the
     parent's telemetry can attribute time spent in workers.
+
+    This is the farm's process-fault boundary: when the chaos harness arms
+    :data:`repro.robust.faults.WORKER_FAULT_ENV`, the injected crash/stall
+    happens here — before any result exists — so a killed worker can only
+    ever cost a retry, never corrupt a result.
     """
     from repro.core.serialization import config_from_dict, profile_from_dict
     from repro.core.simulator import Simulation
+
+    if os.environ.get("REPRO_WORKER_FAULTS"):
+        from repro.robust.faults import maybe_worker_fault
+
+        maybe_worker_fault(label="execute_point")
 
     config_dict = dict(payload["config"])
     config_dict.setdefault("name", "farm-point")
@@ -82,7 +93,8 @@ def run_points(specs: Sequence[PointSpec],
                telemetry: Optional[RunTelemetry] = None,
                timeout: Optional[float] = None,
                retries: int = 1,
-               on_point=None) -> List[SimStats]:
+               on_point=None,
+               stop_event=None) -> List[SimStats]:
     """Execute every point (cache first, then the pool); input order out.
 
     Args:
@@ -94,6 +106,8 @@ def run_points(specs: Sequence[PointSpec],
         retries: crash/timeout re-run budget per point.
         on_point: called with each label as its processing starts, in
             input order (the legacy ``progress`` hook of ``run_sweep``).
+        stop_event: optional cancellation token forwarded to the pool
+            (see :func:`repro.farm.pool.run_tasks`).
     """
     results: List[Optional[SimStats]] = [None] * len(specs)
     todo: List[int] = []
@@ -135,5 +149,6 @@ def run_points(specs: Sequence[PointSpec],
               timeout=timeout,
               retries=retries,
               labels=[specs[i].label for i in todo],
-              on_result=finish)
+              on_result=finish,
+              stop_event=stop_event)
     return results  # type: ignore[return-value]

@@ -24,17 +24,31 @@ When ``jobs <= 1`` or the platform cannot fork (Windows, some macOS
 configurations), the pool degrades to plain in-process execution with
 identical semantics except that timeouts are not enforced (there is no
 process to kill).
+
+Interruption is first-class:
+
+* a caller can hand ``run_tasks`` a ``stop_event`` (any object with
+  ``is_set()``); setting it terminates and reaps every outstanding worker
+  and raises :class:`~repro.errors.FarmCancelled` — this is how a
+  draining server abandons a request it has already answered with 504;
+* when running on the main thread, SIGINT/SIGTERM are latched via
+  :class:`~repro.robust.signals.SignalDrain` for the duration of the run:
+  children are terminated and reaped *first*, then the signal is
+  re-delivered with its original disposition — Ctrl-C or a supervisor's
+  TERM never orphans live forks.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.connection
+import signal
 import time
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import FarmError
+from repro.errors import FarmCancelled, FarmError
+from repro.robust.signals import SignalDrain
 
 #: How long one scheduling-loop wait on the children's pipes may block.
 _POLL_SECONDS = 0.05
@@ -46,6 +60,11 @@ def fork_available() -> bool:
 
 
 def _child(conn, fn: Callable[[Any], Any], payload: Any) -> None:
+    # The fork inherits the parent's latched SIGINT/SIGTERM handlers
+    # (SignalDrain); restore the defaults so ``terminate()`` and Ctrl-C
+    # actually kill the child instead of being latched and ignored.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_DFL)
     try:
         result = fn(payload)
     except BaseException as exc:  # report, don't crash: crashes mean retry
@@ -88,7 +107,8 @@ def run_tasks(fn: Callable[[Any], Any],
               timeout: Optional[float] = None,
               retries: int = 1,
               labels: Optional[Sequence[str]] = None,
-              on_result: Optional[Callable[[int, Any], None]] = None
+              on_result: Optional[Callable[[int, Any], None]] = None,
+              stop_event: Optional[Any] = None
               ) -> List[Any]:
     """Run ``fn`` over every payload; results in payload order.
 
@@ -102,8 +122,13 @@ def run_tasks(fn: Callable[[Any], Any],
         labels: optional human-readable task names for errors/telemetry.
         on_result: called as ``on_result(index, result)`` as each task
             completes (completion order, not payload order).
+        stop_event: optional cancellation token (``is_set()`` is polled
+            every scheduling pass, parallel mode only); when set, workers
+            are terminated and :class:`~repro.errors.FarmCancelled` is
+            raised.
 
     Raises:
+        FarmCancelled: ``stop_event`` was set mid-run.
         FarmError: a task raised, or crashed/timed out past its retry
             budget.  Outstanding workers are terminated before raising.
     """
@@ -111,7 +136,13 @@ def run_tasks(fn: Callable[[Any], Any],
         return []
     if jobs <= 1 or not fork_available():
         return _run_serial(fn, payloads, labels, on_result)
+    with SignalDrain() as drain:
+        return _run_forked(fn, payloads, jobs, timeout, retries, labels,
+                           on_result, stop_event, drain)
 
+
+def _run_forked(fn, payloads, jobs, timeout, retries, labels, on_result,
+                stop_event, drain: SignalDrain) -> List[Any]:
     ctx = multiprocessing.get_context("fork")
     results: List[Any] = [None] * len(payloads)
     pending = deque(range(len(payloads)))
@@ -140,6 +171,13 @@ def run_tasks(fn: Callable[[Any], Any],
 
     try:
         while pending or active:
+            if drain.triggered:
+                # Reap everything (the ``finally`` below), then let the
+                # signal take its normal course on the way out.
+                raise FarmCancelled(
+                    "worker pool interrupted by signal; children reaped")
+            if stop_event is not None and stop_event.is_set():
+                raise FarmCancelled("worker pool cancelled by caller")
             while pending and len(active) < jobs:
                 index = pending.popleft()
                 recv, send = ctx.Pipe(duplex=False)

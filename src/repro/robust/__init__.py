@@ -27,17 +27,28 @@ from repro.robust.checkpoint import (
     resume,
     save_checkpoint,
 )
-from repro.robust.faults import FaultInjector
+from repro.robust.faults import (
+    WORKER_FAULT_ENV,
+    FaultInjector,
+    maybe_worker_fault,
+    worker_fault_spec,
+)
+from repro.robust.signals import DRAIN_SIGNALS, SignalDrain
 
 __all__ = [
     "AuditConfig",
     "CHECKPOINT_MAGIC",
     "CHECKPOINT_VERSION",
+    "DRAIN_SIGNALS",
     "FaultInjector",
     "InvariantAuditor",
+    "SignalDrain",
+    "WORKER_FAULT_ENV",
     "atomic_write_bytes",
     "atomic_write_text",
     "load_checkpoint",
+    "maybe_worker_fault",
     "resume",
     "save_checkpoint",
+    "worker_fault_spec",
 ]

@@ -26,17 +26,32 @@ insert_wb_garbage      write-buffer conservation + completion ordering
 flip_l2_tag            L2 tag/index structural check
 corrupt_tlb            TLB duplicate-entry check
 corrupt_checkpoint     checkpoint gzip/checksum verification
+corrupt_file           cache-entry checksum verification (entry -> miss)
 =====================  ====================================================
 
 Injectors mutate their target in place and append a human-readable record
 to :attr:`FaultInjector.log`; they return a description dict (or ``None``
 when the target holds no state to corrupt, e.g. an empty write buffer).
+
+Process-level faults
+--------------------
+
+The farm's forked workers are a fault domain of their own: they can crash
+(OOM-kill, segfault) or stall (NFS hang, swap death).  The chaos harness
+(:mod:`repro.serve.chaos`) injects both through an environment variable,
+:data:`WORKER_FAULT_ENV`, holding a spec like ``"crash=0.3,stall=0.2,
+stall_s=5"`` — probabilities per task attempt.  A pool worker opts in by
+calling :func:`maybe_worker_fault` at task start (``execute_point`` does);
+the call is free when the variable is unset.  Crashes use ``os._exit`` so
+no Python cleanup can soften them, exactly like the real failure.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Optional, Union
+import random
+import time
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -202,11 +217,12 @@ class FaultInjector:
         tlb._sets[i].append(tlb._sets[i][0])
         return self._note("corrupt_tlb", index=i)
 
-    # ------------------------------------------------------------- checkpoint
+    # ------------------------------------------------------- files on disk
 
-    def corrupt_checkpoint(self, path: PathLike,
-                           offset: Optional[int] = None) -> dict:
-        """Flip one byte of a checkpoint file on disk."""
+    def corrupt_file(self, path: PathLike,
+                     offset: Optional[int] = None,
+                     kind: str = "corrupt_file") -> dict:
+        """Flip one byte of any file on disk (checkpoint, cache entry...)."""
         with open(path, "rb") as handle:
             blob = bytearray(handle.read())
         if offset is None:
@@ -214,4 +230,59 @@ class FaultInjector:
         blob[offset] ^= 0xFF
         with open(path, "wb") as handle:
             handle.write(bytes(blob))
-        return self._note("corrupt_checkpoint", path=str(path), offset=offset)
+        return self._note(kind, path=str(path), offset=offset)
+
+    def corrupt_checkpoint(self, path: PathLike,
+                           offset: Optional[int] = None) -> dict:
+        """Flip one byte of a checkpoint file on disk."""
+        return self.corrupt_file(path, offset, kind="corrupt_checkpoint")
+
+
+# ---------------------------------------------------- process-level faults
+
+#: Environment variable carrying the worker fault spec; forked pool
+#: children inherit it from the parent, so setting it in a server or a
+#: chaos harness reaches every subsequently-started worker.
+WORKER_FAULT_ENV = "REPRO_WORKER_FAULTS"
+
+
+def worker_fault_spec(crash: float = 0.0, stall: float = 0.0,
+                      stall_s: float = 30.0) -> str:
+    """Render a :data:`WORKER_FAULT_ENV` value: per-attempt crash/stall
+    probabilities and the stall duration in seconds."""
+    return f"crash={crash:g},stall={stall:g},stall_s={stall_s:g}"
+
+
+def parse_worker_faults(spec: str) -> Dict[str, float]:
+    """Parse a fault spec; unknown or malformed fields are ignored (a typo
+    in a chaos knob must never take down a production worker)."""
+    out = {"crash": 0.0, "stall": 0.0, "stall_s": 30.0}
+    for field in spec.split(","):
+        name, sep, value = field.partition("=")
+        name = name.strip()
+        if sep and name in out:
+            try:
+                out[name] = float(value)
+            except ValueError:
+                pass
+    return out
+
+
+def maybe_worker_fault(label: str = "") -> None:
+    """Possibly crash or stall the calling worker process.
+
+    Reads :data:`WORKER_FAULT_ENV`; a no-op when unset.  Randomness is
+    drawn fresh per call (seeded by the OS), so a retried attempt of the
+    same task rolls new dice — which is what makes crash-retry recovery
+    testable.  A crash is ``os._exit(137)``: no exception, no cleanup,
+    indistinguishable from an OOM kill.
+    """
+    spec = os.environ.get(WORKER_FAULT_ENV)
+    if not spec:
+        return
+    faults = parse_worker_faults(spec)
+    rng = random.SystemRandom()
+    if faults["crash"] > 0 and rng.random() < faults["crash"]:
+        os._exit(137)
+    if faults["stall"] > 0 and rng.random() < faults["stall"]:
+        time.sleep(faults["stall_s"])

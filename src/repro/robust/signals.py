@@ -1,0 +1,110 @@
+"""Shared graceful-shutdown signal handling.
+
+Three long-running entry points need the same behaviour on SIGINT/SIGTERM
+— *stop cleanly instead of dying mid-write with orphaned children*:
+
+* the forked worker pool (:mod:`repro.farm.pool`) must terminate and reap
+  its children before the parent exits;
+* the experiment runner (``repro-experiments``) must finish the report it
+  is writing and flush its telemetry manifest;
+* the simulation service (``repro-serve``) must drain: stop accepting,
+  finish or checkpoint in-flight work, then exit 0.
+
+:class:`SignalDrain` is the one mechanism behind all three: a context
+manager that *latches* delivered signals instead of letting them kill the
+process, so the protected region can poll :meth:`SignalDrain.triggered`
+(or register a callback) and unwind on its own schedule.  On exit the
+previous handlers are restored, and — unless the caller consumed the
+signal — the latched signal is re-delivered so the process still
+terminates with conventional semantics (KeyboardInterrupt for SIGINT,
+death-by-SIGTERM for SIGTERM).
+
+Signal handlers can only be installed from the main thread; elsewhere the
+context manager degrades to a no-op latch that never triggers, which is
+exactly what a pool running inside a server worker thread wants (the
+server owns the signals).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from typing import Callable, Iterable, List, Optional
+
+#: The signals a graceful shutdown handles by default.
+DRAIN_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+
+class SignalDrain:
+    """Latch SIGINT/SIGTERM for the duration of a ``with`` block.
+
+    Args:
+        on_signal: optional callback invoked (from the signal handler, so
+            keep it tiny and lock-free — setting a ``threading.Event`` is
+            the intended use) the first time a signal arrives.
+        signals: which signals to latch.
+        reraise: re-deliver the latched signal with the original handler
+            restored when the block exits (default).  Callers that turn
+            the signal into a clean exit code pass ``reraise=False``.
+    """
+
+    def __init__(self,
+                 on_signal: Optional[Callable[[int], None]] = None,
+                 signals: Iterable[int] = DRAIN_SIGNALS,
+                 reraise: bool = True):
+        self._signals = tuple(signals)
+        self._on_signal = on_signal
+        self._reraise = reraise
+        self._previous: List = []
+        self._received: List[int] = []
+        self._installed = False
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def triggered(self) -> bool:
+        """Whether a latched signal has arrived."""
+        return bool(self._received)
+
+    @property
+    def signum(self) -> Optional[int]:
+        """The first latched signal number, if any."""
+        return self._received[0] if self._received else None
+
+    def consume(self) -> Optional[int]:
+        """Claim the latched signal: returns it and suppresses re-delivery
+        (the caller is converting it into a clean exit)."""
+        signum = self.signum
+        self._received.clear()
+        return signum
+
+    # -------------------------------------------------------------- lifecycle
+
+    def _handler(self, signum, frame) -> None:
+        first = not self._received
+        self._received.append(signum)
+        if first and self._on_signal is not None:
+            self._on_signal(signum)
+
+    def __enter__(self) -> "SignalDrain":
+        if threading.current_thread() is threading.main_thread():
+            try:
+                self._previous = [signal.signal(s, self._handler)
+                                  for s in self._signals]
+                self._installed = True
+            except ValueError:  # pragma: no cover - interpreter teardown
+                self._previous = []
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._installed:
+            for signum, previous in zip(self._signals, self._previous):
+                signal.signal(signum, previous)
+            self._installed = False
+            if self._received and self._reraise:
+                # Children are reaped and state is flushed; now die the
+                # way the sender asked, under the restored disposition
+                # (KeyboardInterrupt for SIGINT, termination for SIGTERM).
+                # This happens even while an exception is unwinding: the
+                # latched signal outranks whatever the block was raising.
+                signal.raise_signal(self._received[0])

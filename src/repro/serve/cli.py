@@ -1,0 +1,182 @@
+"""``repro-serve``: run, query, and torture the simulation service.
+
+Usage::
+
+    repro-serve start --port 8023 --queue-depth 8 --workers 2
+    repro-serve simulate --url http://127.0.0.1:8023 \\
+        --config machine.json --instructions 200000 --level 4
+    repro-serve metrics --url http://127.0.0.1:8023
+    repro-serve chaos --duration 6
+
+``start`` serves until SIGINT/SIGTERM and then drains gracefully (stop
+accepting, finish or checkpoint in-flight simulations, exit 0).
+``simulate`` is the retrying client: it backs off with jitter on 429/503,
+honors ``Retry-After``, and fails fast once its circuit breaker opens.
+``chaos`` runs the self-contained fault storm and exits non-zero if any
+robustness guarantee was violated — CI's smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.errors import ServeError, cli_errors
+from repro.farm.cache import ResultCache
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Fault-tolerant simulation service for config→CPI "
+                    "queries, backed by the farm's result cache.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    start = sub.add_parser("start", help="run the service until signalled")
+    start.add_argument("--host", default="127.0.0.1")
+    start.add_argument("--port", type=int, default=8023)
+    start.add_argument("--queue-depth", type=int, default=8,
+                       help="bounded admission queue; beyond it requests "
+                            "are shed with 429 (default %(default)s)")
+    start.add_argument("--workers", type=int, default=2,
+                       help="executor threads (default %(default)s)")
+    start.add_argument("--deadline", type=float, default=30.0,
+                       help="default per-request deadline, seconds")
+    start.add_argument("--max-deadline", type=float, default=120.0,
+                       help="ceiling on client-requested deadlines")
+    start.add_argument("--drain-grace", type=float, default=10.0,
+                       help="seconds a drain lets in-flight work finish")
+    start.add_argument("--isolation", choices=["auto", "fork", "inline"],
+                       default="auto",
+                       help="simulation isolation (default %(default)s)")
+    start.add_argument("--checkpoint-dir", type=Path, default=None,
+                       help="spool for drain checkpoints (inline mode)")
+    start.add_argument("--cache-dir", type=Path, default=None,
+                       help="result cache root (default: $REPRO_FARM_CACHE "
+                            "or ~/.cache/repro-farm)")
+    start.add_argument("--no-cache", action="store_true",
+                       help="serve without the result cache")
+
+    simulate = sub.add_parser("simulate",
+                              help="run one point through a server")
+    simulate.add_argument("--url", default="http://127.0.0.1:8023")
+    simulate.add_argument("--config", type=Path, required=True,
+                          help="SystemConfig JSON file")
+    simulate.add_argument("--instructions", type=int, default=120000,
+                          help="instructions per benchmark")
+    simulate.add_argument("--level", type=int, default=2,
+                          help="multiprogramming level")
+    simulate.add_argument("--time-slice", type=int, default=30000)
+    simulate.add_argument("--deadline", type=float, default=None,
+                          help="per-request deadline, seconds")
+    simulate.add_argument("--budget", type=float, default=60.0,
+                          help="total client budget across retries")
+    simulate.add_argument("--json", action="store_true",
+                          help="print the raw response JSON")
+
+    metrics = sub.add_parser("metrics", help="print a /metrics snapshot")
+    metrics.add_argument("--url", default="http://127.0.0.1:8023")
+
+    chaos = sub.add_parser("chaos",
+                           help="run the chaos storm; exit 1 on violation")
+    chaos.add_argument("--duration", type=float, default=6.0)
+    chaos.add_argument("--clients", type=int, default=4)
+    chaos.add_argument("--crash-p", type=float, default=0.25,
+                       help="per-attempt worker crash probability")
+    chaos.add_argument("--stall-p", type=float, default=0.35,
+                       help="per-attempt worker stall probability")
+    chaos.add_argument("--queue-depth", type=int, default=2)
+    chaos.add_argument("--isolation", choices=["auto", "fork", "inline"],
+                       default="auto")
+    chaos.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_start(args) -> int:
+    from repro.serve.server import ServeSettings, SimServer
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    settings = ServeSettings(
+        host=args.host, port=args.port, queue_depth=args.queue_depth,
+        workers=args.workers, default_deadline_s=args.deadline,
+        max_deadline_s=args.max_deadline, drain_grace_s=args.drain_grace,
+        isolation=args.isolation, checkpoint_dir=args.checkpoint_dir)
+    server = SimServer(settings, cache=cache)
+    code = server.run_until_signal()
+    summary = server.telemetry.format_summary()
+    print(f"[serve] drained; {summary}", file=sys.stderr)
+    return code
+
+
+def _cmd_simulate(args) -> int:
+    from repro.serve.client import ServeClient
+
+    try:
+        config = json.loads(args.config.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ServeError(f"cannot read config {args.config}: {exc}")
+    request = {
+        "config": config,
+        "workload": {"suite": {
+            "instructions_per_benchmark": args.instructions,
+            "level": args.level,
+        }},
+        "time_slice": args.time_slice,
+        "level": args.level,
+    }
+    if args.deadline is not None:
+        request["deadline_s"] = args.deadline
+    client = ServeClient(args.url)
+    result = client.simulate(request, budget_s=args.budget)
+    if args.json:
+        print(json.dumps(result, indent=1))
+        return 0
+    stats = result["stats"]
+    print(f"key      : {result['key'][:16]}…")
+    print(f"cached   : {result['cached']}")
+    print(f"CPI      : {result['cpi']:.4f}")
+    print(f"instr    : {stats['instructions']:,}")
+    print(f"wall     : {result['wall_s']:.3f}s")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.serve.client import ServeClient
+
+    print(json.dumps(ServeClient(args.url).metrics(), indent=1))
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.serve.chaos import ChaosSettings, run_chaos
+
+    settings = ChaosSettings(
+        duration_s=args.duration, clients=args.clients,
+        worker_crash_p=args.crash_p, worker_stall_p=args.stall_p,
+        queue_depth=args.queue_depth, isolation=args.isolation,
+        seed=args.seed)
+    report = run_chaos(settings, stream=sys.stdout)
+    return 0 if report.passed else 1
+
+
+@cli_errors
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "start":
+        return _cmd_start(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

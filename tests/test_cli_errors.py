@@ -1,0 +1,129 @@
+"""Shared CLI error policy: expected failures are one line on stderr and
+a non-zero exit, never a traceback; real bugs still traceback."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, ServeError, cli_errors
+from repro.experiments.runner import clamp_jobs
+
+
+class TestDecorator:
+    def test_passes_through_success(self):
+        @cli_errors
+        def main(argv=None):
+            return 0
+
+        assert main([]) == 0
+
+    def test_repro_error_is_one_line_exit_1(self, capsys):
+        @cli_errors
+        def main(argv=None):
+            raise ConfigurationError("cache size must be a power of two")
+
+        assert main([]) == 1
+        err = capsys.readouterr().err
+        assert err == "error: cache size must be a power of two\n"
+        assert "Traceback" not in err
+
+    def test_keyboard_interrupt_is_130(self, capsys):
+        @cli_errors
+        def main(argv=None):
+            raise KeyboardInterrupt()
+
+        assert main([]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_genuine_bugs_still_propagate(self):
+        @cli_errors
+        def main(argv=None):
+            raise ValueError("a real bug")
+
+        with pytest.raises(ValueError):
+            main([])
+
+
+class TestExperimentsCli:
+    def test_bad_config_file_is_one_line_error(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        config = tmp_path / "machine.json"
+        config.write_text(json.dumps({"utter": "nonsense"}))
+        assert main(["--config", str(config)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
+
+
+class TestServeCli:
+    def test_unreachable_server_is_one_line_error(self, tmp_path, capsys):
+        from repro.core.config import base_architecture
+        from repro.core.serialization import config_to_json
+        from repro.serve.cli import main
+
+        config = tmp_path / "machine.json"
+        config.write_text(config_to_json(base_architecture()))
+        # Port 9 (discard) on localhost: nothing listens; tiny budget.
+        assert main(["simulate", "--url", "http://127.0.0.1:9",
+                     "--config", str(config), "--budget", "0.2"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
+
+    def test_unreadable_config_is_one_line_error(self, tmp_path, capsys):
+        from repro.serve.cli import main
+
+        assert main(["simulate", "--config",
+                     str(tmp_path / "missing.json")]) == 1
+        assert capsys.readouterr().err.startswith("error: ")
+
+    def test_metrics_against_dead_server_is_one_line_error(self, capsys):
+        from repro.serve.cli import main
+
+        assert main(["metrics", "--url", "http://127.0.0.1:9"]) == 1
+        assert capsys.readouterr().err.startswith("error: ")
+
+
+class TestServeErrorClass:
+    def test_carries_status(self):
+        exc = ServeError("shed", status=429)
+        assert exc.status == 429
+        assert str(exc) == "shed"
+
+    def test_default_status_means_never_reached(self):
+        assert ServeError("down").status == 0
+
+
+class TestClampJobs:
+    def test_within_cpu_count_untouched(self):
+        assert clamp_jobs(2, cpu_count=4) == (2, None)
+        assert clamp_jobs(4, cpu_count=4) == (4, None)
+        assert clamp_jobs(1, cpu_count=1) == (1, None)
+
+    def test_oversubscription_clamps_with_warning(self):
+        jobs, warning = clamp_jobs(8, cpu_count=2)
+        assert jobs == 2
+        assert warning is not None and "oversubscribes" in warning
+
+    def test_uses_real_cpu_count_by_default(self):
+        import os
+
+        cpus = os.cpu_count() or 1
+        jobs, _ = clamp_jobs(cpus * 2)
+        assert jobs == cpus
+
+    def test_runner_warns_and_clamps(self, capsys):
+        # End to end through the CLI: an oversubscribed --jobs runs to
+        # completion and says why it was clamped.
+        import os
+
+        from repro.experiments.runner import main
+
+        jobs = (os.cpu_count() or 1) * 4
+        assert main(["table1", "--jobs", str(jobs),
+                     "--instructions", "2000", "--no-cache"]) == 0
+        captured = capsys.readouterr()
+        if jobs > (os.cpu_count() or 1):
+            assert "oversubscribes" in captured.err
+        assert "table1 completed" in captured.out

@@ -223,6 +223,46 @@ class TestConcurrentWriters:
         assert [p.name for p in tmp_path.iterdir()] == [f"{key}.json"]
 
 
+def _gc_hammer(args):
+    root, _key, _worker = args
+    cache = ResultCache(root)
+    for _ in range(60):
+        cache.gc(keep=1)
+        cache.gc(max_age_days=0.0)  # doom everything: maximal contention
+
+
+@pytest.mark.skipif(not fork_available(), reason="platform cannot fork")
+class TestGcRaces:
+    def test_gc_racing_get_and_put_never_raises(self, tmp_path):
+        """gc() unlinking entries while readers stat/open them is the
+        classic TOCTOU; the contract is a valid hit or a clean miss on
+        every side, never an exception."""
+        keys = [key_of(time_slice=s) for s in (1_000, 2_000, 3_000)]
+        for key in keys:
+            ResultCache(tmp_path).put(key, sample_stats())
+        ctx = multiprocessing.get_context("fork")
+        procs = [ctx.Process(target=_hammer, args=((tmp_path, key, w),))
+                 for w, key in enumerate(keys)]
+        procs += [ctx.Process(target=_gc_hammer, args=((tmp_path, None, g),))
+                  for g in range(2)]
+        for proc in procs:
+            proc.start()
+        reader = ResultCache(tmp_path)
+        for i in range(300):
+            got = reader.get(keys[i % len(keys)])
+            if got is not None:
+                assert got.instructions == 1234
+            reader.stats()  # walks the same directory the gc is emptying
+        for proc in procs:
+            proc.join()
+            # A raise inside a gc or put worker exits non-zero.
+            assert proc.exitcode == 0
+        # The cache still works after the fight.
+        cache = ResultCache(tmp_path)
+        cache.put(keys[0], sample_stats())
+        assert cache.get(keys[0]) is not None
+
+
 class TestManagement:
     def test_clear(self, tmp_path):
         cache = ResultCache(tmp_path)

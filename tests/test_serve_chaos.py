@@ -1,0 +1,37 @@
+"""A short, bounded chaos storm must pass its own contract: degraded
+service, never a wrong answer, always a clean drain."""
+
+import pytest
+
+from repro.farm.pool import fork_available
+from repro.serve.chaos import ChaosSettings, run_chaos
+
+pytestmark = pytest.mark.skipif(not fork_available(),
+                                reason="chaos storm needs forked workers")
+
+
+def test_bounded_storm_passes():
+    # duration < 4s keeps the statistical shed assertion out of play;
+    # the deterministic 429 path is covered by test_serve_server.
+    report = run_chaos(ChaosSettings(
+        duration_s=2.0, clients=2, points=2, instructions=4_000,
+        hopeless_every=3, worker_stall_s=0.5, retries=2,
+        drain_grace_s=20.0, seed=11))
+    assert report.passed, report.render()
+    assert report.requests > 0
+    assert report.ok > 0
+    assert report.hopeless_sent > 0
+    assert report.deadline_expired > 0  # hopeless requests got their 504s
+    assert report.drain.get("clean") is True
+    assert report.metrics["draining"] is False  # snapshot precedes drain
+    assert "responses" in report.metrics and "executor" in report.metrics
+
+
+def test_report_renders_violations():
+    from repro.serve.chaos import ChaosReport
+
+    report = ChaosReport()
+    assert report.passed
+    report.violations.append("something bad")
+    assert not report.passed
+    assert "something bad" in report.render()

@@ -1,0 +1,156 @@
+"""Wire protocol: validation rejects junk with a message, never a
+traceback; a parsed request is exactly one the simulator accepts."""
+
+import json
+
+import pytest
+
+from repro.core.config import base_architecture
+from repro.core.serialization import config_to_dict, profile_to_dict
+from repro.core.stats import SimStats
+from repro.errors import ConfigurationError, ServeError
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    error_body,
+    parse_simulate_request,
+    render_result,
+)
+from repro.trace.benchmarks import default_suite
+
+SUITE = default_suite(5_000)[:2]
+
+
+def body(**overrides):
+    base = {
+        "config": config_to_dict(base_architecture()),
+        "workload": {"profiles": [profile_to_dict(p) for p in SUITE]},
+    }
+    base.update(overrides)
+    return base
+
+
+def parse(payload):
+    return parse_simulate_request(json.dumps(payload).encode("utf-8"))
+
+
+class TestValidRequests:
+    def test_minimal_request_parses(self):
+        spec, deadline = parse(body())
+        assert deadline is None
+        assert spec.config == base_architecture()
+        assert [p.name for p in spec.profiles] == [p.name for p in SUITE]
+
+    def test_all_options_parse(self):
+        spec, deadline = parse(body(time_slice=7_000, level=2,
+                                    warmup_instructions=100,
+                                    max_instructions=9_000,
+                                    deadline_s=2.5))
+        assert spec.time_slice == 7_000
+        assert spec.level == 2
+        assert spec.warmup_instructions == 100
+        assert spec.max_instructions == 9_000
+        assert deadline == 2.5
+
+    def test_suite_workload(self):
+        spec, _ = parse(body(workload={"suite": {
+            "instructions_per_benchmark": 4_000, "level": 2}}))
+        assert len(spec.profiles) == 2
+        assert all(p.instructions == 4_000 for p in spec.profiles)
+
+    def test_suite_workload_replicates_past_four(self):
+        spec, _ = parse(body(workload={"suite": {
+            "instructions_per_benchmark": 1_000, "level": 6}}))
+        assert len(spec.profiles) == 6
+
+    def test_parsed_spec_has_a_stable_key(self):
+        assert parse(body())[0].key() == parse(body())[0].key()
+
+
+class TestRejection:
+    def assert_400(self, raw_or_payload):
+        raw = (raw_or_payload if isinstance(raw_or_payload, bytes)
+               else json.dumps(raw_or_payload).encode("utf-8"))
+        with pytest.raises((ServeError, ConfigurationError)):
+            parse_simulate_request(raw)
+
+    def test_not_json(self):
+        self.assert_400(b"{nope")
+
+    def test_not_an_object(self):
+        self.assert_400([1, 2, 3])
+
+    def test_unknown_top_key(self):
+        self.assert_400(body(surprise=1))
+
+    def test_missing_config(self):
+        payload = body()
+        del payload["config"]
+        self.assert_400(payload)
+
+    def test_missing_workload(self):
+        payload = body()
+        del payload["workload"]
+        self.assert_400(payload)
+
+    def test_junk_config(self):
+        self.assert_400(body(config={"nonsense": True}))
+
+    def test_workload_needs_profiles_xor_suite(self):
+        self.assert_400(body(workload={}))
+        self.assert_400(body(
+            workload={"profiles": [], "suite": {}}))
+
+    def test_empty_profiles(self):
+        self.assert_400(body(workload={"profiles": []}))
+
+    def test_bad_suite_key(self):
+        self.assert_400(body(workload={"suite": {"instruction_count": 5}}))
+
+    @pytest.mark.parametrize("field,value", [
+        ("time_slice", 0),
+        ("time_slice", "fast"),
+        ("time_slice", True),
+        ("level", 0),
+        ("level", 1.5),
+        ("warmup_instructions", -1),
+        ("max_instructions", 0),
+        ("deadline_s", 0),
+        ("deadline_s", -2.0),
+        ("deadline_s", "soon"),
+        ("deadline_s", True),
+    ])
+    def test_bad_scalar_fields(self, field, value):
+        self.assert_400(body(**{field: value}))
+
+    def test_level_beyond_workload(self):
+        self.assert_400(body(level=len(SUITE) + 1))
+
+    def test_oversized_body(self):
+        raw = json.dumps(body()).encode("utf-8")
+        with pytest.raises(ServeError, match="exceeds"):
+            parse_simulate_request(raw, max_body_bytes=10)
+
+    def test_serve_error_carries_400(self):
+        with pytest.raises(ServeError) as excinfo:
+            parse(body(surprise=1))
+        assert excinfo.value.status == 400
+
+
+class TestRendering:
+    def test_render_result_shape(self):
+        spec, _ = parse(body())
+        stats = SimStats()
+        stats.instructions = 10
+        stats.cycles = 25
+        doc = render_result(spec, stats, key="abc", cached=True, wall_s=0.5)
+        assert doc["version"] == PROTOCOL_VERSION
+        assert doc["key"] == "abc"
+        assert doc["cached"] is True
+        assert doc["stats"] == stats.to_dict()
+        assert doc["cpi"] == stats.cpi(spec.config.cpu_stall_cpi)
+        json.dumps(doc)  # must be wire-serializable
+
+    def test_error_body_shape(self):
+        doc = error_body(429, "queue full", retry_after_s=1.0)
+        assert doc == {"version": PROTOCOL_VERSION, "status": 429,
+                       "error": "queue full", "retry_after_s": 1.0}
