@@ -1,0 +1,96 @@
+"""Guard: observability must be free when off, cheap when on.
+
+Measures simulator throughput twice on the same prepared workload — once
+with tracing disabled (the default for every benchmark and sweep) and
+once with a live JSONL tracer plus sampler — then
+
+* fails (exit 1) if disabled-mode throughput falls below a floor, which
+  is the regression CI actually cares about: the instrumentation gate is
+  one module-attribute lookup and must stay that way;
+* reports the enabled/disabled ratio so overhead creep in the emit paths
+  is visible in CI logs, and writes both numbers to ``BENCH_obs.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/obs_overhead_guard.py [--out PATH]
+
+The floor defaults to 150,000 instr/s — comfortably below any host this
+repo has run on — and can be tuned per-machine with
+``REPRO_OBS_SPEED_FLOOR``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import repro.obs as obs
+from repro.core.config import base_architecture
+from repro.core.simulator import Simulation
+from repro.trace.benchmarks import default_suite
+
+INSTRUCTIONS = 150_000
+DEFAULT_FLOOR = 150_000.0
+FLOOR_ENV = "REPRO_OBS_SPEED_FLOOR"
+
+
+def timed_run() -> float:
+    """One full simulation (scheduler + hierarchy); returns instr/s."""
+    sim = Simulation(config=base_architecture(),
+                     profiles=default_suite(INSTRUCTIONS)[:2],
+                     time_slice=2_000)
+    start = time.perf_counter()
+    stats = sim.run(max_instructions=INSTRUCTIONS)
+    elapsed = time.perf_counter() - start
+    return stats.instructions / elapsed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_obs.json",
+                        help="output path (default: BENCH_obs.json)")
+    args = parser.parse_args(argv)
+    floor = float(os.environ.get(FLOOR_ENV, DEFAULT_FLOOR))
+
+    timed_run()  # warm caches/imports so both measurements compare fairly
+    disabled_rate = timed_run()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "guard.jsonl"
+        obs.enable(trace_path, sample_interval=100_000)
+        try:
+            enabled_rate = timed_run()
+        finally:
+            obs.disable()
+        records = len(obs.read_events(trace_path))
+
+    ratio = disabled_rate / enabled_rate if enabled_rate else float("inf")
+    report = {
+        "instructions": INSTRUCTIONS,
+        "disabled_instr_per_s": round(disabled_rate),
+        "enabled_instr_per_s": round(enabled_rate),
+        "enabled_overhead_x": round(ratio, 3),
+        "trace_records": records,
+        "floor_instr_per_s": floor,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=1) + "\n")
+    print(f"obs off : {disabled_rate:,.0f} instr/s (floor {floor:,.0f})")
+    print(f"obs on  : {enabled_rate:,.0f} instr/s "
+          f"({ratio:.2f}x slower, {records} trace records)")
+    if disabled_rate < floor:
+        print(f"FAIL: disabled-mode throughput {disabled_rate:,.0f} is "
+              f"below the floor {floor:,.0f} — the obs fast path has "
+              f"gotten expensive (or set {FLOOR_ENV} for this machine)",
+              file=sys.stderr)
+        return 1
+    print("PASS: observability is free when disabled")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

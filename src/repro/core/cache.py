@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.errors import ConfigurationError
+from repro.obs import runtime as _obs
 from repro.params import is_power_of_two, log2i
 
 #: Tag value meaning "invalid line".
@@ -71,6 +72,10 @@ class Cache:
             self._sets = [[] for _ in range(self.sets)]
         self.hits = 0
         self.misses = 0
+        #: Optional observability tag: when set (e.g. ``"l2d"`` or an
+        #: ablation label) and tracing is enabled, misses emit
+        #: ``cache_miss`` events to the :mod:`repro.obs` sink.
+        self.trace_name = None
 
     # ------------------------------------------------------------- inspection
 
@@ -125,6 +130,10 @@ class Cache:
             victim_dirty = self._dirty[index] if victim_tag != INVALID else False
             tags[index] = line_addr
             self._dirty[index] = write
+            if _obs.enabled and self.trace_name is not None:
+                _obs.tracer.emit("cache_miss", name=self.trace_name,
+                                 line=line_addr, write=write,
+                                 victim_dirty=victim_dirty)
             return False, FillResult(victim_tag, victim_dirty)
 
         entry_set = self._sets[index]
@@ -139,8 +148,12 @@ class Cache:
                 return True, FillResult(INVALID, False)
         self.misses += 1
         entry_set.insert(0, [line_addr, write])
-        if len(entry_set) > self.ways:
-            victim = entry_set.pop()
+        victim = entry_set.pop() if len(entry_set) > self.ways else None
+        if _obs.enabled and self.trace_name is not None:
+            _obs.tracer.emit("cache_miss", name=self.trace_name,
+                             line=line_addr, write=write,
+                             victim_dirty=bool(victim and victim[1]))
+        if victim is not None:
             return False, FillResult(victim[0], victim[1])
         return False, FillResult(INVALID, False)
 

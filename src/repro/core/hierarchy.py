@@ -40,6 +40,7 @@ from repro.core.stats import SimStats
 from repro.core.write_buffer import WriteBuffer
 from repro.errors import ConfigurationError
 from repro.mmu.tlb import TLB
+from repro.obs import runtime as _obs
 from repro.params import PAGE_WORDS, log2i
 
 _PAGE_SHIFT = log2i(PAGE_WORDS)
@@ -456,6 +457,11 @@ class MemorySystem:
             penalty = self._l2_miss_penalty(now, victim_dirty, data_side=False)
             st.stall_l2i_miss += penalty
             now += penalty
+            if _obs.enabled:
+                _obs.tracer.emit("l2_miss", cyc=now, side="i",
+                                 dirty=victim_dirty)
+        if _obs.enabled:
+            _obs.tracer.emit("l1i_miss", cyc=now, line=iline)
         self._itags[iline & self._i_mask] = iline
         return now
 
@@ -500,6 +506,9 @@ class MemorySystem:
             penalty = self._l2_miss_penalty(now, victim_dirty, data_side=True)
             st.stall_l2d_miss += penalty
             now += penalty
+            if _obs.enabled:
+                _obs.tracer.emit("l2_miss", cyc=now, side="d",
+                                 dirty=victim_dirty)
         return now
 
     def _l2_miss_penalty(self, now: int, victim_dirty: bool,
@@ -532,11 +541,15 @@ class MemorySystem:
                 or self._ddirty[index] != self._dirty_epoch):
             return now
         victim_line = self._dtags[index]
+        if _obs.enabled:
+            _obs.tracer.emit("victim_flush", cyc=now, line=victim_line)
         return self._push_write(now, victim_line, self._wb_victim_cost)
 
     def _load_miss_write_back(self, now: int, dline: int, index: int) -> int:
         st = self.stats
         st.l1d_read_misses += 1
+        if _obs.enabled:
+            _obs.tracer.emit("l1d_miss", cyc=now, line=dline, cls="read")
         now = self._wb_consistency_wait(now, dline, index)
         now = self._evict_victim_write_back(now, index)
         now = self._l2_data_refill(now, dline)
@@ -552,6 +565,8 @@ class MemorySystem:
             self._ddirty[index] = self._dirty_epoch
             return now + 1
         st.l1d_write_misses += 1
+        if _obs.enabled:
+            _obs.tracer.emit("l1d_miss", cyc=now, line=dline, cls="write")
         now = self._wb_consistency_wait(now, dline, index)
         now = self._evict_victim_write_back(now, index)
         now = self._l2_data_refill(now, dline)
@@ -568,6 +583,9 @@ class MemorySystem:
         if not hit:
             st.l2_write_misses += 1
             cost += self._l2_dirty if victim_dirty else self._l2_clean
+            if _obs.enabled:
+                _obs.tracer.emit("l2_miss", cyc=now, side="w",
+                                 dirty=victim_dirty)
         stall = self.wb.push(now, dline, cost)
         if stall:
             st.stall_wb += stall
@@ -577,8 +595,12 @@ class MemorySystem:
     def _load_miss_write_through(self, now: int, dline: int, index: int) -> int:
         st = self.stats
         st.l1d_read_misses += 1
-        if self._dtags[index] == dline and self._dwrite_only[index]:
+        wo_read = self._dtags[index] == dline and self._dwrite_only[index]
+        if wo_read:
             st.l1d_write_only_read_misses += 1
+        if _obs.enabled:
+            _obs.tracer.emit("l1d_miss", cyc=now, line=dline,
+                             cls="wo_read" if wo_read else "read")
         now = self._wb_consistency_wait(now, dline, index)
         now = self._l2_data_refill(now, dline)
         self._install_dline(dline, index, dirty=False)
@@ -596,6 +618,8 @@ class MemorySystem:
         # invalidates it.
         st.l1d_write_misses += 1
         st.stall_l1_writes += 1
+        if _obs.enabled:
+            _obs.tracer.emit("l1d_miss", cyc=now, line=dline, cls="write")
         self._dtags[index] = INVALID
         self._dvalid[index] = 0
         self._dwrite_only[index] = 0
@@ -613,6 +637,11 @@ class MemorySystem:
         # Write miss: update the tag, mark the line write-only (second cycle).
         st.l1d_write_misses += 1
         st.stall_l1_writes += 1
+        if _obs.enabled:
+            # A re-allocation displaces another never-read write-only line —
+            # the pathology Section 8 trades against write-through traffic.
+            _obs.tracer.emit("wo_alloc", cyc=now, line=dline,
+                             realloc=bool(self._dwrite_only[index]))
         self._dtags[index] = dline
         self._dwrite_only[index] = 1
         self._ddirty[index] = self._dirty_epoch
@@ -633,6 +662,8 @@ class MemorySystem:
         # write turns its valid bit on (partial-word writes leave none set).
         st.l1d_write_misses += 1
         st.stall_l1_writes += 1
+        if _obs.enabled:
+            _obs.tracer.emit("l1d_miss", cyc=now, line=dline, cls="write")
         self._dtags[index] = dline
         self._dwrite_only[index] = 0
         self._dvalid[index] = 0 if partial else 1 << (addr & self._dline_mask)

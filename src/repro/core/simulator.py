@@ -118,9 +118,22 @@ class Simulation:
                     save_checkpoint(self, checkpoint_path)
                     last_checkpoint = scheduler.instructions_run
 
-        stats = self.scheduler.run(max_instructions=max_instructions,
-                                   warmup_instructions=self.warmup_instructions,
-                                   on_slice=on_slice)
+        from repro.obs import runtime as _obs
+        from repro.obs.tracing import current_trace, span
+
+        if _obs.enabled or current_trace() is not None:
+            with span("simulate", cat="sim",
+                      level=self.level or len(list(self.profiles)),
+                      benchmarks=len(list(self.profiles))):
+                stats = self.scheduler.run(
+                    max_instructions=max_instructions,
+                    warmup_instructions=self.warmup_instructions,
+                    on_slice=on_slice)
+        else:
+            stats = self.scheduler.run(
+                max_instructions=max_instructions,
+                warmup_instructions=self.warmup_instructions,
+                on_slice=on_slice)
         if checkpoint_path is not None:
             from repro.robust.checkpoint import save_checkpoint
 

@@ -27,6 +27,7 @@ from collections import deque
 from typing import Deque, Tuple
 
 from repro.errors import ConfigurationError
+from repro.obs import runtime as _obs
 
 
 class WriteBuffer:
@@ -82,6 +83,9 @@ class WriteBuffer:
             stall = head_completion - now
             now = head_completion
             self.expire(now)
+            if stall and _obs.enabled:
+                _obs.tracer.emit("wb_stall", cyc=now, cycles=stall,
+                                 cause="full")
         # Entries retire in order: a pipelined drain can overlap the L2
         # latency but never complete before (or with) its predecessor.
         completion = max(now + cost,
@@ -103,6 +107,9 @@ class WriteBuffer:
         stall = self._entries[-1][1] - now
         self.retired += len(self._entries)
         self._entries.clear()
+        if _obs.enabled:
+            _obs.tracer.emit("wb_stall", cyc=now, cycles=stall,
+                             cause="drain")
         return stall
 
     def flush_through(self, now: int, line_addr: int) -> int:
@@ -121,6 +128,9 @@ class WriteBuffer:
         while self._entries and self._entries[0][1] <= match_completion:
             self._entries.popleft()
             self.retired += 1
+        if _obs.enabled:
+            _obs.tracer.emit("wb_stall", cyc=now,
+                             cycles=match_completion - now, cause="flush")
         return match_completion - now
 
     def contains_line(self, line_addr: int) -> bool:

@@ -59,6 +59,11 @@ class FarmCancelled(FarmError):
     before this was raised."""
 
 
+class ObsError(ReproError):
+    """The observability layer was misused (metric type/label mismatch,
+    malformed snapshot merge, or an unreadable event log)."""
+
+
 class ServeError(ReproError):
     """The simulation service could not satisfy a request: the server
     rejected it, retries and the circuit breaker gave up, or the client's

@@ -27,11 +27,13 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import threading
 import time
 from dataclasses import asdict
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, TextIO, Tuple
 
+import repro.obs as obs
 from repro.errors import FarmCancelled, cli_errors
 from repro.experiments.common import (
     DEFAULT_SCALE,
@@ -111,7 +113,63 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--manifest", type=Path, default=None,
                         help="write run telemetry (points, wall clock, "
                              "cache hit-rate) to this JSON file")
+    parser.add_argument("--heartbeat", type=float, default=None,
+                        metavar="SECONDS",
+                        help="print a progress line (latest point, elapsed, "
+                             "simulated instr/s, cache hits) every this "
+                             "many seconds")
+    parser.add_argument("--trace", type=Path, default=None,
+                        help="write a repro.obs JSONL event log of the run "
+                             "(inspect with repro-obs summarize/timeline/"
+                             "export)")
     return parser
+
+
+class Heartbeat:
+    """Background progress narrator for long runs.
+
+    Every ``interval_s`` it prints the most recently completed unit of
+    work, elapsed wall-clock, the simulated-instruction throughput, and
+    the cache hit/miss split — all read from the shared
+    :class:`~repro.farm.telemetry.RunTelemetry`, so it works unchanged
+    under ``--jobs N`` (worker summaries fold in as tasks finish).
+    """
+
+    def __init__(self, telemetry: RunTelemetry, interval_s: float,
+                 stream: Optional[TextIO] = None):
+        if interval_s <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        self.telemetry = telemetry
+        self.interval_s = interval_s
+        self.stream = stream if stream is not None else sys.stderr
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._loop,
+                                        name="heartbeat", daemon=True)
+
+    def _format_line(self) -> str:
+        s = self.telemetry.summary()
+        label = "-"
+        for event in reversed(self.telemetry.events):
+            label = event["label"]
+            break
+        misses = s["points"] - s["cache_hits"]
+        return (f"[heartbeat] {s['elapsed_s']:.0f}s elapsed, last point "
+                f"{label}, {s['points']} points "
+                f"({s['cache_hits']} cache hits / {misses} misses), "
+                f"{s['instructions_per_second'] / 1e6:.2f} M "
+                f"simulated instr/s")
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            print(self._format_line(), file=self.stream, flush=True)
+
+    def start(self) -> "Heartbeat":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=1.0)
 
 
 def run_custom_config(path: Path, scale: ExperimentScale) -> str:
@@ -210,6 +268,33 @@ def _filter_resume(wanted: List[str], out: Optional[Path],
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.heartbeat is not None and args.heartbeat <= 0:
+        print("--heartbeat must be a positive number of seconds",
+              file=sys.stderr)
+        return 2
+    telemetry = RunTelemetry()
+    if args.trace is not None:
+        # Environment first so pool workers inherit tracing (fork or
+        # spawn); the tracer itself rebinds to per-pid files after fork.
+        os.environ[obs.TRACE_ENV] = str(args.trace)
+        obs.enable(args.trace)
+    heartbeat = (Heartbeat(telemetry, args.heartbeat).start()
+                 if args.heartbeat is not None else None)
+    try:
+        # The root span makes the event log account for the whole
+        # invocation's wall-clock, not just the simulated stretches.
+        with obs.span("run", cat="cli"):
+            return _run(args, telemetry)
+    finally:
+        if heartbeat is not None:
+            heartbeat.stop()
+        if args.trace is not None:
+            obs.disable()
+            os.environ.pop(obs.TRACE_ENV, None)
+
+
+def _run(args: argparse.Namespace, telemetry: RunTelemetry) -> int:
+    """The runner body; ``main`` owns tracing/heartbeat setup around it."""
     scale = ExperimentScale(
         instructions_per_benchmark=args.instructions,
         level=args.level,
@@ -217,7 +302,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         warmup_fraction=args.warmup_fraction,
     )
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    telemetry = RunTelemetry()
     if args.config is not None:
         with farm_session(jobs=1, cache=cache, no_cache=args.no_cache,
                           telemetry=telemetry):

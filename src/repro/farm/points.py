@@ -56,15 +56,24 @@ def execute_point(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Run one canonical point payload; the pool's task function.
 
     Returns a picklable dict: the stats snapshot plus wall-clock so the
-    parent's telemetry can attribute time spent in workers.
+    parent's telemetry can attribute time spent in workers, and an ``obs``
+    snapshot of this process's global metrics registry so forked workers
+    ship their counters back over the existing result channel (the parent
+    folds them in; see :func:`run_points`).
 
     This is the farm's process-fault boundary: when the chaos harness arms
     :data:`repro.robust.faults.WORKER_FAULT_ENV`, the injected crash/stall
     happens here — before any result exists — so a killed worker can only
     ever cost a retry, never corrupt a result.
     """
+    import repro.obs as obs
     from repro.core.serialization import config_from_dict, profile_from_dict
     from repro.core.simulator import Simulation
+
+    # In a traced run a forked worker inherits runtime.enabled=True and the
+    # tracer rebinds to a per-pid sibling file on first emit; a spawned
+    # worker starts cold and picks tracing up from the environment here.
+    obs.enable_from_env()
 
     if os.environ.get("REPRO_WORKER_FAULTS"):
         from repro.robust.faults import maybe_worker_fault
@@ -75,16 +84,42 @@ def execute_point(payload: Dict[str, Any]) -> Dict[str, Any]:
     config_dict.setdefault("name", "farm-point")
     config = config_from_dict(config_dict)
     profiles = [profile_from_dict(p) for p in payload["profiles"]]
+    # An "obs_trace" key is out-of-band (the serve layer adds it to a copy
+    # of the payload; cache keys are computed from the pristine one): the
+    # simulation's spans are collected under that trace ID and shipped back
+    # so the caller can stitch the cross-process trace together.
+    trace = (obs.Trace(payload["obs_trace"])
+             if payload.get("obs_trace") else None)
     started = time.monotonic()
     sim = Simulation(config=config, profiles=profiles,
                      time_slice=payload["time_slice"],
                      level=payload["level"],
                      warmup_instructions=payload["warmup_instructions"])
-    stats = sim.run(max_instructions=payload["max_instructions"])
-    return {
+    if trace is not None:
+        with obs.activate_trace(trace):
+            stats = sim.run(max_instructions=payload["max_instructions"])
+    else:
+        stats = sim.run(max_instructions=payload["max_instructions"])
+    wall_s = time.monotonic() - started
+    # Per-task registry, not the global one: a forked worker inherits the
+    # parent's global counters and the inline pool *is* the parent, so
+    # shipping a delta-free global snapshot would double-count.  The
+    # receiving side merges this exactly once.
+    task_metrics = obs.Registry()
+    task_metrics.counter("sim_runs_total", "simulations executed").inc()
+    task_metrics.counter("sim_instructions_total",
+                         "instructions simulated").inc(stats.instructions)
+    task_metrics.histogram("sim_wall_seconds",
+                           "wall-clock seconds per simulation"
+                           ).observe(wall_s)
+    result = {
         "stats": stats.to_dict(),
-        "wall_s": time.monotonic() - started,
+        "wall_s": wall_s,
+        "obs": task_metrics.snapshot(),
     }
+    if trace is not None:
+        result["trace_spans"] = trace.spans
+    return result
 
 
 def run_points(specs: Sequence[PointSpec],
@@ -142,6 +177,8 @@ def run_points(specs: Sequence[PointSpec],
         if telemetry is not None:
             telemetry.record_point(specs[i].label, stats.instructions,
                                    value["wall_s"], cached=False)
+            if value.get("obs"):
+                telemetry.registry.merge(value["obs"])
 
     run_tasks(execute_point,
               [specs[i].payload() for i in todo],

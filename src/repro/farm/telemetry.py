@@ -14,6 +14,16 @@ experiment — and can
 Worker processes each carry their own telemetry; the parent folds their
 summaries back in with :meth:`merge`, so counters survive the process
 boundary.
+
+Counting is backed by a :class:`repro.obs.metrics.Registry` (one per
+telemetry instance, so concurrent runs in one test process never
+double-count): ``farm_points_total`` and ``farm_instructions_total`` are
+labeled by ``source`` (``simulated`` vs ``cached``), and
+``farm_point_wall_seconds`` is a histogram over simulated points only.
+Throughput is reported against **simulated** instructions — a cache hit
+replays instructions without spending wall-clock on them, so folding hits
+into an instructions-per-second rate overstated simulator speed (badly so
+on warm-cache runs).
 """
 
 from __future__ import annotations
@@ -24,6 +34,7 @@ import sys
 import time
 from typing import Any, Dict, List, Optional, TextIO, Union
 
+from repro.obs.metrics import Registry
 from repro.robust.atomic import atomic_write_text
 
 PathLike = Union[str, os.PathLike]
@@ -36,15 +47,28 @@ class RunTelemetry:
     """Accumulates farm events and renders progress / a run manifest."""
 
     def __init__(self, stream: Optional[TextIO] = sys.stderr,
-                 tag: str = "farm"):
+                 tag: str = "farm",
+                 registry: Optional[Registry] = None):
         self.stream = stream
         self.tag = tag
         self.events: List[Dict[str, Any]] = []
         self._started = time.monotonic()
+        self.registry = registry if registry is not None else Registry()
+        self._m_points = self.registry.counter(
+            "farm_points_total", "sweep points completed, by source",
+            labels=("source",))
+        self._m_instructions = self.registry.counter(
+            "farm_instructions_total",
+            "instructions accounted to completed points, by source",
+            labels=("source",))
+        self._m_wall = self.registry.histogram(
+            "farm_point_wall_seconds",
+            "wall-clock seconds per simulated (non-cached) point")
         # Counters folded in from worker-process summaries.
         self._merged_points = 0
         self._merged_hits = 0
-        self._merged_instructions = 0
+        self._merged_sim_instructions = 0
+        self._merged_cached_instructions = 0
         self._merged_wall = 0.0
 
     # ------------------------------------------------------------- recording
@@ -59,6 +83,11 @@ class RunTelemetry:
             "wall_s": round(float(wall_s), 6),
             "cached": bool(cached),
         })
+        source = "cached" if cached else "simulated"
+        self._m_points.labels(source).inc()
+        self._m_instructions.labels(source).inc(int(instructions))
+        if not cached:
+            self._m_wall.observe(float(wall_s))
         if self.stream is not None:
             if cached:
                 detail = "cache hit"
@@ -94,10 +123,15 @@ class RunTelemetry:
 
     def merge(self, summary: Dict[str, Any]) -> None:
         """Fold another telemetry's :meth:`summary` into this one's totals
-        (used across the worker-process boundary)."""
+        (used across the worker-process boundary).  Pre-bugfix summaries
+        lack the simulated/cached split; their whole total is treated as
+        simulated, matching the old (inflated) rate rather than losing it."""
         self._merged_points += summary.get("points", 0)
         self._merged_hits += summary.get("cache_hits", 0)
-        self._merged_instructions += summary.get("instructions", 0)
+        self._merged_sim_instructions += summary.get(
+            "simulated_instructions", summary.get("instructions", 0))
+        self._merged_cached_instructions += summary.get(
+            "cached_instructions", 0)
         self._merged_wall += summary.get("point_wall_s", 0.0)
 
     # ------------------------------------------------------------- summaries
@@ -110,20 +144,28 @@ class RunTelemetry:
         points = [e for e in self.events if e["kind"] == "point"]
         n = len(points) + self._merged_points
         hits = (sum(1 for e in points if e["cached"]) + self._merged_hits)
-        instructions = (sum(e["instructions"] for e in points)
-                        + self._merged_instructions)
+        simulated = (sum(e["instructions"] for e in points if not e["cached"])
+                     + self._merged_sim_instructions)
+        cached = (sum(e["instructions"] for e in points if e["cached"])
+                  + self._merged_cached_instructions)
         point_wall = (sum(e["wall_s"] for e in points if not e["cached"])
                       + self._merged_wall)
         elapsed = self.elapsed_s
+        # Throughput counts only simulated instructions: a cache hit costs
+        # no simulation wall-clock, so folding its instructions in would
+        # inflate the rate (the warm-cache pathology this fixes).
+        rate = simulated / elapsed if elapsed > 0 else 0.0
         return {
             "points": n,
             "cache_hits": hits,
             "cache_hit_rate": hits / n if n else 0.0,
-            "instructions": instructions,
+            "instructions": simulated + cached,
+            "simulated_instructions": simulated,
+            "cached_instructions": cached,
             "point_wall_s": round(point_wall, 6),
             "elapsed_s": round(elapsed, 6),
-            "instructions_per_second": (instructions / elapsed
-                                        if elapsed > 0 else 0.0),
+            "instructions_per_second": rate,
+            "simulated_instructions_per_second": rate,
         }
 
     def format_summary(self) -> str:
@@ -132,7 +174,8 @@ class RunTelemetry:
                 f"({100.0 * s['cache_hit_rate']:.1f}%), "
                 f"{s['instructions']:,} instructions in "
                 f"{s['elapsed_s']:.1f}s "
-                f"({s['instructions_per_second'] / 1e6:.2f} M instr/s)")
+                f"({s['instructions_per_second'] / 1e6:.2f} M simulated "
+                f"instr/s)")
 
     def print_summary(self) -> None:
         if self.stream is not None:
@@ -147,6 +190,7 @@ class RunTelemetry:
             "magic": MANIFEST_MAGIC,
             "version": MANIFEST_VERSION,
             "summary": self.summary(),
+            "obs": self.registry.snapshot(),
             "events": self.events,
         }
         atomic_write_text(path, json.dumps(manifest, indent=1) + "\n")

@@ -1,0 +1,32 @@
+"""The observability fast-path gate.
+
+Hot simulator code imports **this module only**::
+
+    from repro.obs import runtime as _obs
+    ...
+    if _obs.enabled:
+        _obs.tracer.emit("l1d_miss", cyc=now, line=dline, cls="read")
+
+``enabled`` is a plain module attribute, so the disabled path costs exactly
+one attribute lookup and a truth test — and every instrumentation point in
+the simulator sits on a *miss/stall* branch, never in the per-instruction
+loop, so tier-1 benchmark throughput is unchanged when tracing is off
+(enforced by ``benchmarks/obs_overhead_guard.py``).
+
+State here is deliberately dumb — :mod:`repro.obs` (the package init) owns
+the enable/disable choreography; this module exists so the simulator's
+imports stay dependency-free and cycle-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+#: The one-attribute-lookup gate every instrumentation point checks.
+enabled: bool = False
+
+#: Active :class:`repro.obs.tracing.Tracer` when ``enabled`` (else ``None``).
+tracer: Optional[Any] = None
+
+#: Active :class:`repro.obs.sampler.Sampler` when sampling is on.
+sampler: Optional[Any] = None

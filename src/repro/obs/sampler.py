@@ -1,0 +1,93 @@
+"""Periodic per-interval sampling: a CPI / miss-rate time series of a run.
+
+End-of-run :class:`~repro.core.stats.SimStats` aggregates answer *how much*;
+they cannot answer *when*.  The sampler turns a run into a time series: every
+``interval_cycles`` of simulated time it emits one ``sample`` record with the
+**deltas** of the interval — instructions, cycles, per-interval CPI, L1-I/L1-D
+miss rates, and write-buffer stall share — which is what ``repro-obs
+timeline`` plots and what a Figure-4-style breakdown over time is built from.
+
+The scheduler drives it at slice granularity (``tick`` once per slice), so
+the sampling cadence is ``max(interval_cycles, time_slice)``; warmup's
+``clear_stats`` (counters rewind) re-baselines silently instead of emitting
+a negative-delta sample.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.errors import ObsError
+from repro.obs import runtime
+
+#: Default sampling interval, simulated cycles (the paper's time slice).
+DEFAULT_INTERVAL_CYCLES = 500_000
+
+#: Stats fields whose interval deltas each sample carries.
+_DELTA_FIELDS = ("instructions", "loads", "stores", "l1i_misses",
+                 "l1d_read_misses", "l1d_write_misses", "stall_wb",
+                 "l2i_misses", "l2d_misses")
+
+
+class Sampler:
+    """Emits one ``sample`` record per elapsed interval of simulated time."""
+
+    def __init__(self, interval_cycles: int = DEFAULT_INTERVAL_CYCLES):
+        if interval_cycles < 1:
+            raise ObsError("sample interval must be >= 1 cycle")
+        self.interval_cycles = interval_cycles
+        # id(memsys) -> {"now": cycle, field: value, ...}; one simulation at
+        # a time is the common case, the dict keeps concurrent tests honest.
+        self._baselines: Dict[int, Dict[str, int]] = {}
+        self.samples_emitted = 0
+
+    def _baseline(self, memsys) -> Dict[str, int]:
+        base = {"now": memsys.now}
+        st = memsys.stats
+        for name in _DELTA_FIELDS:
+            base[name] = getattr(st, name)
+        return base
+
+    def tick(self, memsys) -> None:
+        """Called at slice boundaries; emits when an interval has elapsed."""
+        key = id(memsys)
+        base = self._baselines.get(key)
+        if base is None:
+            self._baselines[key] = self._baseline(memsys)
+            return
+        elapsed = memsys.now - base["now"]
+        if elapsed < self.interval_cycles:
+            return
+        st = memsys.stats
+        deltas = {name: getattr(st, name) - base[name]
+                  for name in _DELTA_FIELDS}
+        if deltas["instructions"] < 0:
+            # Warmup cleared the counters: re-baseline, emit nothing.
+            self._baselines[key] = self._baseline(memsys)
+            return
+        instr = deltas["instructions"] or 1
+        loads = deltas["loads"] or 1
+        record: Dict[str, Any] = {
+            "cyc": memsys.now,
+            "d_cycles": elapsed,
+            "d_instr": deltas["instructions"],
+            "cpi": round(elapsed / instr, 4),
+            "l1i_mr": round(deltas["l1i_misses"] / instr, 5),
+            "l1d_mr": round(deltas["l1d_read_misses"] / loads, 5),
+            "wb_stall_frac": round(deltas["stall_wb"] / elapsed, 5)
+            if elapsed else 0.0,
+            "l2_misses": deltas["l2i_misses"] + deltas["l2d_misses"],
+        }
+        if runtime.enabled:
+            runtime.tracer.emit("sample", **record)
+        self.samples_emitted += 1
+        self._baselines[key] = self._baseline(memsys)
+
+    def forget(self, memsys) -> None:
+        """Drop a simulation's baseline (end of run)."""
+        self._baselines.pop(id(memsys), None)
+
+
+def active_sampler() -> Optional[Sampler]:
+    """The sampler installed by :func:`repro.obs.enable`, if any."""
+    return runtime.sampler

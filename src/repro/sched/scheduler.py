@@ -29,6 +29,7 @@ from repro.core.hierarchy import (
 )
 from repro.core.stats import SimStats  # noqa: F401 (used for attribution)
 from repro.errors import SchedulingError
+from repro.obs import runtime as _obs
 from repro.params import DEFAULT_TIME_SLICE
 from repro.sched.process import Process
 
@@ -138,9 +139,15 @@ class Scheduler:
         if self._ready and self._ready[0] is not process:
             self.context_switches += 1
             self.memsys.stats.context_switches += 1
+            if _obs.enabled:
+                _obs.tracer.emit("ctx_switch", cyc=memsys.now,
+                                 out=process.name,
+                                 into=self._ready[0].name, cause=reason)
         self.slices_run += 1
         if auditor is not None:
             auditor.end_slice()
+        if _obs.enabled and _obs.sampler is not None:
+            _obs.sampler.tick(memsys)
         return reason
 
     def run(self, max_instructions: Optional[int] = None,

@@ -60,6 +60,8 @@ from repro.farm.cache import ResultCache
 from repro.farm.points import PointSpec, execute_point
 from repro.farm.pool import fork_available, run_tasks
 from repro.farm.telemetry import RunTelemetry
+from repro.obs.metrics import Registry, merge_snapshots
+from repro.obs.tracing import Trace, span
 from repro.robust.signals import SignalDrain
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
@@ -106,53 +108,69 @@ class ServeSettings:
         return self.isolation
 
 
+#: Response classes pre-seeded so ``/metrics`` always shows every key.
+_RESPONSE_CLASSES = ("ok", "bad_request", "not_found", "shed",
+                     "unavailable", "deadline_expired", "internal_error")
+#: Executor outcomes, likewise pre-seeded.
+_EXECUTOR_OUTCOMES = ("cache_hits", "simulated", "cancelled",
+                      "checkpointed", "failed", "expired_in_queue")
+
+
 class Metrics:
-    """Thread-safe counters with a JSON-ready snapshot.
+    """Service counters on a :class:`repro.obs.metrics.Registry`.
 
     ``responses`` counts what simulate clients were told, exactly one
     bump per simulate request; ``executor`` counts what the execution
     side did (a request the handler answered 504 can still show up as
     ``executor.cancelled`` — that is the abandoned work being reaped,
-    not a second response).
+    not a second response).  :meth:`snapshot` keeps the historical
+    ``/metrics`` JSON shape, derived from the registry; the raw registry
+    snapshot rides alongside it under the ``obs`` key, and per-instance
+    registries keep concurrent servers in one test process independent.
     """
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.requests_total = 0
-        self.by_endpoint: Dict[str, int] = {}
-        self.responses: Dict[str, int] = {
-            "ok": 0, "bad_request": 0, "not_found": 0, "shed": 0,
-            "unavailable": 0, "deadline_expired": 0, "internal_error": 0,
-        }
-        self.executor: Dict[str, int] = {
-            "cache_hits": 0, "simulated": 0, "cancelled": 0,
-            "checkpointed": 0, "failed": 0, "expired_in_queue": 0,
-        }
+    def __init__(self, registry: Optional[Registry] = None) -> None:
+        self.registry = registry if registry is not None else Registry()
+        self._requests = self.registry.counter(
+            "serve_requests_total", "HTTP requests by endpoint",
+            labels=("endpoint",))
+        self._responses = self.registry.counter(
+            "serve_responses_total", "simulate responses by class",
+            labels=("class",))
+        self._executor = self.registry.counter(
+            "serve_executor_total", "executor outcomes",
+            labels=("outcome",))
+        for name in _RESPONSE_CLASSES:
+            self._responses.labels(name)
+        for name in _EXECUTOR_OUTCOMES:
+            self._executor.labels(name)
 
     def hit(self, endpoint: str) -> None:
-        with self._lock:
-            self.requests_total += 1
-            self.by_endpoint[endpoint] = self.by_endpoint.get(endpoint, 0) + 1
+        self._requests.labels(endpoint).inc()
 
     def count_response(self, status: int) -> None:
         name = {200: "ok", 400: "bad_request", 404: "not_found",
                 429: "shed", 503: "unavailable",
                 504: "deadline_expired"}.get(status, "internal_error")
-        with self._lock:
-            self.responses[name] += 1
+        self._responses.labels(name).inc()
 
     def count_executor(self, outcome: str) -> None:
-        with self._lock:
-            self.executor[outcome] = self.executor.get(outcome, 0) + 1
+        self._executor.labels(outcome).inc()
 
     def snapshot(self) -> Dict[str, Any]:
-        with self._lock:
-            return {
-                "requests_total": self.requests_total,
-                "by_endpoint": dict(self.by_endpoint),
-                "responses": dict(self.responses),
-                "executor": dict(self.executor),
-            }
+        by_endpoint = {}
+        with self._requests._lock:
+            children = list(self._requests._children.items())
+        for key, child in children:
+            by_endpoint[key[0]] = child._value
+        return {
+            "requests_total": self._requests.value,
+            "by_endpoint": by_endpoint,
+            "responses": {name: self._responses.value_of(name)
+                          for name in _RESPONSE_CLASSES},
+            "executor": {name: self._executor.value_of(name)
+                         for name in _EXECUTOR_OUTCOMES},
+        }
 
 
 class _Job:
@@ -169,6 +187,10 @@ class _Job:
         self.stop = threading.Event()     # cancellation token (pool-aware)
         self.status = 500
         self.body: Dict[str, Any] = error_body(500, "never executed")
+        #: End-to-end trace: the connection thread, the executor thread,
+        #: and (via the result channel) a forked worker all append spans.
+        self.trace = Trace()
+        self.enqueued_wall = time.time()
 
     def finish(self, status: int, body: Dict[str, Any]) -> None:
         self.status = status
@@ -201,6 +223,8 @@ class SimServer:
             maxsize=self.settings.queue_depth)
         self._jobs: List[_Job] = []            # live (admitted, not done)
         self._jobs_lock = threading.Lock()
+        self._recent_traces: List[str] = []    # last completed trace IDs
+        self._recent_lock = threading.Lock()
         self._in_flight = 0
         self._draining = False
         self._stopping = threading.Event()
@@ -328,7 +352,16 @@ class SimServer:
         })
         snapshot["cache"] = (self.cache.stats() if self.cache is not None
                              else None)
+        snapshot["obs"] = merge_snapshots(self.metrics.registry.snapshot(),
+                                          self.telemetry.registry.snapshot())
+        with self._recent_lock:
+            snapshot["recent_trace_ids"] = list(self._recent_traces)
         return snapshot
+
+    def _note_trace(self, trace_id: str) -> None:
+        with self._recent_lock:
+            self._recent_traces.append(trace_id)
+            del self._recent_traces[:-16]
 
     # -------------------------------------------------------------- admission
 
@@ -375,6 +408,8 @@ class SimServer:
 
     def _execute(self, job: _Job) -> None:
         now = time.monotonic()
+        job.trace.add_span("queue_wait", job.enqueued_wall, time.time(),
+                           cat="serve")
         if job.stop.is_set():
             self.metrics.count_executor("cancelled")
             job.finish(503, error_body(503, "dropped while queued (drain)"))
@@ -385,7 +420,8 @@ class SimServer:
                 504, f"deadline of {job.deadline_s:g}s expired in queue"))
             return
         if self.cache is not None:
-            hit = self.cache.get(job.key)
+            with span("cache_probe", cat="serve", trace=job.trace):
+                hit = self.cache.get(job.key)
             if hit is not None:
                 self.metrics.count_executor("cache_hits")
                 self.telemetry.record_point(job.spec.label,
@@ -396,6 +432,7 @@ class SimServer:
                 return
         remaining = job.deadline - now
         started = time.monotonic()
+        started_wall = time.time()
         try:
             if self.settings.effective_isolation() == "fork":
                 stats, wall_s = self._execute_forked(job, remaining)
@@ -438,6 +475,8 @@ class SimServer:
             job.finish(500, error_body(500, f"simulation failed: {exc}"))
             return
         self.metrics.count_executor("simulated")
+        job.trace.add_span("execute", started_wall, time.time(), cat="serve",
+                           isolation=self.settings.effective_isolation())
         self.telemetry.record_point(job.spec.label, stats.instructions,
                                     wall_s, cached=False)
         if self.cache is not None:
@@ -457,12 +496,21 @@ class SimServer:
         """One simulation in a forked pool worker: the pool's timeout
         machinery enforces the deadline with a real kill, and crash
         retries come for free."""
-        value = run_tasks(execute_point, [job.spec.payload()],
+        # The trace ID rides in a copy of the payload — ``execute_point``
+        # treats it as out-of-band, and the cache key comes from
+        # ``spec.key()`` over the pristine payload, so caching is unaffected.
+        payload = dict(job.spec.payload())
+        payload["obs_trace"] = job.trace.trace_id
+        value = run_tasks(execute_point, [payload],
                           jobs=2,  # parallel path: one child, killable
                           timeout=remaining,
                           retries=self.settings.retries,
                           labels=[job.spec.label],
                           stop_event=job.stop)[0]
+        for record in value.get("trace_spans", ()):
+            job.trace.add_record(record)
+        if value.get("obs"):
+            self.telemetry.registry.merge(value["obs"])
         return SimStats.from_dict(value["stats"]), value["wall_s"]
 
     def _execute_inline(self, job: _Job):
@@ -494,10 +542,11 @@ class SimServer:
                 raise _Drained(checkpoint)
 
         started = time.monotonic()
-        stats = sim.scheduler.run(
-            max_instructions=spec.max_instructions,
-            warmup_instructions=spec.warmup_instructions,
-            on_slice=on_slice)
+        with span("simulate", cat="sim", trace=job.trace):
+            stats = sim.scheduler.run(
+                max_instructions=spec.max_instructions,
+                warmup_instructions=spec.warmup_instructions,
+                on_slice=on_slice)
         return stats, time.monotonic() - started
 
 
@@ -589,23 +638,37 @@ def _make_handler(server: SimServer):
                 deadline_s = settings.default_deadline_s
             deadline_s = min(deadline_s, settings.max_deadline_s)
             job = _Job(spec, time.monotonic() + deadline_s, deadline_s)
+
+            def with_trace(status: int, body: Dict[str, Any]
+                           ) -> Dict[str, Any]:
+                # Close the end-to-end span and surface the whole trace in
+                # the response, whatever the outcome — the ID is the
+                # client's handle for correlating with the server's logs.
+                job.trace.add_span("request", job.enqueued_wall, time.time(),
+                                   cat="serve", status=status)
+                server._note_trace(job.trace.trace_id)
+                body = dict(body)
+                body["trace"] = job.trace.to_dict()
+                return body
+
             try:
                 server.admit(job)
             except ServeError as exc:
                 if exc.status == 429:
                     retry_after = max(1, int(settings.retry_after_s + 0.5))
-                    return 429, error_body(
+                    return 429, with_trace(429, error_body(
                         429, str(exc), retry_after_s=settings.retry_after_s
-                    ), {"Retry-After": str(retry_after)}
-                return exc.status, error_body(exc.status, str(exc)), None
+                    )), {"Retry-After": str(retry_after)}
+                return exc.status, with_trace(
+                    exc.status, error_body(exc.status, str(exc))), None
             finished = job.done.wait(timeout=(job.deadline
                                               - time.monotonic()) + 2 * _TICK)
             if not finished:
                 # The connection answers 504 now; the stop event tells the
                 # executor (and its forked child) to abandon the work.
                 job.stop.set()
-                return 504, error_body(
-                    504, f"deadline of {deadline_s:g}s expired"), None
-            return job.status, job.body, None
+                return 504, with_trace(504, error_body(
+                    504, f"deadline of {deadline_s:g}s expired")), None
+            return job.status, with_trace(job.status, job.body), None
 
     return Handler
