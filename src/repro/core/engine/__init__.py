@@ -1,0 +1,104 @@
+"""Pluggable simulation engines for :class:`repro.core.hierarchy.MemorySystem`.
+
+The memory system owns *state* (tag arrays, write buffer, L2, TLBs, timing
+constants, statistics); an **engine** owns the *hot loop* that advances that
+state over a prepared instruction batch.  The split lets one architectural
+model run under interchangeable execution strategies:
+
+``reference``
+    The original pure-Python per-instruction loop
+    (:class:`repro.core.engine.reference.ReferenceEngine`).  Simple,
+    auditable, and the semantic ground truth.
+
+``batched``
+    A NumPy-accelerated loop
+    (:class:`repro.core.engine.batched.BatchedEngine`) that vectorizes the
+    dominant all-hit path — tag-compare over instruction chunks to find the
+    next event (L1 miss, store, TLB page crossing, syscall), bulk cycle
+    accounting for the hit run in between — and falls back to the exact
+    scalar path for every event.  Bit-identical to ``reference`` by
+    construction (every architectural mutation goes through the same
+    shared policy/timing handlers) and by test
+    (``tests/test_engine_lockstep.py``).
+
+The protocol between the two sides is deliberately narrow:
+
+* an engine is constructed with the :class:`MemorySystem` it drives;
+* ``run_slice(pcs, kinds, addrs, partials, syscalls, start, deadline)``
+  executes instructions and returns a :class:`SliceResult`;
+* ``on_state_loaded()`` is called after ``MemorySystem.load_state`` so an
+  engine can rebuild any derived representation of the tag arrays (the
+  batched engine keeps them as ``numpy`` arrays).
+
+Policy and refill/timing handlers live in :mod:`repro.core.engine.policies`
+and :mod:`repro.core.engine.timing`; dispatch is resolved **once at
+construction** (:func:`repro.core.engine.policies.resolve_policy` returns the
+handler pair, which the memory system binds as methods), never per access.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, NamedTuple
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.hierarchy import MemorySystem
+
+#: Reasons a slice of execution stopped.
+REASON_END = "end"          # batch exhausted
+REASON_SYSCALL = "syscall"  # voluntary system call executed
+REASON_SLICE = "slice"      # cycle deadline reached
+
+#: Engine used when none is requested, everywhere engines are selectable.
+DEFAULT_ENGINE = "reference"
+
+#: Every engine name :func:`resolve_engine` accepts, in preference order.
+ENGINE_NAMES = ("reference", "batched")
+
+
+class SliceResult(NamedTuple):
+    """Outcome of one ``run_slice`` call."""
+
+    consumed: int
+    reason: str
+
+
+class Engine:
+    """The narrow protocol every engine implements.
+
+    Engines are stateful per :class:`MemorySystem` instance (the batched
+    engine caches per-batch column arrays) but hold no architectural state
+    of their own — everything observable lives on the memory system, which
+    is what makes engines interchangeable mid-run via checkpoints.
+    """
+
+    #: Wire/CLI identifier; must appear in :data:`ENGINE_NAMES`.
+    name: str = "abstract"
+
+    def __init__(self, ms: "MemorySystem"):
+        self.ms = ms
+
+    def run_slice(self, pcs: List[int], kinds: List[int], addrs: List[int],
+                  partials: List[bool], syscalls: List[bool],
+                  start: int, deadline: int) -> SliceResult:
+        raise NotImplementedError
+
+    def on_state_loaded(self) -> None:
+        """Hook after ``load_state`` replaced the tag arrays."""
+
+
+def resolve_engine(name: str):
+    """Map an engine name to its class; raises
+    :class:`~repro.errors.ConfigurationError` for unknown names."""
+    if name == "reference":
+        from repro.core.engine.reference import ReferenceEngine
+
+        return ReferenceEngine
+    if name == "batched":
+        from repro.core.engine.batched import BatchedEngine
+
+        return BatchedEngine
+    raise ConfigurationError(
+        f"unknown simulation engine {name!r} "
+        f"(available: {', '.join(ENGINE_NAMES)})")

@@ -1,10 +1,13 @@
 """The memory system: L1 caches, write buffer, L2 and main-memory timing.
 
-This module owns the simulator's hot loop (:meth:`MemorySystem.run_slice`),
-which processes one instruction per iteration: instruction fetch (with an
-inlined direct-mapped L1-I hit check), optional data access (with an inlined
-universal L1-D *load-hit* check), TLB probes on page crossings, and cycle
-accounting into the Fig. 4 stall components.
+This module owns the simulator's architectural *state*; the hot loop that
+advances it lives in a pluggable engine (:mod:`repro.core.engine`).  The
+``reference`` engine processes one instruction per iteration — instruction
+fetch (with an inlined direct-mapped L1-I hit check), optional data access
+(with an inlined universal L1-D *load-hit* check), TLB probes on page
+crossings, and cycle accounting into the Fig. 4 stall components — while
+the ``batched`` engine vectorizes the all-hit runs between events and falls
+back to the same scalar handlers for everything else.
 
 Cycle-accounting rules (Sections 2, 6, 8, 9 of the paper):
 
@@ -23,6 +26,11 @@ Cycle-accounting rules (Sections 2, 6, 8, 9 of the paper):
   optional L2-D dirty buffer lets the read precede the victim write-back so a
   dirty miss costs the clean penalty plus any wait for the buffer itself.
 
+The write-policy and miss/refill handlers live in
+:mod:`repro.core.engine.policies` and :mod:`repro.core.engine.timing`;
+dispatch is resolved once at construction and bound as methods
+(``_store``/``_load_miss``/``_ifetch_miss``), never branched per access.
+
 The L1 hit paths are inlined and the L1 caches are restricted to
 direct-mapped organizations — exactly the design space the machine can build
 (Section 5); associative L1 studies use :class:`repro.core.cache.Cache`
@@ -31,31 +39,43 @@ standalone.
 
 from __future__ import annotations
 
-from typing import List, NamedTuple
+from types import MethodType
+from typing import List
 
 from repro.core.cache import INVALID
 from repro.core.config import BypassMode, SystemConfig, WritePolicy
+from repro.core.engine import (
+    DEFAULT_ENGINE,
+    REASON_END,
+    REASON_SLICE,
+    REASON_SYSCALL,
+    SliceResult,
+    resolve_engine,
+)
+from repro.core.engine.policies import resolve_policy
+from repro.core.engine.timing import ifetch_miss
 from repro.core.l2 import SecondaryCache
 from repro.core.stats import SimStats
 from repro.core.write_buffer import WriteBuffer
-from repro.errors import ConfigurationError
 from repro.mmu.tlb import TLB
-from repro.obs import runtime as _obs
 from repro.params import PAGE_WORDS, log2i
 
 _PAGE_SHIFT = log2i(PAGE_WORDS)
 
-#: Reasons a slice of execution stopped.
-REASON_END = "end"          # batch exhausted
-REASON_SYSCALL = "syscall"  # voluntary system call executed
-REASON_SLICE = "slice"      # cycle deadline reached
+#: State-schema version written by :meth:`MemorySystem.state_dict`.
+#: Version 2 added the ``version``/``engine`` fields; version-1 snapshots
+#: (written before engines existed) still load.
+STATE_VERSION = 2
+_KNOWN_STATE_VERSIONS = (1, 2)
 
-
-class SliceResult(NamedTuple):
-    """Outcome of :meth:`MemorySystem.run_slice`."""
-
-    consumed: int
-    reason: str
+__all__ = [
+    "MemorySystem",
+    "SliceResult",
+    "REASON_END",
+    "REASON_SYSCALL",
+    "REASON_SLICE",
+    "STATE_VERSION",
+]
 
 
 class MemorySystem:
@@ -64,9 +84,15 @@ class MemorySystem:
     The object is stateful across slices and processes: caches, TLBs and the
     write buffer persist (PID-tagged addressing means nothing is flushed on a
     context switch).
+
+    Args:
+        config: the architecture under test.
+        engine: execution strategy for :meth:`run_slice` — ``"reference"``
+            (exact scalar loop) or ``"batched"`` (vectorized hit path,
+            bit-identical statistics; see :mod:`repro.core.engine`).
     """
 
-    def __init__(self, config: SystemConfig):
+    def __init__(self, config: SystemConfig, engine: str = DEFAULT_ENGINE):
         config.validate()
         self.config = config
 
@@ -127,26 +153,19 @@ class MemorySystem:
         self._last_ipage = -1
         self._last_dpage = -1
 
-        # ----- Policy dispatch.
-        policy = config.write_policy
-        if policy is WritePolicy.WRITE_BACK:
-            self._store = self._store_write_back
-            self._load_miss = self._load_miss_write_back
-        elif policy is WritePolicy.WRITE_MISS_INVALIDATE:
-            self._store = self._store_invalidate
-            self._load_miss = self._load_miss_write_through
-        elif policy is WritePolicy.WRITE_ONLY:
-            self._store = self._store_write_only
-            self._load_miss = self._load_miss_write_through
-        elif policy is WritePolicy.SUBBLOCK:
-            self._store = self._store_subblock
-            self._load_miss = self._load_miss_write_through
-        else:  # pragma: no cover - enum is closed
-            raise ConfigurationError(f"unknown write policy {policy}")
+        # ----- Handler dispatch, resolved once (never per access).
+        store_fn, load_miss_fn = resolve_policy(config.write_policy)
+        self._store = MethodType(store_fn, self)
+        self._load_miss = MethodType(load_miss_fn, self)
+        self._ifetch_miss = MethodType(ifetch_miss, self)
 
         self.stats = SimStats()
         self.now = 0
         self._cycles_base = 0
+
+        # ----- Engine (validates the name; may re-represent the tag arrays).
+        self.engine = resolve_engine(engine)(self)
+        self.engine_name = engine
 
     # ------------------------------------------------------------------ admin
 
@@ -171,14 +190,19 @@ class MemorySystem:
 
         Together with the scheduler/process snapshots this is sufficient to
         resume a run bit-identically (see :mod:`repro.robust.checkpoint`).
+        The snapshot is engine-independent: the ``engine`` field records who
+        wrote it, but a checkpoint written under one engine loads and
+        resumes bit-identically under the other.
         """
         return {
-            "itags": list(self._itags),
-            "dtags": list(self._dtags),
-            "ddirty": list(self._ddirty),
+            "version": STATE_VERSION,
+            "engine": self.engine_name,
+            "itags": [int(t) for t in self._itags],
+            "dtags": [int(t) for t in self._dtags],
+            "ddirty": [int(d) for d in self._ddirty],
             "dirty_epoch": self._dirty_epoch,
-            "dwrite_only": list(self._dwrite_only),
-            "dvalid": list(self._dvalid),
+            "dwrite_only": [int(w) for w in self._dwrite_only],
+            "dvalid": [int(v) for v in self._dvalid],
             "l2": self.l2.state_dict(),
             "wb": self.wb.state_dict(),
             "itlb": self.itlb.state_dict(),
@@ -194,9 +218,16 @@ class MemorySystem:
     def load_state(self, state: dict) -> None:
         """Restore a :meth:`state_dict` snapshot taken under the same
         configuration; raises :class:`~repro.errors.CheckpointError` on any
-        shape mismatch."""
+        shape mismatch or unknown schema version."""
         from repro.errors import CheckpointError
 
+        version = state.get("version", 1)
+        if version not in _KNOWN_STATE_VERSIONS:
+            raise CheckpointError(
+                f"memory-system snapshot has unknown state version "
+                f"{version!r}; this reader understands versions "
+                f"{', '.join(str(v) for v in _KNOWN_STATE_VERSIONS)} "
+                f"(was the checkpoint written by a newer release?)")
         try:
             itags = [int(t) for t in state["itags"]]
             dtags = [int(t) for t in state["dtags"]]
@@ -236,6 +267,9 @@ class MemorySystem:
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointError(
                 f"malformed memory-system snapshot: {exc}") from exc
+        # The engine may keep a derived representation of the tag arrays
+        # (the batched engine uses numpy); let it rebuild.
+        self.engine.on_state_loaded()
 
     def check_invariants(self) -> None:
         """Audit structural invariants of the whole hierarchy.
@@ -264,7 +298,8 @@ class MemorySystem:
                 raise StateCorruptionError(
                     f"L1-I tag {tag:#x} stored at line {index} does not map "
                     f"there",
-                    details={"structure": "l1i", "line": index, "tag": tag},
+                    details={"structure": "l1i", "line": index,
+                             "tag": int(tag)},
                 )
         d_mask = self._d_mask
         epoch = self._dirty_epoch
@@ -298,7 +333,8 @@ class MemorySystem:
                 raise StateCorruptionError(
                     f"L1-D tag {tag:#x} stored at line {index} does not map "
                     f"there",
-                    details={"structure": "l1d", "line": index, "tag": tag},
+                    details={"structure": "l1d", "line": index,
+                             "tag": int(tag)},
                 )
             if write_only:
                 if not write_only_policy:
@@ -349,342 +385,28 @@ class MemorySystem:
 
         The five columns must be plain Python lists (see
         ``repro.sched.process.PreparedBatch``), already translated to
-        physical addresses.
+        physical addresses.  Execution is delegated to the configured
+        engine (:mod:`repro.core.engine`); every engine produces
+        bit-identical statistics and state.
         """
-        now = self.now
-        st = self.stats
-
-        itags = self._itags
-        il_shift = self._il_shift
-        i_mask = self._i_mask
-        dtags = self._dtags
-        dwrite_only = self._dwrite_only
-        dvalid = self._dvalid
-        dl_shift = self._dl_shift
-        d_mask = self._d_mask
-        dline_mask = self._dline_mask
-
-        tlb_on = self._tlb_enabled
-        itlb_access = self.itlb.access
-        dtlb_access = self.dtlb.access
-        tlb_penalty = self._tlb_penalty
-        last_ipage = self._last_ipage
-        last_dpage = self._last_dpage
-
-        ifetch_miss = self._ifetch_miss
-        load_miss = self._load_miss
-        store = self._store
-
-        loads = 0
-        stores = 0
-        n = len(pcs)
-        i = start
-        reason = REASON_END
-        while i < n:
-            pc = pcs[i]
-            now += 1
-            if tlb_on:
-                page = pc >> _PAGE_SHIFT
-                if page != last_ipage:
-                    last_ipage = page
-                    if not itlb_access(0, page):
-                        now += tlb_penalty
-                        st.stall_tlb += tlb_penalty
-            iline = pc >> il_shift
-            if itags[iline & i_mask] != iline:
-                now = ifetch_miss(now, iline)
-            kind = kinds[i]
-            if kind:
-                addr = addrs[i]
-                if tlb_on:
-                    page = addr >> _PAGE_SHIFT
-                    if page != last_dpage:
-                        last_dpage = page
-                        if not dtlb_access(0, page):
-                            now += tlb_penalty
-                            st.stall_tlb += tlb_penalty
-                if kind == 1:
-                    loads += 1
-                    dline = addr >> dl_shift
-                    index = dline & d_mask
-                    if not (dtags[index] == dline
-                            and not dwrite_only[index]
-                            and (dvalid[index] >> (addr & dline_mask)) & 1):
-                        now = load_miss(now, dline, index)
-                else:
-                    stores += 1
-                    now = store(now, addr, partials[i])
-            i += 1
-            if syscalls[i - 1]:
-                reason = REASON_SYSCALL
-                break
-            if now >= deadline:
-                reason = REASON_SLICE
-                break
-
-        consumed = i - start
-        self.now = now
-        self._last_ipage = last_ipage
-        self._last_dpage = last_dpage
-        st.instructions += consumed
-        st.loads += loads
-        st.stores += stores
-        if reason == REASON_SYSCALL:
-            st.syscalls += 1
-        st.cycles = now - self._cycles_base
-        self._sync_tlb_stats()
-        return SliceResult(consumed, reason)
-
-    # ----------------------------------------------------- instruction misses
-
-    def _ifetch_miss(self, now: int, iline: int) -> int:
-        """Handle an L1-I miss; returns the advanced cycle counter."""
-        st = self.stats
-        st.l1i_misses += 1
-        if self._i_waits_for_wb:
-            stall = self.wb.wait_empty(now)
-            if stall:
-                st.stall_wb += stall
-                now += stall
-        st.l2i_accesses += 1
-        hit, victim_dirty = self.l2.access_instruction(iline >> self._i_l2_delta)
-        st.stall_l1i_miss += self._i_refill_cycles
-        now += self._i_refill_cycles
-        if not hit:
-            st.l2i_misses += 1
-            if victim_dirty:
-                st.l2i_dirty_victims += 1
-            penalty = self._l2_miss_penalty(now, victim_dirty, data_side=False)
-            st.stall_l2i_miss += penalty
-            now += penalty
-            if _obs.enabled:
-                _obs.tracer.emit("l2_miss", cyc=now, side="i",
-                                 dirty=victim_dirty)
-        if _obs.enabled:
-            _obs.tracer.emit("l1i_miss", cyc=now, line=iline)
-        self._itags[iline & self._i_mask] = iline
-        return now
-
-    # ------------------------------------------------------------ data misses
-
-    def _wb_consistency_wait(self, now: int, dline: int, index: int) -> int:
-        """Apply the read-miss consistency discipline; returns advanced time."""
-        bypass = self._bypass
-        if bypass is BypassMode.NONE:
-            stall = self.wb.wait_empty(now)
-        elif bypass is BypassMode.DIRTY_BIT:
-            self.wb.expire(now)
-            if len(self.wb) == 0:
-                # An empty buffer means L2 is consistent: flash-clear every
-                # dirty bit (epoch bump) and proceed without waiting.
-                self._dirty_epoch += 1
-                stall = 0
-            elif (self._dtags[index] != INVALID
-                    and self._ddirty[index] == self._dirty_epoch):
-                stall = self.wb.wait_empty(now)
-                self._dirty_epoch += 1
-            else:
-                stall = 0
-        else:  # BypassMode.ASSOCIATIVE
-            stall = self.wb.flush_through(now, dline)
-        if stall:
-            self.stats.stall_wb += stall
-            now += stall
-        return now
-
-    def _l2_data_refill(self, now: int, dline: int) -> int:
-        """Fetch a line from L2-D into L1-D; returns advanced time."""
-        st = self.stats
-        st.l2d_accesses += 1
-        hit, victim_dirty = self.l2.access_data_read(dline >> self._d_l2_delta)
-        st.stall_l1d_miss += self._d_refill_cycles
-        now += self._d_refill_cycles
-        if not hit:
-            st.l2d_misses += 1
-            if victim_dirty:
-                st.l2d_dirty_victims += 1
-            penalty = self._l2_miss_penalty(now, victim_dirty, data_side=True)
-            st.stall_l2d_miss += penalty
-            now += penalty
-            if _obs.enabled:
-                _obs.tracer.emit("l2_miss", cyc=now, side="d",
-                                 dirty=victim_dirty)
-        return now
-
-    def _l2_miss_penalty(self, now: int, victim_dirty: bool,
-                         data_side: bool) -> int:
-        """Main-memory penalty for an L2 miss, honoring the dirty buffer."""
-        if not victim_dirty:
-            return self._l2_clean
-        if data_side and self._dirty_buffer:
-            # Read the requested line first; write the victim back through the
-            # one-line dirty buffer afterwards.  A back-to-back dirty miss
-            # must wait for the buffer to free.
-            wait = self._dirty_buffer_free - now
-            penalty = self._l2_clean + (wait if wait > 0 else 0)
-            self._dirty_buffer_free = now + penalty + self._l2_writeback_cost
-            return penalty
-        return self._l2_dirty
-
-    def _install_dline(self, dline: int, index: int, dirty: bool) -> None:
-        """Install a fully-valid line in L1-D."""
-        self._dtags[index] = dline
-        self._ddirty[index] = self._dirty_epoch if dirty else 0
-        self._dwrite_only[index] = 0
-        self._dvalid[index] = self._d_full_valid
-
-    # -- write-back policy ---------------------------------------------------
-
-    def _evict_victim_write_back(self, now: int, index: int) -> int:
-        """Push a dirty write-back victim line into the write buffer."""
-        if (self._dtags[index] == INVALID
-                or self._ddirty[index] != self._dirty_epoch):
-            return now
-        victim_line = self._dtags[index]
-        if _obs.enabled:
-            _obs.tracer.emit("victim_flush", cyc=now, line=victim_line)
-        return self._push_write(now, victim_line, self._wb_victim_cost)
-
-    def _load_miss_write_back(self, now: int, dline: int, index: int) -> int:
-        st = self.stats
-        st.l1d_read_misses += 1
-        if _obs.enabled:
-            _obs.tracer.emit("l1d_miss", cyc=now, line=dline, cls="read")
-        now = self._wb_consistency_wait(now, dline, index)
-        now = self._evict_victim_write_back(now, index)
-        now = self._l2_data_refill(now, dline)
-        self._install_dline(dline, index, dirty=False)
-        return now
-
-    def _store_write_back(self, now: int, addr: int, partial: bool) -> int:
-        st = self.stats
-        dline = addr >> self._dl_shift
-        index = dline & self._d_mask
-        if self._dtags[index] == dline:
-            st.stall_l1_writes += 1
-            self._ddirty[index] = self._dirty_epoch
-            return now + 1
-        st.l1d_write_misses += 1
-        if _obs.enabled:
-            _obs.tracer.emit("l1d_miss", cyc=now, line=dline, cls="write")
-        now = self._wb_consistency_wait(now, dline, index)
-        now = self._evict_victim_write_back(now, index)
-        now = self._l2_data_refill(now, dline)
-        self._install_dline(dline, index, dirty=True)
-        return now
-
-    # -- write-through policies ----------------------------------------------
-
-    def _push_write(self, now: int, dline: int, cost: int) -> int:
-        """Enqueue a write (word or victim line) and drain it into L2."""
-        st = self.stats
-        st.l2_write_accesses += 1
-        hit, victim_dirty = self.l2.access_data_write(dline >> self._d_l2_delta)
-        if not hit:
-            st.l2_write_misses += 1
-            cost += self._l2_dirty if victim_dirty else self._l2_clean
-            if _obs.enabled:
-                _obs.tracer.emit("l2_miss", cyc=now, side="w",
-                                 dirty=victim_dirty)
-        stall = self.wb.push(now, dline, cost)
-        if stall:
-            st.stall_wb += stall
-            now += stall
-        return now
-
-    def _load_miss_write_through(self, now: int, dline: int, index: int) -> int:
-        st = self.stats
-        st.l1d_read_misses += 1
-        wo_read = self._dtags[index] == dline and self._dwrite_only[index]
-        if wo_read:
-            st.l1d_write_only_read_misses += 1
-        if _obs.enabled:
-            _obs.tracer.emit("l1d_miss", cyc=now, line=dline,
-                             cls="wo_read" if wo_read else "read")
-        now = self._wb_consistency_wait(now, dline, index)
-        now = self._l2_data_refill(now, dline)
-        self._install_dline(dline, index, dirty=False)
-        return now
-
-    def _store_invalidate(self, now: int, addr: int, partial: bool) -> int:
-        st = self.stats
-        dline = addr >> self._dl_shift
-        index = dline & self._d_mask
-        now = self._push_write(now, dline, self._wb_word_cost)
-        if self._dtags[index] == dline:
-            self._ddirty[index] = self._dirty_epoch
-            return now
-        # The parallel data write corrupted the resident line; a second cycle
-        # invalidates it.
-        st.l1d_write_misses += 1
-        st.stall_l1_writes += 1
-        if _obs.enabled:
-            _obs.tracer.emit("l1d_miss", cyc=now, line=dline, cls="write")
-        self._dtags[index] = INVALID
-        self._dvalid[index] = 0
-        self._dwrite_only[index] = 0
-        self._ddirty[index] = 0
-        return now + 1
-
-    def _store_write_only(self, now: int, addr: int, partial: bool) -> int:
-        st = self.stats
-        dline = addr >> self._dl_shift
-        index = dline & self._d_mask
-        now = self._push_write(now, dline, self._wb_word_cost)
-        if self._dtags[index] == dline:
-            self._ddirty[index] = self._dirty_epoch
-            return now
-        # Write miss: update the tag, mark the line write-only (second cycle).
-        st.l1d_write_misses += 1
-        st.stall_l1_writes += 1
-        if _obs.enabled:
-            # A re-allocation displaces another never-read write-only line —
-            # the pathology Section 8 trades against write-through traffic.
-            _obs.tracer.emit("wo_alloc", cyc=now, line=dline,
-                             realloc=bool(self._dwrite_only[index]))
-        self._dtags[index] = dline
-        self._dwrite_only[index] = 1
-        self._ddirty[index] = self._dirty_epoch
-        self._dvalid[index] = self._d_full_valid
-        return now + 1
-
-    def _store_subblock(self, now: int, addr: int, partial: bool) -> int:
-        st = self.stats
-        dline = addr >> self._dl_shift
-        index = dline & self._d_mask
-        now = self._push_write(now, dline, self._wb_word_cost)
-        if self._dtags[index] == dline:
-            if not partial:
-                self._dvalid[index] |= 1 << (addr & self._dline_mask)
-            self._ddirty[index] = self._dirty_epoch
-            return now
-        # Write miss: the tag is updated in the next cycle; only a full-word
-        # write turns its valid bit on (partial-word writes leave none set).
-        st.l1d_write_misses += 1
-        st.stall_l1_writes += 1
-        if _obs.enabled:
-            _obs.tracer.emit("l1d_miss", cyc=now, line=dline, cls="write")
-        self._dtags[index] = dline
-        self._dwrite_only[index] = 0
-        self._dvalid[index] = 0 if partial else 1 << (addr & self._dline_mask)
-        self._ddirty[index] = self._dirty_epoch
-        return now + 1
+        return self.engine.run_slice(pcs, kinds, addrs, partials, syscalls,
+                                     start, deadline)
 
     # ------------------------------------------------------------- inspection
 
     def l1i_contains(self, word_addr: int) -> bool:
         """True when the word's line is resident in L1-I."""
         line = word_addr >> self._il_shift
-        return self._itags[line & self._i_mask] == line
+        return bool(self._itags[line & self._i_mask] == line)
 
     def l1d_contains(self, word_addr: int) -> bool:
         """True when the word is readable from L1-D (valid for loads)."""
         line = word_addr >> self._dl_shift
         index = line & self._d_mask
-        return (self._dtags[index] == line
-                and not self._dwrite_only[index]
-                and bool((self._dvalid[index] >> (word_addr & self._dline_mask))
-                         & 1))
+        return bool(self._dtags[index] == line
+                    and not self._dwrite_only[index]
+                    and (int(self._dvalid[index])
+                         >> (word_addr & self._dline_mask)) & 1)
 
     def l1d_line_state(self, word_addr: int) -> dict:
         """Debug/inspection view of the L1-D line a word maps to."""
@@ -692,9 +414,9 @@ class MemorySystem:
         index = line & self._d_mask
         return {
             "index": index,
-            "tag": self._dtags[index],
-            "present": self._dtags[index] == line,
-            "dirty": self._ddirty[index] == self._dirty_epoch,
+            "tag": int(self._dtags[index]),
+            "present": bool(self._dtags[index] == line),
+            "dirty": bool(self._ddirty[index] == self._dirty_epoch),
             "write_only": bool(self._dwrite_only[index]),
-            "valid_mask": self._dvalid[index],
+            "valid_mask": int(self._dvalid[index]),
         }
