@@ -1,8 +1,9 @@
 """Guard: observability must be free when off, cheap when on.
 
-Measures simulator throughput twice on the same prepared workload — once
-with tracing disabled (the default for every benchmark and sweep) and
-once with a live JSONL tracer plus sampler — then
+Measures simulator throughput on the same prepared workload — once with
+tracing disabled (the default for every benchmark and sweep) and once
+with a live JSONL tracer plus sampler — for **every** engine in
+``ENGINE_NAMES``, then
 
 * fails (exit 1) if disabled-mode throughput falls below a floor, which
   is the regression CI actually cares about: the instrumentation gate is
@@ -31,6 +32,7 @@ from pathlib import Path
 
 import repro.obs as obs
 from repro.core.config import base_architecture
+from repro.core.engine import ENGINE_NAMES
 from repro.core.simulator import Simulation
 from repro.trace.benchmarks import default_suite
 
@@ -39,11 +41,11 @@ DEFAULT_FLOOR = 150_000.0
 FLOOR_ENV = "REPRO_OBS_SPEED_FLOOR"
 
 
-def timed_run() -> float:
+def timed_run(engine: str = "reference") -> float:
     """One full simulation (scheduler + hierarchy); returns instr/s."""
     sim = Simulation(config=base_architecture(),
                      profiles=default_suite(INSTRUCTIONS)[:2],
-                     time_slice=2_000)
+                     time_slice=2_000, engine=engine)
     start = time.perf_counter()
     stats = sim.run(max_instructions=INSTRUCTIONS)
     elapsed = time.perf_counter() - start
@@ -58,37 +60,45 @@ def main(argv=None) -> int:
     floor = float(os.environ.get(FLOOR_ENV, DEFAULT_FLOOR))
 
     timed_run()  # warm caches/imports so both measurements compare fairly
-    disabled_rate = timed_run()
 
-    with tempfile.TemporaryDirectory() as tmp:
-        trace_path = Path(tmp) / "guard.jsonl"
-        obs.enable(trace_path, sample_interval=100_000)
-        try:
-            enabled_rate = timed_run()
-        finally:
-            obs.disable()
-        records = len(obs.read_events(trace_path))
+    report = {"instructions": INSTRUCTIONS, "floor_instr_per_s": floor,
+              "engines": {}}
+    failed = False
+    for engine in ENGINE_NAMES:
+        disabled_rate = timed_run(engine)
 
-    ratio = disabled_rate / enabled_rate if enabled_rate else float("inf")
-    report = {
-        "instructions": INSTRUCTIONS,
-        "disabled_instr_per_s": round(disabled_rate),
-        "enabled_instr_per_s": round(enabled_rate),
-        "enabled_overhead_x": round(ratio, 3),
-        "trace_records": records,
-        "floor_instr_per_s": floor,
-    }
+        with tempfile.TemporaryDirectory() as tmp:
+            trace_path = Path(tmp) / "guard.jsonl"
+            obs.enable(trace_path, sample_interval=100_000)
+            try:
+                enabled_rate = timed_run(engine)
+            finally:
+                obs.disable()
+            records = len(obs.read_events(trace_path))
+
+        ratio = (disabled_rate / enabled_rate if enabled_rate
+                 else float("inf"))
+        report["engines"][engine] = {
+            "disabled_instr_per_s": round(disabled_rate),
+            "enabled_instr_per_s": round(enabled_rate),
+            "enabled_overhead_x": round(ratio, 3),
+            "trace_records": records,
+        }
+        print(f"[{engine}] obs off : {disabled_rate:,.0f} instr/s "
+              f"(floor {floor:,.0f})")
+        print(f"[{engine}] obs on  : {enabled_rate:,.0f} instr/s "
+              f"({ratio:.2f}x slower, {records} trace records)")
+        if disabled_rate < floor:
+            print(f"FAIL: {engine} disabled-mode throughput "
+                  f"{disabled_rate:,.0f} is below the floor {floor:,.0f} — "
+                  f"the obs fast path has gotten expensive (or set "
+                  f"{FLOOR_ENV} for this machine)", file=sys.stderr)
+            failed = True
+
     Path(args.out).write_text(json.dumps(report, indent=1) + "\n")
-    print(f"obs off : {disabled_rate:,.0f} instr/s (floor {floor:,.0f})")
-    print(f"obs on  : {enabled_rate:,.0f} instr/s "
-          f"({ratio:.2f}x slower, {records} trace records)")
-    if disabled_rate < floor:
-        print(f"FAIL: disabled-mode throughput {disabled_rate:,.0f} is "
-              f"below the floor {floor:,.0f} — the obs fast path has "
-              f"gotten expensive (or set {FLOOR_ENV} for this machine)",
-              file=sys.stderr)
+    if failed:
         return 1
-    print("PASS: observability is free when disabled")
+    print("PASS: observability is free when disabled (both engines)")
     return 0
 
 

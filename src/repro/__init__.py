@@ -17,6 +17,8 @@ Quickstart::
 """
 
 from repro.core import (
+    DEFAULT_ENGINE,
+    ENGINE_NAMES,
     BypassMode,
     Cache,
     CacheConfig,
@@ -67,6 +69,8 @@ from repro.trace import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "DEFAULT_ENGINE",
+    "ENGINE_NAMES",
     "BypassMode",
     "Cache",
     "CacheConfig",

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import SystemConfig
+from repro.core.engine import DEFAULT_ENGINE
 from repro.core.stats import SimStats
 from repro.farm.cache import ResultCache
 from repro.farm.context import current_context
@@ -38,7 +39,8 @@ class SweepPoint:
     stats: SimStats
 
 
-def _resolve(jobs: Optional[int], cache, telemetry):
+def _resolve(jobs: Optional[int], cache, telemetry,
+             engine: Optional[str] = None):
     """Fill unspecified farm settings from the ambient context."""
     ctx = current_context()
     if jobs is None:
@@ -49,7 +51,9 @@ def _resolve(jobs: Optional[int], cache, telemetry):
         telemetry = ctx.telemetry
     timeout = ctx.task_timeout if ctx is not None else None
     retries = ctx.retries if ctx is not None else 1
-    return jobs, cache, telemetry, timeout, retries
+    if engine is None:
+        engine = ctx.engine if ctx is not None else DEFAULT_ENGINE
+    return jobs, cache, telemetry, timeout, retries, engine
 
 
 def run_point(config: SystemConfig, profiles: Sequence[BenchmarkProfile],
@@ -57,18 +61,20 @@ def run_point(config: SystemConfig, profiles: Sequence[BenchmarkProfile],
               level: Optional[int] = None,
               warmup_instructions: int = 0,
               max_instructions: Optional[int] = None,
-              cache: Optional[ResultCache] = None) -> SimStats:
+              cache: Optional[ResultCache] = None,
+              engine: Optional[str] = None) -> SimStats:
     """Run one configuration over a fresh copy of the workload.
 
     Inside a :func:`~repro.farm.context.farm_session` (or with ``cache``
     given) the result is served from / stored into the content-addressed
-    cache; otherwise this is a plain in-process simulation.
+    cache; otherwise this is a plain in-process simulation.  ``engine``
+    defaults to the ambient session's engine.
     """
-    _, cache, telemetry, _, _ = _resolve(1, cache, None)
+    _, cache, telemetry, _, _, engine = _resolve(1, cache, None, engine)
     spec = PointSpec(label=config.name, config=config,
                      profiles=tuple(profiles), time_slice=time_slice,
                      level=level, warmup_instructions=warmup_instructions,
-                     max_instructions=max_instructions)
+                     max_instructions=max_instructions, engine=engine)
     return run_points([spec], jobs=1, cache=cache, telemetry=telemetry)[0]
 
 
@@ -81,7 +87,8 @@ def run_sweep(configs: Sequence[Tuple[str, SystemConfig]],
               progress: Optional[Callable[[str], None]] = None,
               jobs: Optional[int] = None,
               cache: Optional[ResultCache] = None,
-              telemetry=None) -> List[SweepPoint]:
+              telemetry=None,
+              engine: Optional[str] = None) -> List[SweepPoint]:
     """Run every labeled configuration; returns points in input order.
 
     Args:
@@ -91,14 +98,16 @@ def run_sweep(configs: Sequence[Tuple[str, SystemConfig]],
         telemetry: per-point event sink (``None`` = ambient).
         progress: legacy per-label hook, called in input order as each
             point's processing starts.
+        engine: simulation engine for every point (``None`` = ambient
+            farm session's engine, else the default engine).
     """
-    jobs, cache, telemetry, timeout, retries = _resolve(jobs, cache,
-                                                        telemetry)
+    jobs, cache, telemetry, timeout, retries, engine = _resolve(
+        jobs, cache, telemetry, engine)
     specs = [
         PointSpec(label=label, config=config, profiles=tuple(profiles),
                   time_slice=time_slice, level=level,
                   warmup_instructions=warmup_instructions,
-                  max_instructions=max_instructions)
+                  max_instructions=max_instructions, engine=engine)
         for label, config in configs
     ]
     stats_list = run_points(specs, jobs=jobs, cache=cache,

@@ -17,6 +17,7 @@ from repro.core.config import (
     split_l2_architecture,
     write_through_buffer,
 )
+from repro.core.engine import DEFAULT_ENGINE, ENGINE_NAMES, resolve_engine
 from repro.core.functional import FunctionalMemorySystem
 from repro.core.hierarchy import (
     REASON_END,
@@ -49,6 +50,9 @@ __all__ = [
     "optimized_architecture",
     "split_l2_architecture",
     "write_through_buffer",
+    "DEFAULT_ENGINE",
+    "ENGINE_NAMES",
+    "resolve_engine",
     "FunctionalMemorySystem",
     "REASON_END",
     "REASON_SLICE",

@@ -27,8 +27,9 @@ The protocol between the two sides is deliberately narrow:
 * ``run_slice(pcs, kinds, addrs, partials, syscalls, start, deadline)``
   executes instructions and returns a :class:`SliceResult`;
 * ``on_state_loaded()`` is called after ``MemorySystem.load_state`` so an
-  engine can rebuild any derived representation of the tag arrays (the
-  batched engine keeps them as ``numpy`` arrays).
+  engine can rebuild any derived representation of the architectural
+  state (the batched engine drops its per-batch prediction caches; the
+  tag arrays themselves stay plain lists shared with the memory system).
 
 Policy and refill/timing handlers live in :mod:`repro.core.engine.policies`
 and :mod:`repro.core.engine.timing`; dispatch is resolved **once at
@@ -81,7 +82,7 @@ class Engine:
 
     def run_slice(self, pcs: List[int], kinds: List[int], addrs: List[int],
                   partials: List[bool], syscalls: List[bool],
-                  start: int, deadline: int) -> SliceResult:
+                  start: int, deadline: int, np_cols=None) -> SliceResult:
         raise NotImplementedError
 
     def on_state_loaded(self) -> None:

@@ -31,7 +31,7 @@ class ReferenceEngine(Engine):
 
     def run_slice(self, pcs: List[int], kinds: List[int], addrs: List[int],
                   partials: List[bool], syscalls: List[bool],
-                  start: int, deadline: int) -> SliceResult:
+                  start: int, deadline: int, np_cols=None) -> SliceResult:
         ms = self.ms
         now = ms.now
         st = ms.stats

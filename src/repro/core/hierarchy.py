@@ -379,18 +379,20 @@ class MemorySystem:
 
     def run_slice(self, pcs: List[int], kinds: List[int], addrs: List[int],
                   partials: List[bool], syscalls: List[bool],
-                  start: int, deadline: int) -> SliceResult:
+                  start: int, deadline: int, np_cols=None) -> SliceResult:
         """Execute instructions ``start..`` until the batch ends, a system
         call is executed, or ``deadline`` (absolute cycle) is reached.
 
         The five columns must be plain Python lists (see
         ``repro.sched.process.PreparedBatch``), already translated to
-        physical addresses.  Execution is delegated to the configured
-        engine (:mod:`repro.core.engine`); every engine produces
-        bit-identical statistics and state.
+        physical addresses; ``np_cols`` optionally carries the
+        ``(pcs, kinds, addrs, syscalls)`` NumPy columns so the batched
+        engine avoids re-converting.  Execution is delegated to the
+        configured engine (:mod:`repro.core.engine`); every engine
+        produces bit-identical statistics and state.
         """
         return self.engine.run_slice(pcs, kinds, addrs, partials, syscalls,
-                                     start, deadline)
+                                     start, deadline, np_cols=np_cols)
 
     # ------------------------------------------------------------- inspection
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.core.config import SystemConfig
+from repro.core.engine import DEFAULT_ENGINE
 from repro.core.hierarchy import MemorySystem
 from repro.core.stats import SimStats
 from repro.errors import CheckpointError
@@ -34,6 +35,11 @@ from repro.params import DEFAULT_TIME_SLICE
 from repro.sched.process import Process
 from repro.sched.scheduler import Scheduler
 from repro.trace.synthetic import BenchmarkProfile, SyntheticBenchmark
+
+#: Simulation snapshot schema.  Version 2 added the explicit version field
+#: and the engine name; version-1 snapshots (no version key) still load.
+STATE_VERSION = 2
+_KNOWN_STATE_VERSIONS = (1, 2)
 
 
 @dataclass
@@ -58,6 +64,9 @@ class Simulation:
     #: ``"raise"`` rejects corrupt trace batches; ``"skip"`` drops and counts
     #: the offending records (``SimStats.trace_records_skipped``).
     trace_errors: str = "raise"
+    #: Execution engine (``"reference"`` or ``"batched"``); engines are
+    #: bit-identical, ``"batched"`` trades exactness checks for speed.
+    engine: str = DEFAULT_ENGINE
     #: Optional runtime invariant auditing
     #: (:class:`repro.robust.audit.AuditConfig`).
     audit: Optional[object] = None
@@ -66,7 +75,7 @@ class Simulation:
     page_table: PageTable = field(init=False)
 
     def __post_init__(self) -> None:
-        self.memsys = MemorySystem(self.config)
+        self.memsys = MemorySystem(self.config, engine=self.engine)
         self.page_table = PageTable()
         processes: List[Process] = [
             Process(pid=i + 1, name=profile.name,
@@ -159,6 +168,7 @@ class Simulation:
                 "auditing (lockstep=False) with checkpointing"
             )
         return {
+            "version": STATE_VERSION,
             "config": config_to_dict(self.config),
             "profiles": [profile_to_dict(p) for p in self.profiles],
             "simulation": {
@@ -167,6 +177,7 @@ class Simulation:
                 "warmup_instructions": self.warmup_instructions,
                 "track_per_process": self.track_per_process,
                 "trace_errors": self.trace_errors,
+                "engine": self.engine,
             },
             "page_table": self.page_table.state_dict(),
             "memsys": self.memsys.state_dict(),
@@ -181,6 +192,12 @@ class Simulation:
         matters: the page table is restored before the scheduler so that
         in-flight batches re-translate identically.
         """
+        version = state.get("version", 1)
+        if version not in _KNOWN_STATE_VERSIONS:
+            raise CheckpointError(
+                f"simulation snapshot has unknown state version {version!r} "
+                f"(this build understands {_KNOWN_STATE_VERSIONS}); "
+                "it was probably written by a newer build")
         try:
             self.page_table.load_state(state["page_table"])
             self.memsys.load_state(state["memsys"])
@@ -194,8 +211,10 @@ def simulate(config: SystemConfig, profiles: Sequence[BenchmarkProfile],
              time_slice: int = DEFAULT_TIME_SLICE,
              level: Optional[int] = None,
              warmup_instructions: int = 0,
-             max_instructions: Optional[int] = None) -> SimStats:
+             max_instructions: Optional[int] = None,
+             engine: str = DEFAULT_ENGINE) -> SimStats:
     """One-call convenience wrapper around :class:`Simulation`."""
     sim = Simulation(config=config, profiles=profiles, time_slice=time_slice,
-                     level=level, warmup_instructions=warmup_instructions)
+                     level=level, warmup_instructions=warmup_instructions,
+                     engine=engine)
     return sim.run(max_instructions=max_instructions)

@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, TextIO, Tuple
 
 import repro.obs as obs
+from repro.core.engine import DEFAULT_ENGINE, ENGINE_NAMES
 from repro.errors import FarmCancelled, cli_errors
 from repro.experiments.common import (
     DEFAULT_SCALE,
@@ -101,6 +102,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--config", type=Path, default=None,
                         help="run a custom machine from a SystemConfig "
                              "JSON file (ignores experiment ids)")
+    parser.add_argument("--engine", choices=list(ENGINE_NAMES),
+                        default=DEFAULT_ENGINE,
+                        help="simulation engine for every sweep point "
+                             "(engines are bit-identical; 'batched' "
+                             "vectorizes the hit path)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for independent experiments "
                              "(default %(default)s; results are identical "
@@ -218,7 +224,8 @@ def _experiment_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     started = time.time()
     with farm_session(jobs=1,
                       cache_dir=payload["cache_dir"],
-                      no_cache=payload["cache_dir"] is None) as ctx:
+                      no_cache=payload["cache_dir"] is None,
+                      engine=payload.get("engine", DEFAULT_ENGINE)) as ctx:
         report = _render(payload["experiment_id"], scale, payload["chart"])
     return {
         "report": report,
@@ -304,7 +311,7 @@ def _run(args: argparse.Namespace, telemetry: RunTelemetry) -> int:
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     if args.config is not None:
         with farm_session(jobs=1, cache=cache, no_cache=args.no_cache,
-                          telemetry=telemetry):
+                          telemetry=telemetry, engine=args.engine):
             print(run_custom_config(args.config, scale))
         if args.manifest is not None:
             telemetry.write_manifest(args.manifest)
@@ -352,6 +359,7 @@ def _run(args: argparse.Namespace, telemetry: RunTelemetry) -> int:
                 "scale": asdict(scale),
                 "cache_dir": None if cache is None else str(cache.root),
                 "chart": args.chart,
+                "engine": args.engine,
             } for experiment_id in wanted]
 
             def collect(index: int, value: Dict[str, Any]) -> None:
@@ -368,7 +376,7 @@ def _run(args: argparse.Namespace, telemetry: RunTelemetry) -> int:
                 interrupted = True  # pool already reaped its children
         else:
             with farm_session(jobs=1, cache=cache, no_cache=args.no_cache,
-                              telemetry=telemetry):
+                              telemetry=telemetry, engine=args.engine):
                 for experiment_id in wanted:
                     if latch.triggered:
                         interrupted = True

@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Sequence, Tuple, Union
 
 from repro.core.config import SystemConfig
+from repro.core.engine import DEFAULT_ENGINE
 from repro.core.serialization import config_to_dict, profile_to_dict
 from repro.core.stats import SimStats
 from repro.robust.atomic import atomic_write_text
@@ -48,7 +49,11 @@ PathLike = Union[str, os.PathLike]
 CACHE_MAGIC = "repro-farm"
 #: Bump when the canonical payload layout or the simulator's observable
 #: behaviour changes; old entries then miss instead of lying.
-CACHE_SCHEMA_VERSION = 1
+#: Version 2 added the execution engine to the payload: engines are
+#: bit-identical by contract, but a cached result must still record which
+#: engine produced it so an equivalence bug can never hide behind a warm
+#: cache.
+CACHE_SCHEMA_VERSION = 2
 
 #: Environment variable overriding the default cache root.
 CACHE_ENV_VAR = "REPRO_FARM_CACHE"
@@ -67,12 +72,16 @@ def point_payload(config: SystemConfig,
                   time_slice: int,
                   level: Optional[int],
                   warmup_instructions: int,
-                  max_instructions: Optional[int]) -> Dict[str, Any]:
+                  max_instructions: Optional[int],
+                  engine: str = DEFAULT_ENGINE) -> Dict[str, Any]:
     """The canonical, JSON-ready description of one sweep point.
 
     This dict is both the cache key's preimage and the exact payload a
     pool worker rebuilds the simulation from — the key can never drift
-    from what actually ran.
+    from what actually ran.  The engine participates in the key even
+    though engines are bit-identical: a result cached under one engine
+    is never served to a request for the other, so the lockstep
+    guarantee is checkable against production caches.
     """
     config_dict = config_to_dict(config)
     config_dict.pop("name", None)  # label, not simulation input
@@ -84,6 +93,7 @@ def point_payload(config: SystemConfig,
         "level": level,
         "warmup_instructions": warmup_instructions,
         "max_instructions": max_instructions,
+        "engine": engine,
     }
 
 
@@ -102,10 +112,12 @@ def point_key(config: SystemConfig,
               time_slice: int,
               level: Optional[int] = None,
               warmup_instructions: int = 0,
-              max_instructions: Optional[int] = None) -> str:
+              max_instructions: Optional[int] = None,
+              engine: str = DEFAULT_ENGINE) -> str:
     """The content address of one sweep point."""
     return payload_key(point_payload(config, profiles, time_slice, level,
-                                     warmup_instructions, max_instructions))
+                                     warmup_instructions, max_instructions,
+                                     engine))
 
 
 class ResultCache:

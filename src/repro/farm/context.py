@@ -21,6 +21,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.core.engine import DEFAULT_ENGINE
 from repro.farm.cache import ResultCache
 from repro.farm.telemetry import RunTelemetry
 
@@ -37,6 +38,8 @@ class FarmContext:
     task_timeout: Optional[float] = None
     #: Re-runs granted to a crashed or timed-out worker.
     retries: int = 1
+    #: Simulation engine every point in the session runs under.
+    engine: str = DEFAULT_ENGINE
 
 
 _STACK: List[FarmContext] = []
@@ -55,7 +58,8 @@ def farm_session(jobs: int = 1,
                  telemetry: Optional[RunTelemetry] = None,
                  quiet: bool = False,
                  task_timeout: Optional[float] = None,
-                 retries: int = 1):
+                 retries: int = 1,
+                 engine: str = DEFAULT_ENGINE):
     """Activate a :class:`FarmContext` for the duration of the block.
 
     Args:
@@ -67,6 +71,9 @@ def farm_session(jobs: int = 1,
         quiet: create the default telemetry without a progress stream.
         task_timeout: per-point wall-clock limit in seconds.
         retries: crash/timeout re-run budget per point.
+        engine: simulation engine for every point in the session
+            (``repro.core.engine.ENGINE_NAMES``); part of each point's
+            cache key.
     """
     if no_cache:
         cache = None
@@ -75,7 +82,8 @@ def farm_session(jobs: int = 1,
     if telemetry is None:
         telemetry = RunTelemetry(stream=None if quiet else sys.stderr)
     ctx = FarmContext(jobs=jobs, cache=cache, telemetry=telemetry,
-                      task_timeout=task_timeout, retries=retries)
+                      task_timeout=task_timeout, retries=retries,
+                      engine=engine)
     _STACK.append(ctx)
     try:
         yield ctx

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import SystemConfig
+from repro.core.engine import DEFAULT_ENGINE
 from repro.core.stats import SimStats
 from repro.farm.cache import ResultCache, payload_key, point_payload
 from repro.farm.pool import run_tasks
@@ -40,12 +41,13 @@ class PointSpec:
     level: Optional[int] = None
     warmup_instructions: int = 0
     max_instructions: Optional[int] = None
+    engine: str = DEFAULT_ENGINE
 
     def payload(self) -> Dict[str, Any]:
         """Canonical dict: cache-key preimage and worker input."""
         return point_payload(self.config, self.profiles, self.time_slice,
                              self.level, self.warmup_instructions,
-                             self.max_instructions)
+                             self.max_instructions, self.engine)
 
     def key(self) -> str:
         """Content address of this point."""
@@ -94,7 +96,8 @@ def execute_point(payload: Dict[str, Any]) -> Dict[str, Any]:
     sim = Simulation(config=config, profiles=profiles,
                      time_slice=payload["time_slice"],
                      level=payload["level"],
-                     warmup_instructions=payload["warmup_instructions"])
+                     warmup_instructions=payload["warmup_instructions"],
+                     engine=payload.get("engine", DEFAULT_ENGINE))
     if trace is not None:
         with obs.activate_trace(trace):
             stats = sim.run(max_instructions=payload["max_instructions"])

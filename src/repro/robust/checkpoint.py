@@ -31,7 +31,7 @@ import hashlib
 import json
 import os
 import zlib
-from typing import Union
+from typing import Optional, Union
 
 from repro.errors import CheckpointError
 from repro.robust.atomic import atomic_write_bytes
@@ -110,12 +110,19 @@ def load_checkpoint(path: PathLike) -> dict:
     return payload
 
 
-def resume(path: PathLike):
+def resume(path: PathLike, engine: Optional[str] = None):
     """Reconstruct a :class:`~repro.core.simulator.Simulation` from a
     checkpoint file, ready to continue bit-identically.
 
     A run that had already completed resumes as a no-op: ``run()`` returns
     the final statistics immediately.
+
+    Args:
+        path: the checkpoint file.
+        engine: override the engine recorded in the snapshot (engines
+            share one architectural state representation, so a run
+            checkpointed under one engine continues bit-identically
+            under the other).
     """
     from repro.core.serialization import config_from_dict, profile_from_dict
     from repro.core.simulator import Simulation
@@ -133,6 +140,8 @@ def resume(path: PathLike):
         raise CheckpointError(
             f"checkpoint {path} holds an invalid configuration: {exc}"
         ) from exc
+    if engine is not None:
+        sim_kwargs["engine"] = engine
     try:
         sim = Simulation(config=config, profiles=profiles, **sim_kwargs)
     except TypeError as exc:

@@ -29,11 +29,12 @@ from repro.trace.stream import TraceSource
 class PreparedBatch:
     """One trace batch, physically translated and converted to lists."""
 
-    __slots__ = ("pcs", "kinds", "addrs", "partials", "syscalls", "dropped")
+    __slots__ = ("pcs", "kinds", "addrs", "partials", "syscalls", "dropped",
+                 "np_cols")
 
     def __init__(self, pcs: List[int], kinds: List[int], addrs: List[int],
                  partials: List[bool], syscalls: List[bool],
-                 dropped: int = 0):
+                 dropped: int = 0, np_cols=None):
         self.pcs = pcs
         self.kinds = kinds
         self.addrs = addrs
@@ -41,6 +42,11 @@ class PreparedBatch:
         self.syscalls = syscalls
         #: Malformed records dropped during preparation (skip mode only).
         self.dropped = dropped
+        #: Optional ``(pcs, kinds, addrs, syscalls)`` as NumPy arrays —
+        #: the same columns before list conversion.  The batched engine
+        #: builds its per-batch index from these without re-converting;
+        #: the scalar engines ignore them.
+        self.np_cols = np_cols
 
     def __len__(self) -> int:
         return len(self.pcs)
@@ -88,6 +94,7 @@ class PreparedBatch:
             partials=batch.partial.tolist(),
             syscalls=batch.syscall.tolist(),
             dropped=dropped,
+            np_cols=(pc_phys, batch.kind, addr_phys, batch.syscall),
         )
 
 

@@ -24,6 +24,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.core.engine import DEFAULT_ENGINE, ENGINE_NAMES
 from repro.errors import ServeError, cli_errors
 from repro.farm.cache import ResultCache
 
@@ -71,6 +72,9 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--level", type=int, default=2,
                           help="multiprogramming level")
     simulate.add_argument("--time-slice", type=int, default=30000)
+    simulate.add_argument("--engine", choices=list(ENGINE_NAMES),
+                          default=DEFAULT_ENGINE,
+                          help="simulation engine executing the point")
     simulate.add_argument("--deadline", type=float, default=None,
                           help="per-request deadline, seconds")
     simulate.add_argument("--budget", type=float, default=60.0,
@@ -127,6 +131,7 @@ def _cmd_simulate(args) -> int:
         }},
         "time_slice": args.time_slice,
         "level": args.level,
+        "engine": args.engine,
     }
     if args.deadline is not None:
         request["deadline_s"] = args.deadline

@@ -11,7 +11,8 @@ A request body is JSON::
       "level": 2,                     // optional, multiprogramming level
       "warmup_instructions": 0,       // optional
       "max_instructions": null,       // optional budget
-      "deadline_s": 10.0              // optional, clamped to the server max
+      "deadline_s": 10.0,             // optional, clamped to the server max
+      "engine": "reference"           // optional simulation engine
     }
 
 Validation is the same machinery the simulator itself trusts —
@@ -33,6 +34,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Optional, Tuple
 
+from repro.core.engine import DEFAULT_ENGINE, ENGINE_NAMES
 from repro.core.serialization import config_from_dict, profile_from_dict
 from repro.core.stats import SimStats
 from repro.errors import ConfigurationError, ServeError
@@ -43,7 +45,8 @@ from repro.params import DEFAULT_TIME_SLICE
 PROTOCOL_VERSION = 1
 
 _TOP_KEYS = {"config", "workload", "time_slice", "level",
-             "warmup_instructions", "max_instructions", "deadline_s"}
+             "warmup_instructions", "max_instructions", "deadline_s",
+             "engine"}
 
 
 def _require_int(body: Dict[str, Any], key: str, default: int,
@@ -152,11 +155,16 @@ def parse_simulate_request(raw: bytes,
             raise ServeError("deadline_s must be a positive number",
                              status=400)
         deadline_s = float(deadline_s)
+    engine = body.get("engine", DEFAULT_ENGINE)
+    if not isinstance(engine, str) or engine not in ENGINE_NAMES:
+        raise ServeError(
+            f"unknown engine {engine!r} "
+            f"(available: {', '.join(ENGINE_NAMES)})", status=400)
 
     spec = PointSpec(label=config.name, config=config, profiles=profiles,
                      time_slice=time_slice, level=level,
                      warmup_instructions=warmup,
-                     max_instructions=max_instructions)
+                     max_instructions=max_instructions, engine=engine)
     return spec, deadline_s
 
 
@@ -167,6 +175,7 @@ def render_result(spec: PointSpec, stats: SimStats, key: str,
         "version": PROTOCOL_VERSION,
         "key": key,
         "cached": cached,
+        "engine": spec.engine,
         "wall_s": round(wall_s, 6),
         "cpi": stats.cpi(spec.config.cpu_stall_cpi),
         "stats": stats.to_dict(),

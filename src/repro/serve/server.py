@@ -522,7 +522,8 @@ class SimServer:
         spec = job.spec
         sim = Simulation(config=spec.config, profiles=list(spec.profiles),
                          time_slice=spec.time_slice, level=spec.level,
-                         warmup_instructions=spec.warmup_instructions)
+                         warmup_instructions=spec.warmup_instructions,
+                         engine=spec.engine)
 
         def on_slice(scheduler) -> None:
             # Deadline first: a handler that already answered 504 sets
