@@ -1,16 +1,20 @@
-"""Bench the farm: serial vs. parallel wall-clock on the Fig. 5 grid.
+"""Bench the farm: a real scaling curve, local and distributed.
 
 Runs the Fig. 5 write-policy sweep (20 independent points at
-``BENCH_SCALE``) twice through :func:`repro.analysis.sweep.run_sweep` —
-once with ``jobs=1``, once with ``jobs=N`` — with caching disabled so
-both runs pay full simulation cost, verifies the results are
-bit-identical, and writes the wall-clock comparison to
-``BENCH_farm.json``.  Usage::
+``BENCH_SCALE``) through :func:`repro.analysis.sweep.run_sweep` at each
+requested job count, twice per count — once with local worker processes
+(``jobs=N``) and once distributed over N freshly launched
+``repro-serve`` backends (:class:`repro.grid.backends.BackendPool`) —
+with caching disabled everywhere so every run pays full simulation
+cost.  Every run's results must be **bit-identical** to the ``jobs=1``
+baseline; the wall-clock curve goes to ``BENCH_farm.json``.  Usage::
 
-    PYTHONPATH=src python benchmarks/bench_farm.py [--jobs N] [--out PATH]
+    PYTHONPATH=src python benchmarks/bench_farm.py \\
+        [--jobs-list 1,2,4] [--out PATH] [--smoke]
 
-The speedup figure is only meaningful on a multi-core machine; the
-bit-identical check is meaningful everywhere.
+``--smoke`` shrinks the grid and the curve for CI.  The speedup columns
+are only meaningful on a multi-core machine (``cpu_count`` is recorded
+so readers can judge); the bit-identical gate is meaningful everywhere.
 """
 
 from __future__ import annotations
@@ -28,7 +32,9 @@ from repro.experiments.fig5_write_policy import (
     POLICIES,
     config_for,
 )
+from repro.farm.context import farm_session
 from repro.farm.pool import fork_available
+from repro.grid.backends import BackendPool
 
 
 def fig5_grid():
@@ -41,58 +47,113 @@ def serialized(points):
             for point in points]
 
 
-def timed_sweep(configs, profiles, jobs):
+def timed_local(configs, profiles, jobs):
     start = time.perf_counter()
     points = run_sweep(configs, profiles,
                        time_slice=BENCH_SCALE.time_slice,
                        level=BENCH_SCALE.level,
                        warmup_instructions=BENCH_SCALE.warmup_instructions(),
-                       jobs=jobs)
+                       jobs=jobs, cache=None)
     return time.perf_counter() - start, serialized(points)
+
+
+def timed_distributed(configs, profiles, backends):
+    """One sweep over a fresh pool of ``backends`` serve processes.
+
+    The pool is launched (and torn down) outside the timed window —
+    the curve measures dispatch, not process startup — and runs without
+    caches so repeats stay honest.
+    """
+    with BackendPool(backends, no_cache=True) as pool:
+        with farm_session(nodes=pool.urls, no_cache=True, quiet=True):
+            start = time.perf_counter()
+            points = run_sweep(
+                configs, profiles,
+                time_slice=BENCH_SCALE.time_slice,
+                level=BENCH_SCALE.level,
+                warmup_instructions=BENCH_SCALE.warmup_instructions())
+            wall = time.perf_counter() - start
+    return wall, serialized(points)
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--jobs", type=int, default=4,
-                        help="parallel worker count (default: 4)")
+    parser.add_argument("--jobs-list", default=None, metavar="N[,N...]",
+                        help="job counts for the curve (default: 1,2,.. "
+                             "doubling up to the CPU count, minimum 1,2)")
     parser.add_argument("--out", default="BENCH_farm.json",
                         help="output path (default: BENCH_farm.json)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized: 6-point grid, jobs 1,2")
     args = parser.parse_args(argv)
 
+    cpus = os.cpu_count() or 1
+    if args.jobs_list:
+        jobs_list = sorted({int(n) for n in args.jobs_list.split(",")})
+        if any(n < 1 for n in jobs_list):
+            parser.error("--jobs-list entries must be >= 1")
+    elif args.smoke:
+        jobs_list = [1, 2]
+    else:
+        jobs_list = [1, 2]
+        while jobs_list[-1] * 2 <= cpus:
+            jobs_list.append(jobs_list[-1] * 2)
+
     configs = fig5_grid()
+    if args.smoke:
+        configs = configs[:6]
     profiles = workload(BENCH_SCALE)
     print(f"[bench_farm] {len(configs)} points, "
           f"{BENCH_SCALE.instructions_per_benchmark} instr/benchmark, "
-          f"level {BENCH_SCALE.level}", file=sys.stderr)
+          f"level {BENCH_SCALE.level}, jobs {jobs_list}, "
+          f"{cpus} cpu(s)", file=sys.stderr)
 
-    serial_s, serial_bytes = timed_sweep(configs, profiles, jobs=1)
-    print(f"[bench_farm] jobs=1: {serial_s:.2f}s", file=sys.stderr)
-    parallel_s, parallel_bytes = timed_sweep(configs, profiles,
-                                             jobs=args.jobs)
-    print(f"[bench_farm] jobs={args.jobs}: {parallel_s:.2f}s",
+    baseline_s, baseline_bytes = timed_local(configs, profiles, jobs=1)
+    print(f"[bench_farm] local jobs=1 (baseline): {baseline_s:.2f}s",
           file=sys.stderr)
 
-    identical = serial_bytes == parallel_bytes
+    identical = True
+    curve = []
+    for jobs in jobs_list:
+        if jobs == 1:
+            local_s, local_bytes = baseline_s, baseline_bytes
+        else:
+            local_s, local_bytes = timed_local(configs, profiles, jobs)
+            print(f"[bench_farm] local jobs={jobs}: {local_s:.2f}s",
+                  file=sys.stderr)
+        dist_s, dist_bytes = timed_distributed(configs, profiles, jobs)
+        print(f"[bench_farm] distributed backends={jobs}: {dist_s:.2f}s",
+              file=sys.stderr)
+        identical = (identical and local_bytes == baseline_bytes
+                     and dist_bytes == baseline_bytes)
+        curve.append({
+            "jobs": jobs,
+            "local_wall_s": round(local_s, 3),
+            "local_speedup": round(baseline_s / local_s, 3)
+            if local_s else None,
+            "distributed_backends": jobs,
+            "distributed_wall_s": round(dist_s, 3),
+            "distributed_speedup": round(baseline_s / dist_s, 3)
+            if dist_s else None,
+        })
+
     report = {
-        "benchmark": "farm_parallel_sweep",
-        "grid": "fig5",
+        "benchmark": "farm_scaling_curve",
+        "grid": "fig5" if not args.smoke else "fig5[:6]",
         "points": len(configs),
         "instructions_per_benchmark": BENCH_SCALE.instructions_per_benchmark,
         "level": BENCH_SCALE.level,
         "time_slice": BENCH_SCALE.time_slice,
-        "jobs": args.jobs,
         "fork_available": fork_available(),
-        "cpu_count": os.cpu_count(),
-        "serial_wall_s": round(serial_s, 3),
-        "parallel_wall_s": round(parallel_s, 3),
-        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "cpu_count": cpus,
+        "baseline_wall_s": round(baseline_s, 3),
+        "curve": curve,
         "bit_identical": identical,
     }
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
-    print(f"[bench_farm] wrote {args.out}: "
-          f"speedup {report['speedup']}x, bit_identical={identical}",
+    print(f"[bench_farm] wrote {args.out}: bit_identical={identical}",
           file=sys.stderr)
     return 0 if identical else 1
 

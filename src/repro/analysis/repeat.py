@@ -100,7 +100,7 @@ def repeat_simulation(config: SystemConfig,
     if seeds < 1:
         raise ValueError("seeds must be >= 1")
     chosen = metrics if metrics is not None else DEFAULT_METRICS
-    jobs, cache, telemetry, timeout, retries, engine = _resolve(
+    jobs, cache, telemetry, timeout, retries, engine, dispatcher = _resolve(
         jobs, None, None)
     specs = [
         PointSpec(label=f"{config.name}/seed{offset}", config=config,
@@ -111,7 +111,7 @@ def repeat_simulation(config: SystemConfig,
     ]
     stats_list = run_points(specs, jobs=jobs, cache=cache,
                             telemetry=telemetry, timeout=timeout,
-                            retries=retries)
+                            retries=retries, dispatcher=dispatcher)
     samples: Dict[str, List[float]] = {
         name: [extract(stats) for stats in stats_list]
         for name, extract in chosen.items()

@@ -53,7 +53,8 @@ def _resolve(jobs: Optional[int], cache, telemetry,
     retries = ctx.retries if ctx is not None else 1
     if engine is None:
         engine = ctx.engine if ctx is not None else DEFAULT_ENGINE
-    return jobs, cache, telemetry, timeout, retries, engine
+    dispatcher = ctx.dispatcher if ctx is not None else None
+    return jobs, cache, telemetry, timeout, retries, engine, dispatcher
 
 
 def run_point(config: SystemConfig, profiles: Sequence[BenchmarkProfile],
@@ -70,12 +71,14 @@ def run_point(config: SystemConfig, profiles: Sequence[BenchmarkProfile],
     cache; otherwise this is a plain in-process simulation.  ``engine``
     defaults to the ambient session's engine.
     """
-    _, cache, telemetry, _, _, engine = _resolve(1, cache, None, engine)
+    _, cache, telemetry, _, _, engine, dispatcher = _resolve(
+        1, cache, None, engine)
     spec = PointSpec(label=config.name, config=config,
                      profiles=tuple(profiles), time_slice=time_slice,
                      level=level, warmup_instructions=warmup_instructions,
                      max_instructions=max_instructions, engine=engine)
-    return run_points([spec], jobs=1, cache=cache, telemetry=telemetry)[0]
+    return run_points([spec], jobs=1, cache=cache, telemetry=telemetry,
+                      dispatcher=dispatcher)[0]
 
 
 def run_sweep(configs: Sequence[Tuple[str, SystemConfig]],
@@ -101,7 +104,7 @@ def run_sweep(configs: Sequence[Tuple[str, SystemConfig]],
         engine: simulation engine for every point (``None`` = ambient
             farm session's engine, else the default engine).
     """
-    jobs, cache, telemetry, timeout, retries, engine = _resolve(
+    jobs, cache, telemetry, timeout, retries, engine, dispatcher = _resolve(
         jobs, cache, telemetry, engine)
     specs = [
         PointSpec(label=label, config=config, profiles=tuple(profiles),
@@ -112,7 +115,8 @@ def run_sweep(configs: Sequence[Tuple[str, SystemConfig]],
     ]
     stats_list = run_points(specs, jobs=jobs, cache=cache,
                             telemetry=telemetry, timeout=timeout,
-                            retries=retries, on_point=progress)
+                            retries=retries, on_point=progress,
+                            dispatcher=dispatcher)
     return [SweepPoint(label=label, config=config, stats=stats)
             for (label, config), stats in zip(configs, stats_list)]
 

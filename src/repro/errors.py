@@ -59,6 +59,16 @@ class FarmCancelled(FarmError):
     before this was raised."""
 
 
+class GridError(ReproError):
+    """The distributed dispatcher could not complete a sweep: every
+    backend was lost *and* local fallback was disabled, or a point
+    exhausted its cross-node retry budget.  Carries the point's label."""
+
+    def __init__(self, message: str, label: str = ""):
+        super().__init__(message)
+        self.label = label
+
+
 class ObsError(ReproError):
     """The observability layer was misused (metric type/label mismatch,
     malformed snapshot merge, or an unreadable event log)."""

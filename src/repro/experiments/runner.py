@@ -111,6 +111,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for independent experiments "
                              "(default %(default)s; results are identical "
                              "at any value)")
+    parser.add_argument("--nodes", type=str, default=None,
+                        metavar="URL[,URL...]",
+                        help="distribute sweep points over these "
+                             "repro-serve backends (comma-separated; "
+                             "host:port accepted) via the fault-tolerant "
+                             "grid dispatcher; results stay bit-identical "
+                             "and fall back to local execution if the "
+                             "pool is lost")
     parser.add_argument("--cache-dir", type=Path, default=None,
                         help="content-addressed result cache root (default: "
                              "$REPRO_FARM_CACHE or ~/.cache/repro-farm)")
@@ -309,9 +317,16 @@ def _run(args: argparse.Namespace, telemetry: RunTelemetry) -> int:
         warmup_fraction=args.warmup_fraction,
     )
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    nodes = None
+    if args.nodes:
+        nodes = [u.strip() for u in args.nodes.split(",") if u.strip()]
+        if not nodes:
+            print("--nodes needs at least one backend URL", file=sys.stderr)
+            return 2
     if args.config is not None:
         with farm_session(jobs=1, cache=cache, no_cache=args.no_cache,
-                          telemetry=telemetry, engine=args.engine):
+                          telemetry=telemetry, engine=args.engine,
+                          nodes=nodes):
             print(run_custom_config(args.config, scale))
         if args.manifest is not None:
             telemetry.write_manifest(args.manifest)
@@ -350,6 +365,12 @@ def _run(args: argparse.Namespace, telemetry: RunTelemetry) -> int:
     # The same latch-and-drain signal handling the server uses: SIGTERM or
     # Ctrl-C stops cleanly between experiments, flushes every completed
     # report and the manifest, then exits through the conventional path.
+    if nodes is not None and jobs > 1:
+        # Parallelism comes from the backend pool, not local forks: the
+        # experiments loop runs serially and every point is dispatched.
+        print("[--nodes distributes sweep points; ignoring --jobs "
+              f"{jobs}]", file=sys.stderr)
+        jobs = 1
     with SignalDrain(reraise=False) as latch:
         if jobs > 1 and len(wanted) > 1:
             # Independent experiments fan out across workers; each
@@ -376,7 +397,8 @@ def _run(args: argparse.Namespace, telemetry: RunTelemetry) -> int:
                 interrupted = True  # pool already reaped its children
         else:
             with farm_session(jobs=1, cache=cache, no_cache=args.no_cache,
-                              telemetry=telemetry, engine=args.engine):
+                              telemetry=telemetry, engine=args.engine,
+                              nodes=nodes):
                 for experiment_id in wanted:
                     if latch.triggered:
                         interrupted = True

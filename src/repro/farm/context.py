@@ -19,7 +19,7 @@ from __future__ import annotations
 import sys
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, List, Optional, Sequence
 
 from repro.core.engine import DEFAULT_ENGINE
 from repro.farm.cache import ResultCache
@@ -40,6 +40,11 @@ class FarmContext:
     retries: int = 1
     #: Simulation engine every point in the session runs under.
     engine: str = DEFAULT_ENGINE
+    #: Distributed dispatcher (:class:`repro.grid.GridDispatcher`); when
+    #: set, sweep points go to the serve-node pool instead of local
+    #: workers.  Typed loosely so ``repro.farm`` never imports
+    #: ``repro.grid`` at module load.
+    dispatcher: Optional[Any] = None
 
 
 _STACK: List[FarmContext] = []
@@ -59,7 +64,9 @@ def farm_session(jobs: int = 1,
                  quiet: bool = False,
                  task_timeout: Optional[float] = None,
                  retries: int = 1,
-                 engine: str = DEFAULT_ENGINE):
+                 engine: str = DEFAULT_ENGINE,
+                 nodes: Optional[Sequence[str]] = None,
+                 grid_settings=None):
     """Activate a :class:`FarmContext` for the duration of the block.
 
     Args:
@@ -74,6 +81,13 @@ def farm_session(jobs: int = 1,
         engine: simulation engine for every point in the session
             (``repro.core.engine.ENGINE_NAMES``); part of each point's
             cache key.
+        nodes: serve-backend URLs; when given, a
+            :class:`repro.grid.GridDispatcher` over those nodes executes
+            every uncached point in the session (with local in-process
+            fallback), and its health poller is stopped when the session
+            closes.
+        grid_settings: optional :class:`repro.grid.GridSettings`
+            overriding the dispatcher's failure policy.
     """
     if no_cache:
         cache = None
@@ -81,11 +95,19 @@ def farm_session(jobs: int = 1,
         cache = ResultCache(cache_dir)  # cache_dir=None -> default root
     if telemetry is None:
         telemetry = RunTelemetry(stream=None if quiet else sys.stderr)
+    dispatcher = None
+    if nodes:
+        from repro.grid import GridDispatcher  # deferred: optional layer
+
+        dispatcher = GridDispatcher(nodes, settings=grid_settings,
+                                    cache=cache, telemetry=telemetry)
     ctx = FarmContext(jobs=jobs, cache=cache, telemetry=telemetry,
                       task_timeout=task_timeout, retries=retries,
-                      engine=engine)
+                      engine=engine, dispatcher=dispatcher)
     _STACK.append(ctx)
     try:
         yield ctx
     finally:
         _STACK.pop()
+        if dispatcher is not None:
+            dispatcher.close()

@@ -132,7 +132,8 @@ def run_points(specs: Sequence[PointSpec],
                timeout: Optional[float] = None,
                retries: int = 1,
                on_point=None,
-               stop_event=None) -> List[SimStats]:
+               stop_event=None,
+               dispatcher=None) -> List[SimStats]:
     """Execute every point (cache first, then the pool); input order out.
 
     Args:
@@ -146,7 +147,13 @@ def run_points(specs: Sequence[PointSpec],
             input order (the legacy ``progress`` hook of ``run_sweep``).
         stop_event: optional cancellation token forwarded to the pool
             (see :func:`repro.farm.pool.run_tasks`).
+        dispatcher: a :class:`repro.grid.GridDispatcher`; when set, the
+            whole call delegates to it (the dispatcher honors the same
+            cache/telemetry/ordering contract, against its own session
+            handles) and every other execution knob is ignored.
     """
+    if dispatcher is not None:
+        return dispatcher.run_points(specs, on_point=on_point)
     results: List[Optional[SimStats]] = [None] * len(specs)
     todo: List[int] = []
     keys: List[Optional[str]] = [None] * len(specs)

@@ -1,0 +1,8 @@
+"""``python -m repro.grid`` == ``repro-grid``."""
+
+import sys
+
+from repro.grid.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""``repro-grid``: inspect and torture a pool of serve backends.
+
+Usage::
+
+    repro-grid status --nodes 127.0.0.1:8031,127.0.0.1:8032
+    repro-grid chaos --backends 3 --points 6
+
+``status`` probes every backend's ``/readyz`` and prints one line per
+node (plus ``--json`` for the full payloads).  ``chaos`` runs the
+self-contained multi-node storm — launch real backends, SIGKILL one
+mid-sweep, SIGSTOP another, corrupt a third's cache — and exits
+non-zero if any robustness guarantee was violated; it is CI's
+distributed smoke test.  Distributed *sweeps* are driven from the
+experiments CLI: ``repro-experiments fig5 --nodes ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.errors import cli_errors
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-grid",
+        description="Fault-tolerant sweep dispatch over a pool of "
+                    "repro-serve backends.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    status = sub.add_parser("status",
+                            help="probe every backend's readiness")
+    status.add_argument("--nodes", required=True,
+                        metavar="URL[,URL...]",
+                        help="comma-separated backend URLs "
+                             "(host:port accepted)")
+    status.add_argument("--timeout", type=float, default=3.0,
+                        help="per-probe timeout, seconds")
+    status.add_argument("--json", action="store_true",
+                        help="print the full readiness payloads")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="multi-node fault storm; exit 1 on violation")
+    chaos.add_argument("--backends", type=int, default=3)
+    chaos.add_argument("--points", type=int, default=6,
+                       help="distinct sweep points (each dispatched "
+                            "twice; default %(default)s)")
+    chaos.add_argument("--instructions", type=int, default=5000)
+    chaos.add_argument("--kill-after", type=int, default=2,
+                       help="resolved points before one backend is "
+                            "SIGKILLed")
+    chaos.add_argument("--stall-after", type=int, default=3,
+                       help="resolved points before another backend is "
+                            "SIGSTOPped")
+    chaos.add_argument("--isolation", choices=["auto", "fork", "inline"],
+                       default="auto",
+                       help="backend simulation isolation")
+    chaos.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _parse_nodes(raw: str) -> List[str]:
+    from repro.errors import GridError
+
+    nodes = [u.strip() for u in raw.split(",") if u.strip()]
+    if not nodes:
+        raise GridError("--nodes needs at least one backend URL")
+    return nodes
+
+
+def _cmd_status(args) -> int:
+    from repro.grid.nodes import normalize_node_url
+    from repro.serve.client import RetryPolicy, ServeClient
+
+    payloads = {}
+    worst = 0
+    for url in _parse_nodes(args.nodes):
+        url = normalize_node_url(url)
+        client = ServeClient(url, retry=RetryPolicy(max_attempts=1),
+                             timeout_s=args.timeout)
+        ready, body = client.readiness(timeout_s=args.timeout)
+        payloads[url] = {"ready": ready, **body}
+        if not ready:
+            worst = 1
+        if not args.json:
+            if ready:
+                print(f"{url}  ready  queue={body.get('queue_depth')}/"
+                      f"{body.get('queue_capacity')}  "
+                      f"in_flight={body.get('in_flight')}  "
+                      f"engines={','.join(body.get('engines', []))}")
+            else:
+                detail = body.get("error", "unreachable")
+                print(f"{url}  DOWN   {detail}")
+    if args.json:
+        print(json.dumps(payloads, indent=2, sort_keys=True))
+    return worst
+
+
+def _cmd_chaos(args) -> int:
+    from repro.grid.chaos import GridChaosSettings, run_grid_chaos
+
+    settings = GridChaosSettings(
+        backends=args.backends, points=args.points,
+        instructions=args.instructions,
+        kill_after_points=args.kill_after,
+        stall_after_points=args.stall_after,
+        isolation=args.isolation, seed=args.seed)
+    report = run_grid_chaos(settings, stream=sys.stdout)
+    return 0 if report.passed else 1
+
+
+@cli_errors
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "status":
+        return _cmd_status(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,15 +25,22 @@ Quickstart::
     kill -TERM %1      # graceful drain, exit 0
 """
 
-from repro.serve.client import CircuitBreaker, RetryPolicy, ServeClient
+from repro.serve.client import (
+    BreakerPool,
+    CircuitBreaker,
+    RetryPolicy,
+    ServeClient,
+)
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
     parse_simulate_request,
     render_result,
+    stats_digest,
 )
 from repro.serve.server import Metrics, ServeSettings, SimServer
 
 __all__ = [
+    "BreakerPool",
     "CircuitBreaker",
     "Metrics",
     "PROTOCOL_VERSION",
@@ -43,4 +50,5 @@ __all__ = [
     "SimServer",
     "parse_simulate_request",
     "render_result",
+    "stats_digest",
 ]

@@ -61,6 +61,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "or ~/.cache/repro-farm)")
     start.add_argument("--no-cache", action="store_true",
                        help="serve without the result cache")
+    start.add_argument("--port-file", type=Path, default=None,
+                       help="write the bound port here once listening "
+                            "(lets an orchestrator use --port 0)")
 
     simulate = sub.add_parser("simulate",
                               help="run one point through a server")
@@ -110,7 +113,7 @@ def _cmd_start(args) -> int:
         max_deadline_s=args.max_deadline, drain_grace_s=args.drain_grace,
         isolation=args.isolation, checkpoint_dir=args.checkpoint_dir)
     server = SimServer(settings, cache=cache)
-    code = server.run_until_signal()
+    code = server.run_until_signal(port_file=args.port_file)
     summary = server.telemetry.format_summary()
     print(f"[serve] drained; {summary}", file=sys.stderr)
     return code

@@ -29,11 +29,12 @@ from __future__ import annotations
 import json
 import random
 import socket
+import threading
 import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import ServeError
 
@@ -75,6 +76,13 @@ class CircuitBreaker:
         self._opened_at: Optional[float] = None
         self._probing = False
 
+    def snapshot(self) -> Dict[str, Any]:
+        """Read-only view (state, consecutive failures) for placement
+        decisions and ``metrics()``; never consumes the half-open probe."""
+        return {"state": self.state,
+                "consecutive_failures": self._failures,
+                "failure_threshold": self.failure_threshold}
+
     @property
     def state(self) -> str:
         if self._opened_at is None:
@@ -109,6 +117,50 @@ class CircuitBreaker:
             self._opened_at = self._clock()
 
 
+class BreakerPool:
+    """One :class:`CircuitBreaker` **per backend node**, keyed by URL.
+
+    A fleet-facing caller (the grid dispatcher, or several
+    :class:`ServeClient` instances pointed at different backends) shares
+    one pool: a dead node opens *its* breaker and fails fast, while
+    healthy nodes keep their own closed breakers — one bad backend can
+    no longer blind a client to the rest of the pool, which is what a
+    single global breaker did.
+
+    Thread-safe; breakers are created on first use and live for the
+    pool's lifetime.
+    """
+
+    def __init__(self, failure_threshold: int = 5, cooldown_s: float = 5.0,
+                 clock: Callable[[], float] = time.monotonic):
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    @staticmethod
+    def _normalize(base_url: str) -> str:
+        return base_url.rstrip("/")
+
+    def for_node(self, base_url: str) -> CircuitBreaker:
+        """The (shared, lazily created) breaker guarding one backend."""
+        key = self._normalize(base_url)
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(self.failure_threshold,
+                                         self.cooldown_s, clock=self._clock)
+                self._breakers[key] = breaker
+            return breaker
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Per-node breaker state, keyed by normalized URL."""
+        with self._lock:
+            items = list(self._breakers.items())
+        return {url: breaker.snapshot() for url, breaker in items}
+
+
 @dataclass
 class ServeClient:
     """A retrying, deadline-bounded, circuit-broken service client.
@@ -118,6 +170,10 @@ class ServeClient:
         retry: backoff policy.
         breaker: circuit breaker (share one instance across threads
             talking to the same server).
+        breakers: optional :class:`BreakerPool`; when given, this
+            client's ``breaker`` is the pool's per-node breaker for
+            ``base_url`` (clients of *other* nodes drawing from the same
+            pool keep independent breakers).
         timeout_s: per-attempt socket timeout.
         sleep: injectable for tests.
         rng: injectable jitter source for tests.
@@ -126,9 +182,14 @@ class ServeClient:
     base_url: str
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
+    breakers: Optional[BreakerPool] = None
     timeout_s: float = 30.0
     sleep: Callable[[float], None] = time.sleep
     rng: random.Random = field(default_factory=random.Random)
+
+    def __post_init__(self) -> None:
+        if self.breakers is not None:
+            self.breaker = self.breakers.for_node(self.base_url)
 
     # ------------------------------------------------------------- transport
 
@@ -218,17 +279,41 @@ class ServeClient:
             status=last_status)
 
     def metrics(self) -> Dict[str, Any]:
-        """The server's ``/metrics`` snapshot (no retries)."""
+        """The server's ``/metrics`` snapshot (no retries), augmented
+        with this client's local view under ``"client"`` — the breaker
+        state the dispatcher needs for placement decisions (the server's
+        own queue gauges ride in the snapshot's ``"queue"`` key)."""
         status, payload, _ = self._request("GET", "/metrics")
         if status != 200:
             raise ServeError(f"metrics unavailable: HTTP {status}",
                              status=status)
+        payload["client"] = self.client_state()
         return payload
+
+    def client_state(self) -> Dict[str, Any]:
+        """This client's local knowledge of its backend: the per-node
+        circuit-breaker state (works even when the server is down, which
+        is exactly when placement needs it)."""
+        return {"node": self.base_url.rstrip("/"),
+                "breaker": self.breaker.snapshot()}
 
     def ready(self) -> bool:
         """Whether the server is accepting work right now."""
         status, _, _ = self._request("GET", "/readyz")
         return status == 200
+
+    def readiness(self,
+                  timeout_s: Optional[float] = None
+                  ) -> Tuple[bool, Dict[str, Any]]:
+        """One ``/readyz`` probe: ``(accepting, body)``.
+
+        The body carries the server's load signals (admission queue
+        depth, in-flight count, engine list) for load-aware dispatch; a
+        transport failure yields ``(False, {"error": ...})``.
+        """
+        status, payload, _ = self._request("GET", "/readyz",
+                                           timeout_s=timeout_s)
+        return status == 200, payload if isinstance(payload, dict) else {}
 
     def healthy(self) -> bool:
         """Whether the server process is up at all."""

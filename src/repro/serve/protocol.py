@@ -12,8 +12,9 @@ A request body is JSON::
       "warmup_instructions": 0,       // optional
       "max_instructions": null,       // optional budget
       "deadline_s": 10.0,             // optional, clamped to the server max
-      "engine": "reference"           // optional simulation engine
-    }
+      "engine": "reference",          // optional simulation engine
+      "obs_trace": "8f3a…"            // optional caller trace ID (out of
+    }                                 //   band: never part of the cache key)
 
 Validation is the same machinery the simulator itself trusts —
 :func:`repro.core.serialization.config_from_dict` (which calls
@@ -31,6 +32,7 @@ from the cache.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Dict, Optional, Tuple
 
@@ -46,7 +48,11 @@ PROTOCOL_VERSION = 1
 
 _TOP_KEYS = {"config", "workload", "time_slice", "level",
              "warmup_instructions", "max_instructions", "deadline_s",
-             "engine"}
+             "engine", "obs_trace"}
+
+#: Ceiling on a client-supplied trace ID; generous next to the 32-hex
+#: IDs :func:`repro.obs.tracing.new_trace_id` mints.
+_MAX_TRACE_ID_LEN = 128
 
 
 def _require_int(body: Dict[str, Any], key: str, default: int,
@@ -102,12 +108,15 @@ def _parse_workload(spec: Any) -> Tuple:
 
 def parse_simulate_request(raw: bytes,
                            max_body_bytes: int = 1 << 20
-                           ) -> Tuple[PointSpec, Optional[float]]:
+                           ) -> Tuple[PointSpec, Optional[float],
+                                      Optional[str]]:
     """Parse and validate a simulate request body.
 
-    Returns the fully validated :class:`PointSpec` plus the client's
-    requested ``deadline_s`` (or ``None``).  Raises
-    :class:`~repro.errors.ServeError` (status 400) or
+    Returns the fully validated :class:`PointSpec`, the client's
+    requested ``deadline_s`` (or ``None``), and the client's ``obs_trace``
+    ID (or ``None``) — the caller's trace handle, propagated so one
+    logical dispatch keeps one trace ID across the grid → serve → worker
+    hops.  Raises :class:`~repro.errors.ServeError` (status 400) or
     :class:`~repro.errors.ConfigurationError` for every malformed input.
     """
     if len(raw) > max_body_bytes:
@@ -160,17 +169,41 @@ def parse_simulate_request(raw: bytes,
         raise ServeError(
             f"unknown engine {engine!r} "
             f"(available: {', '.join(ENGINE_NAMES)})", status=400)
+    obs_trace = body.get("obs_trace")
+    if obs_trace is not None:
+        if not isinstance(obs_trace, str) or not obs_trace \
+                or len(obs_trace) > _MAX_TRACE_ID_LEN:
+            raise ServeError(
+                "obs_trace must be a non-empty string of at most "
+                f"{_MAX_TRACE_ID_LEN} characters", status=400)
 
     spec = PointSpec(label=config.name, config=config, profiles=profiles,
                      time_slice=time_slice, level=level,
                      warmup_instructions=warmup,
                      max_instructions=max_instructions, engine=engine)
-    return spec, deadline_s
+    return spec, deadline_s, obs_trace
+
+
+def stats_digest(snapshot: Dict[str, Any]) -> str:
+    """Integrity digest of a stats snapshot: SHA-256 over its canonical
+    JSON encoding (sorted keys, no whitespace).
+
+    The content-address ``key`` authenticates *which point* a response
+    answers; this digest authenticates *the answer itself*.  A response
+    whose stats were damaged in flight — or forwarded from a corrupted
+    cache — still carries the right key, but cannot carry a matching
+    digest unless every field survived bit-exactly.  The grid dispatcher
+    rejects any response where the two disagree.
+    """
+    canonical = json.dumps(snapshot, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def render_result(spec: PointSpec, stats: SimStats, key: str,
                   cached: bool, wall_s: float) -> Dict[str, Any]:
     """The JSON body of a 200 response."""
+    snapshot = stats.to_dict()
     return {
         "version": PROTOCOL_VERSION,
         "key": key,
@@ -178,7 +211,8 @@ def render_result(spec: PointSpec, stats: SimStats, key: str,
         "engine": spec.engine,
         "wall_s": round(wall_s, 6),
         "cpi": stats.cpi(spec.config.cpu_stall_cpi),
-        "stats": stats.to_dict(),
+        "stats": snapshot,
+        "stats_sha256": stats_digest(snapshot),
     }
 
 

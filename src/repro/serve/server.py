@@ -178,7 +178,8 @@ class _Job:
     thread (which owns the HTTP response) and an executor thread (which
     owns the result)."""
 
-    def __init__(self, spec: PointSpec, deadline: float, deadline_s: float):
+    def __init__(self, spec: PointSpec, deadline: float, deadline_s: float,
+                 trace_id: Optional[str] = None):
         self.spec = spec
         self.key = spec.key()
         self.deadline = deadline          # absolute, time.monotonic()
@@ -189,7 +190,9 @@ class _Job:
         self.body: Dict[str, Any] = error_body(500, "never executed")
         #: End-to-end trace: the connection thread, the executor thread,
         #: and (via the result channel) a forked worker all append spans.
-        self.trace = Trace()
+        #: A client-supplied ``obs_trace`` ID keeps one logical dispatch
+        #: under one ID across grid → serve → worker hops.
+        self.trace = Trace(trace_id)
         self.enqueued_wall = time.time()
 
     def finish(self, status: int, body: Dict[str, Any]) -> None:
@@ -319,11 +322,19 @@ class SimServer:
         }
         return summary
 
-    def run_until_signal(self) -> int:
+    def run_until_signal(self, port_file: Optional[Path] = None) -> int:
         """Serve until SIGINT/SIGTERM, then drain; returns the exit code
-        (0 for a completed drain)."""
+        (0 for a completed drain).
+
+        ``port_file`` (if given) receives the bound port as text once the
+        listener is up — how an orchestrator launching ``--port 0``
+        backends (the grid chaos harness, the scaling benchmark) learns
+        where each one landed.
+        """
         stop = threading.Event()
         self.start()
+        if port_file is not None:
+            Path(port_file).write_text(f"{self.port}\n", encoding="utf-8")
         with SignalDrain(on_signal=lambda signum: stop.set(),
                          reraise=False) as latch:
             while not stop.is_set():
@@ -333,6 +344,20 @@ class SimServer:
         return 0
 
     # ---------------------------------------------------------------- status
+
+    def readiness_body(self) -> Dict[str, Any]:
+        """The ``/readyz`` load signals: admission queue depth, in-flight
+        count, and the engines this build can run — enough for a
+        dispatcher to rank backends without a full ``/metrics`` scrape."""
+        from repro.core.engine import ENGINE_NAMES
+
+        return {
+            "draining": self._draining,
+            "queue_depth": self.queue.qsize(),
+            "queue_capacity": self.settings.queue_depth,
+            "in_flight": self._in_flight,
+            "engines": sorted(ENGINE_NAMES),
+        }
 
     def status_snapshot(self) -> Dict[str, Any]:
         """The ``/metrics`` document."""
@@ -593,10 +618,15 @@ def _make_handler(server: SimServer):
                     })
                 elif self.path == "/readyz":
                     server.metrics.hit("readyz")
+                    # The status code is the contract (200 accepting,
+                    # 503 draining); the body carries the load signals a
+                    # dispatcher needs for placement.
+                    body = server.readiness_body()
                     if server.draining:
-                        self._respond(503, error_body(503, "draining"))
+                        self._respond(503, error_body(503, "draining",
+                                                      **body))
                     else:
-                        self._respond(200, {"ready": True})
+                        self._respond(200, {"ready": True, **body})
                 elif self.path == "/metrics":
                     server.metrics.hit("metrics")
                     self._respond(200, server.status_snapshot())
@@ -631,14 +661,15 @@ def _make_handler(server: SimServer):
                 return 400, error_body(400, "Content-Length required"), None
             raw = self.rfile.read(max(0, length))
             try:
-                spec, deadline_s = parse_simulate_request(
+                spec, deadline_s, obs_trace = parse_simulate_request(
                     raw, settings.max_body_bytes)
             except (ServeError, ConfigurationError) as exc:
                 return 400, error_body(400, str(exc)), None
             if deadline_s is None:
                 deadline_s = settings.default_deadline_s
             deadline_s = min(deadline_s, settings.max_deadline_s)
-            job = _Job(spec, time.monotonic() + deadline_s, deadline_s)
+            job = _Job(spec, time.monotonic() + deadline_s, deadline_s,
+                       trace_id=obs_trace)
 
             def with_trace(status: int, body: Dict[str, Any]
                            ) -> Dict[str, Any]:

@@ -120,9 +120,9 @@ class TestServeEngineField:
 
     @pytest.mark.parametrize("engine", ENGINE_NAMES)
     def test_valid_engine_accepted(self, engine):
-        spec, _ = parse_simulate_request(self._raw({"engine": engine}))
+        spec, _, _ = parse_simulate_request(self._raw({"engine": engine}))
         assert spec.engine == engine
 
     def test_engine_defaults_when_omitted(self):
-        spec, _ = parse_simulate_request(self._raw({}))
+        spec, _, _ = parse_simulate_request(self._raw({}))
         assert spec.engine == DEFAULT_ENGINE

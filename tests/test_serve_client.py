@@ -1,12 +1,18 @@
 """Client defences in isolation: backoff with jitter, Retry-After as a
 floor, the total budget, and the circuit breaker's state machine."""
 
+import json
 import random
 
 import pytest
 
 from repro.errors import ServeError
-from repro.serve.client import CircuitBreaker, RetryPolicy, ServeClient
+from repro.serve.client import (
+    BreakerPool,
+    CircuitBreaker,
+    RetryPolicy,
+    ServeClient,
+)
 
 
 class ScriptedClient(ServeClient):
@@ -160,6 +166,48 @@ class TestCircuitBreaker:
         breaker.record_failure()
         breaker.record_failure()
         assert breaker.state == CircuitBreaker.CLOSED
+
+
+class TestBreakerPool:
+    def test_one_breaker_per_node_normalized(self):
+        pool = BreakerPool()
+        assert pool.for_node("http://a:1") is pool.for_node("http://a:1/")
+        assert pool.for_node("http://a:1") is not pool.for_node("http://b:2")
+
+    def test_one_dead_node_does_not_blind_the_pool(self):
+        pool = BreakerPool(failure_threshold=1, cooldown_s=60.0)
+        pool.for_node("http://dead").record_failure()
+        assert pool.for_node("http://dead").state == CircuitBreaker.OPEN
+        assert pool.for_node("http://alive").state == CircuitBreaker.CLOSED
+        assert pool.for_node("http://alive").allow() is True
+
+    def test_client_draws_its_breaker_from_the_pool(self):
+        pool = BreakerPool(failure_threshold=2, cooldown_s=60.0)
+        c = ScriptedClient("http://test", breakers=pool,
+                           retry=RetryPolicy(max_attempts=5,
+                                             base_delay_s=0.001,
+                                             max_delay_s=0.001),
+                           rng=random.Random(7)).begin([DOWN, DOWN])
+        with pytest.raises(ServeError, match="circuit breaker"):
+            c.simulate({}, budget_s=60)
+        assert pool.for_node("http://test").state == CircuitBreaker.OPEN
+        assert pool.for_node("http://other").state == CircuitBreaker.CLOSED
+
+    def test_metrics_carries_the_client_breaker_view(self):
+        c = client([(200, {"queue": {"capacity": 4}}, {})])
+        doc = c.metrics()
+        assert doc["client"]["node"] == "http://test"
+        assert doc["client"]["breaker"]["state"] == CircuitBreaker.CLOSED
+        assert doc["queue"]["capacity"] == 4
+
+    def test_snapshot_is_json_ready_per_node(self):
+        pool = BreakerPool(failure_threshold=1, cooldown_s=60.0)
+        pool.for_node("http://a/").record_failure()
+        pool.for_node("http://b")
+        snap = pool.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["http://a"]["state"] == CircuitBreaker.OPEN
+        assert snap["http://b"]["state"] == CircuitBreaker.CLOSED
 
 
 class TestClientWithBreaker:

@@ -14,6 +14,7 @@ from repro.serve.protocol import (
     error_body,
     parse_simulate_request,
     render_result,
+    stats_digest,
 )
 from repro.trace.benchmarks import default_suite
 
@@ -30,6 +31,13 @@ def body(**overrides):
 
 
 def parse(payload):
+    spec, deadline, _ = parse_simulate_request(
+        json.dumps(payload).encode("utf-8"))
+    return spec, deadline
+
+
+def parse_trace(payload):
+    """Full 3-tuple: (spec, deadline, obs_trace)."""
     return parse_simulate_request(json.dumps(payload).encode("utf-8"))
 
 
@@ -136,6 +144,27 @@ class TestRejection:
         assert excinfo.value.status == 400
 
 
+class TestObsTrace:
+    def test_absent_by_default(self):
+        _, _, obs_trace = parse_trace(body())
+        assert obs_trace is None
+
+    def test_round_trips(self):
+        _, _, obs_trace = parse_trace(body(obs_trace="8f3a" * 8))
+        assert obs_trace == "8f3a" * 8
+
+    def test_never_part_of_the_cache_key(self):
+        plain, _, _ = parse_trace(body())
+        traced, _, _ = parse_trace(body(obs_trace="deadbeef"))
+        assert plain.key() == traced.key()
+
+    @pytest.mark.parametrize("value", ["", 7, ["id"], "x" * 129])
+    def test_bad_trace_id_is_400(self, value):
+        with pytest.raises(ServeError) as excinfo:
+            parse_trace(body(obs_trace=value))
+        assert excinfo.value.status == 400
+
+
 class TestRendering:
     def test_render_result_shape(self):
         spec, _ = parse(body())
@@ -147,8 +176,19 @@ class TestRendering:
         assert doc["key"] == "abc"
         assert doc["cached"] is True
         assert doc["stats"] == stats.to_dict()
+        assert doc["stats_sha256"] == stats_digest(doc["stats"])
         assert doc["cpi"] == stats.cpi(spec.config.cpu_stall_cpi)
         json.dumps(doc)  # must be wire-serializable
+
+    def test_stats_digest_is_sensitive_to_every_field(self):
+        stats = SimStats()
+        stats.instructions = 10
+        snapshot = stats.to_dict()
+        baseline = stats_digest(snapshot)
+        assert baseline == stats_digest(dict(snapshot))  # order-free
+        for field in snapshot:
+            assert stats_digest(dict(snapshot, **{field: 10**9})) \
+                != baseline
 
     def test_error_body_shape(self):
         doc = error_body(429, "queue full", retry_after_s=1.0)

@@ -240,6 +240,42 @@ class TestObservability:
         assert sum(responses.values()) == 2
 
 
+class TestReadiness:
+    def test_readyz_body_carries_load_signals(self, server):
+        ok, body = no_retry_client(server).readiness()
+        assert ok is True
+        assert body["ready"] is True
+        assert body["draining"] is False
+        assert body["queue_capacity"] == 4
+        assert isinstance(body["queue_depth"], int)
+        assert isinstance(body["in_flight"], int)
+        assert "reference" in body["engines"]
+
+    def test_draining_readyz_is_503_but_still_reports_load(self, server):
+        server._draining = True
+        ok, body = no_retry_client(server).readiness()
+        assert ok is False
+        assert body["draining"] is True
+        assert body["queue_capacity"] == 4
+
+
+class TestTraceOverTheWire:
+    def test_client_obs_trace_id_names_the_response_trace(self, server):
+        payload = request_body()
+        payload["obs_trace"] = "feed" * 8
+        result = no_retry_client(server).simulate(payload)
+        assert result["trace"]["id"] == "feed" * 8
+        assert result["trace"]["spans"]  # server-side spans came back
+        snapshot = server.status_snapshot()
+        assert "feed" * 8 in snapshot["recent_trace_ids"]
+
+    def test_response_stats_carry_a_matching_digest(self, server):
+        from repro.serve.protocol import stats_digest
+
+        result = no_retry_client(server).simulate(request_body())
+        assert result["stats_sha256"] == stats_digest(result["stats"])
+
+
 class TestDrain:
     def test_idle_drain_is_clean_and_stops_serving(self, server):
         client = no_retry_client(server)
