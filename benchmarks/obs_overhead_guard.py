@@ -1,15 +1,17 @@
-"""Guard: observability must be free when off, cheap when on.
+"""Guard: observability and energy accounting must be free when off.
 
-Measures simulator throughput on the same prepared workload — once with
-tracing disabled (the default for every benchmark and sweep) and once
-with a live JSONL tracer plus sampler — for **every** engine in
-``ENGINE_NAMES``, then
+Measures simulator throughput on the same prepared workload — with
+tracing disabled (the default for every benchmark and sweep), with a
+live JSONL tracer plus sampler, and with energy accounting enabled —
+for **every** engine in ``ENGINE_NAMES``, then
 
-* fails (exit 1) if disabled-mode throughput falls below a floor, which
-  is the regression CI actually cares about: the instrumentation gate is
-  one module-attribute lookup and must stay that way;
-* reports the enabled/disabled ratio so overhead creep in the emit paths
-  is visible in CI logs, and writes both numbers to ``BENCH_obs.json``.
+* fails (exit 1) if the baseline (obs off, energy off) throughput falls
+  below a floor, which is the regression CI actually cares about: the
+  obs gate is one module-attribute lookup and the energy gate is one
+  ``is not None`` per slice, and both must stay that way;
+* reports the obs-enabled and energy-enabled ratios so overhead creep
+  in either path is visible in CI logs, and writes every number to
+  ``BENCH_obs.json``.
 
 Usage::
 
@@ -41,11 +43,11 @@ DEFAULT_FLOOR = 150_000.0
 FLOOR_ENV = "REPRO_OBS_SPEED_FLOOR"
 
 
-def timed_run(engine: str = "reference") -> float:
+def timed_run(engine: str = "reference", energy=None) -> float:
     """One full simulation (scheduler + hierarchy); returns instr/s."""
     sim = Simulation(config=base_architecture(),
                      profiles=default_suite(INSTRUCTIONS)[:2],
-                     time_slice=2_000, engine=engine)
+                     time_slice=2_000, engine=engine, energy=energy)
     start = time.perf_counter()
     stats = sim.run(max_instructions=INSTRUCTIONS)
     elapsed = time.perf_counter() - start
@@ -76,29 +78,38 @@ def main(argv=None) -> int:
                 obs.disable()
             records = len(obs.read_events(trace_path))
 
+        energy_rate = timed_run(engine, energy="paper")
+
         ratio = (disabled_rate / enabled_rate if enabled_rate
                  else float("inf"))
+        energy_ratio = (disabled_rate / energy_rate if energy_rate
+                        else float("inf"))
         report["engines"][engine] = {
             "disabled_instr_per_s": round(disabled_rate),
             "enabled_instr_per_s": round(enabled_rate),
             "enabled_overhead_x": round(ratio, 3),
+            "energy_instr_per_s": round(energy_rate),
+            "energy_overhead_x": round(energy_ratio, 3),
             "trace_records": records,
         }
-        print(f"[{engine}] obs off : {disabled_rate:,.0f} instr/s "
+        print(f"[{engine}] obs+energy off : {disabled_rate:,.0f} instr/s "
               f"(floor {floor:,.0f})")
-        print(f"[{engine}] obs on  : {enabled_rate:,.0f} instr/s "
+        print(f"[{engine}] obs on         : {enabled_rate:,.0f} instr/s "
               f"({ratio:.2f}x slower, {records} trace records)")
+        print(f"[{engine}] energy on      : {energy_rate:,.0f} instr/s "
+              f"({energy_ratio:.2f}x slower)")
         if disabled_rate < floor:
-            print(f"FAIL: {engine} disabled-mode throughput "
-                  f"{disabled_rate:,.0f} is below the floor {floor:,.0f} — "
-                  f"the obs fast path has gotten expensive (or set "
-                  f"{FLOOR_ENV} for this machine)", file=sys.stderr)
+            print(f"FAIL: {engine} disabled-mode (obs off, energy off) "
+                  f"throughput {disabled_rate:,.0f} is below the floor "
+                  f"{floor:,.0f} — an always-on gate has gotten expensive "
+                  f"(or set {FLOOR_ENV} for this machine)", file=sys.stderr)
             failed = True
 
     Path(args.out).write_text(json.dumps(report, indent=1) + "\n")
     if failed:
         return 1
-    print("PASS: observability is free when disabled (both engines)")
+    print("PASS: observability and energy accounting are free "
+          "when disabled (both engines)")
     return 0
 
 

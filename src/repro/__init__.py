@@ -40,6 +40,12 @@ from repro.core import (
     simulate,
     split_l2_architecture,
 )
+from repro.energy import (
+    ENERGY_TECHNOLOGIES,
+    EnergyAccountant,
+    EnergyModel,
+    derive_energy_model,
+)
 from repro.farm import (
     ResultCache,
     RunTelemetry,
@@ -112,5 +118,9 @@ __all__ = [
     "farm_session",
     "point_key",
     "run_points",
+    "ENERGY_TECHNOLOGIES",
+    "EnergyAccountant",
+    "EnergyModel",
+    "derive_energy_model",
     "__version__",
 ]

@@ -55,6 +55,52 @@ def line_chart(xs: Sequence[float], series: Dict[str, Sequence[float]],
     return "\n".join(lines)
 
 
+def scatter_chart(series: Dict[str, Sequence[Sequence[float]]],
+                  width: int = 64, height: int = 16,
+                  title: str = "", x_label: str = "x",
+                  y_label: str = "y") -> str:
+    """Render named clouds of (x, y) points on one numeric grid.
+
+    Unlike :func:`line_chart`, both axes scale by *value* — this is the
+    plot for genuinely two-dimensional data such as the ``pareto``
+    experiment's CPI-vs-EPI frontier, where neither axis is a swept
+    category.  Later series overdraw earlier ones where points collide.
+    """
+    points = [(float(x), float(y))
+              for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("need at least one point")
+    x_lo = min(p[0] for p in points)
+    x_hi = max(p[0] for p in points)
+    y_lo = min(p[1] for p in points)
+    y_hi = max(p[1] for p in points)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in pts:
+            col = round((float(x) - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((y_hi - float(y)) / (y_hi - y_lo) * (height - 1))
+            grid[row][col] = marker
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:12.4f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 13 + "|" + "".join(row))
+    lines.append(f"{y_lo:12.4f} +" + "-" * width)
+    first, last = f"{x_lo:.4f}", f"{x_hi:.4f}"
+    lines.append(" " * 14 + first + " " * max(1, width - len(first)
+                                              - len(last)) + last)
+    legend = "  ".join(f"{_MARKERS[i % len(_MARKERS)]}={name}"
+                       for i, name in enumerate(series))
+    lines.append(" " * 14 + f"x={x_label}, y={y_label}; {legend}")
+    return "\n".join(lines)
+
+
 def bar_chart(labels: Sequence[str], values: Sequence[float],
               width: int = 48, title: str = "",
               precision: int = 3) -> str:

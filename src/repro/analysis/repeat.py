@@ -100,13 +100,14 @@ def repeat_simulation(config: SystemConfig,
     if seeds < 1:
         raise ValueError("seeds must be >= 1")
     chosen = metrics if metrics is not None else DEFAULT_METRICS
-    jobs, cache, telemetry, timeout, retries, engine, dispatcher = _resolve(
-        jobs, None, None)
+    jobs, cache, telemetry, timeout, retries, engine, energy, dispatcher = \
+        _resolve(jobs, None, None)
     specs = [
         PointSpec(label=f"{config.name}/seed{offset}", config=config,
                   profiles=tuple(reseed_profiles(profiles, offset)),
                   time_slice=time_slice, level=level,
-                  warmup_instructions=warmup_instructions, engine=engine)
+                  warmup_instructions=warmup_instructions, engine=engine,
+                  energy=energy)
         for offset in range(seeds)
     ]
     stats_list = run_points(specs, jobs=jobs, cache=cache,

@@ -40,7 +40,8 @@ class SweepPoint:
 
 
 def _resolve(jobs: Optional[int], cache, telemetry,
-             engine: Optional[str] = None):
+             engine: Optional[str] = None,
+             energy: Optional[str] = None):
     """Fill unspecified farm settings from the ambient context."""
     ctx = current_context()
     if jobs is None:
@@ -53,8 +54,11 @@ def _resolve(jobs: Optional[int], cache, telemetry,
     retries = ctx.retries if ctx is not None else 1
     if engine is None:
         engine = ctx.engine if ctx is not None else DEFAULT_ENGINE
+    if energy is None and ctx is not None:
+        energy = ctx.energy
     dispatcher = ctx.dispatcher if ctx is not None else None
-    return jobs, cache, telemetry, timeout, retries, engine, dispatcher
+    return jobs, cache, telemetry, timeout, retries, engine, energy, \
+        dispatcher
 
 
 def run_point(config: SystemConfig, profiles: Sequence[BenchmarkProfile],
@@ -63,20 +67,22 @@ def run_point(config: SystemConfig, profiles: Sequence[BenchmarkProfile],
               warmup_instructions: int = 0,
               max_instructions: Optional[int] = None,
               cache: Optional[ResultCache] = None,
-              engine: Optional[str] = None) -> SimStats:
+              engine: Optional[str] = None,
+              energy: Optional[str] = None) -> SimStats:
     """Run one configuration over a fresh copy of the workload.
 
     Inside a :func:`~repro.farm.context.farm_session` (or with ``cache``
     given) the result is served from / stored into the content-addressed
     cache; otherwise this is a plain in-process simulation.  ``engine``
-    defaults to the ambient session's engine.
+    and ``energy`` default to the ambient session's settings.
     """
-    _, cache, telemetry, _, _, engine, dispatcher = _resolve(
-        1, cache, None, engine)
+    _, cache, telemetry, _, _, engine, energy, dispatcher = _resolve(
+        1, cache, None, engine, energy)
     spec = PointSpec(label=config.name, config=config,
                      profiles=tuple(profiles), time_slice=time_slice,
                      level=level, warmup_instructions=warmup_instructions,
-                     max_instructions=max_instructions, engine=engine)
+                     max_instructions=max_instructions, engine=engine,
+                     energy=energy)
     return run_points([spec], jobs=1, cache=cache, telemetry=telemetry,
                       dispatcher=dispatcher)[0]
 
@@ -91,7 +97,8 @@ def run_sweep(configs: Sequence[Tuple[str, SystemConfig]],
               jobs: Optional[int] = None,
               cache: Optional[ResultCache] = None,
               telemetry=None,
-              engine: Optional[str] = None) -> List[SweepPoint]:
+              engine: Optional[str] = None,
+              energy: Optional[str] = None) -> List[SweepPoint]:
     """Run every labeled configuration; returns points in input order.
 
     Args:
@@ -103,14 +110,17 @@ def run_sweep(configs: Sequence[Tuple[str, SystemConfig]],
             point's processing starts.
         engine: simulation engine for every point (``None`` = ambient
             farm session's engine, else the default engine).
+        energy: energy technology for every point (``None`` = ambient
+            farm session's setting, else disabled).
     """
-    jobs, cache, telemetry, timeout, retries, engine, dispatcher = _resolve(
-        jobs, cache, telemetry, engine)
+    jobs, cache, telemetry, timeout, retries, engine, energy, dispatcher = \
+        _resolve(jobs, cache, telemetry, engine, energy)
     specs = [
         PointSpec(label=label, config=config, profiles=tuple(profiles),
                   time_slice=time_slice, level=level,
                   warmup_instructions=warmup_instructions,
-                  max_instructions=max_instructions, engine=engine)
+                  max_instructions=max_instructions, engine=engine,
+                  energy=energy)
         for label, config in configs
     ]
     stats_list = run_points(specs, jobs=jobs, cache=cache,

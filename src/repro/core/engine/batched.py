@@ -583,4 +583,8 @@ class BatchedEngine(Engine):
             st.syscalls += 1
         st.cycles = now - ms._cycles_base
         ms._sync_tlb_stats()
+        if ms.energy is not None:
+            # Bulk accounting over the slice's counters — the all-hit
+            # fast path never prices events individually.
+            ms.energy.account(st)
         return SliceResult(consumed, reason)

@@ -115,4 +115,8 @@ class ReferenceEngine(Engine):
             st.syscalls += 1
         st.cycles = now - ms._cycles_base
         ms._sync_tlb_stats()
+        if ms.energy is not None:
+            # One bulk fold of the slice's counters into energy totals;
+            # costs nothing per access and nothing at all when disabled.
+            ms.energy.account(st)
         return SliceResult(consumed, reason)

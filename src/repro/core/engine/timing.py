@@ -132,6 +132,8 @@ def push_write(ms, now: int, dline: int, cost: int) -> int:
     hit, victim_dirty = ms.l2.access_data_write(dline >> ms._d_l2_delta)
     if not hit:
         st.l2_write_misses += 1
+        if victim_dirty:
+            st.l2_write_dirty_victims += 1
         cost += ms._l2_dirty if victim_dirty else ms._l2_clean
         if _obs.enabled:
             _obs.tracer.emit("l2_miss", cyc=now, side="w",

@@ -90,9 +90,16 @@ class MemorySystem:
         engine: execution strategy for :meth:`run_slice` — ``"reference"``
             (exact scalar loop) or ``"batched"`` (vectorized hit path,
             bit-identical statistics; see :mod:`repro.core.engine`).
+        energy: optional energy accounting — ``None`` (free: no code runs,
+            energy fields stay zero), a technology name from
+            :data:`repro.energy.ENERGY_TECHNOLOGIES`, or a ready
+            :class:`~repro.energy.EnergyModel`.  Energy is an exact linear
+            function of the statistics counters, folded in once per slice
+            by the engines, so it never perturbs timing.
     """
 
-    def __init__(self, config: SystemConfig, engine: str = DEFAULT_ENGINE):
+    def __init__(self, config: SystemConfig, engine: str = DEFAULT_ENGINE,
+                 energy=None):
         config.validate()
         self.config = config
 
@@ -162,6 +169,14 @@ class MemorySystem:
         self.stats = SimStats()
         self.now = 0
         self._cycles_base = 0
+
+        # ----- Energy accounting (None = disabled; see repro.energy).
+        if energy is None:
+            self.energy = None
+        else:
+            from repro.energy import resolve_accountant
+
+            self.energy = resolve_accountant(energy, config)
 
         # ----- Engine (validates the name; may re-represent the tag arrays).
         self.engine = resolve_engine(engine)(self)

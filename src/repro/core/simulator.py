@@ -38,8 +38,11 @@ from repro.trace.synthetic import BenchmarkProfile, SyntheticBenchmark
 
 #: Simulation snapshot schema.  Version 2 added the explicit version field
 #: and the engine name; version-1 snapshots (no version key) still load.
+#: Version 3 added the energy-model selection — written only when a model
+#: is attached, so energy-free checkpoints stay readable by older builds.
 STATE_VERSION = 2
-_KNOWN_STATE_VERSIONS = (1, 2)
+ENERGY_STATE_VERSION = 3
+_KNOWN_STATE_VERSIONS = (1, 2, 3)
 
 
 @dataclass
@@ -70,12 +73,17 @@ class Simulation:
     #: Optional runtime invariant auditing
     #: (:class:`repro.robust.audit.AuditConfig`).
     audit: Optional[object] = None
+    #: Energy accounting: ``None`` (disabled, free), a technology name
+    #: from :data:`repro.energy.ENERGY_TECHNOLOGIES`, or an
+    #: :class:`~repro.energy.EnergyModel`.
+    energy: Optional[object] = None
     memsys: MemorySystem = field(init=False)
     scheduler: Scheduler = field(init=False)
     page_table: PageTable = field(init=False)
 
     def __post_init__(self) -> None:
-        self.memsys = MemorySystem(self.config, engine=self.engine)
+        self.memsys = MemorySystem(self.config, engine=self.engine,
+                                   energy=self.energy)
         self.page_table = PageTable()
         processes: List[Process] = [
             Process(pid=i + 1, name=profile.name,
@@ -143,6 +151,13 @@ class Simulation:
                 max_instructions=max_instructions,
                 warmup_instructions=self.warmup_instructions,
                 on_slice=on_slice)
+        if _obs.enabled and self.memsys.energy is not None:
+            record = {cls: round(pj, 1)
+                      for cls, pj in stats.energy_breakdown_pj().items()}
+            _obs.tracer.emit(
+                "energy", epi_pj=round(stats.epi_pj, 4),
+                total_pj=round(stats.energy_total_fj / 1000.0, 1),
+                technology=self.memsys.energy.model.technology, **record)
         if checkpoint_path is not None:
             from repro.robust.checkpoint import save_checkpoint
 
@@ -167,18 +182,25 @@ class Simulation:
                 "mirror's state is not serializable; use structural-only "
                 "auditing (lockstep=False) with checkpointing"
             )
+        simulation = {
+            "time_slice": self.time_slice,
+            "level": self.level,
+            "warmup_instructions": self.warmup_instructions,
+            "track_per_process": self.track_per_process,
+            "trace_errors": self.trace_errors,
+            "engine": self.engine,
+        }
+        version = STATE_VERSION
+        if self.energy is not None:
+            from repro.energy import energy_spec
+
+            simulation["energy"] = energy_spec(self.energy)
+            version = ENERGY_STATE_VERSION
         return {
-            "version": STATE_VERSION,
+            "version": version,
             "config": config_to_dict(self.config),
             "profiles": [profile_to_dict(p) for p in self.profiles],
-            "simulation": {
-                "time_slice": self.time_slice,
-                "level": self.level,
-                "warmup_instructions": self.warmup_instructions,
-                "track_per_process": self.track_per_process,
-                "trace_errors": self.trace_errors,
-                "engine": self.engine,
-            },
+            "simulation": simulation,
             "page_table": self.page_table.state_dict(),
             "memsys": self.memsys.state_dict(),
             "scheduler": self.scheduler.state_dict(),
@@ -212,9 +234,10 @@ def simulate(config: SystemConfig, profiles: Sequence[BenchmarkProfile],
              level: Optional[int] = None,
              warmup_instructions: int = 0,
              max_instructions: Optional[int] = None,
-             engine: str = DEFAULT_ENGINE) -> SimStats:
+             engine: str = DEFAULT_ENGINE,
+             energy: Optional[object] = None) -> SimStats:
     """One-call convenience wrapper around :class:`Simulation`."""
     sim = Simulation(config=config, profiles=profiles, time_slice=time_slice,
                      level=level, warmup_instructions=warmup_instructions,
-                     engine=engine)
+                     engine=engine, energy=energy)
     return sim.run(max_instructions=max_instructions)

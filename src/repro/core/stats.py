@@ -60,6 +60,10 @@ class SimStats:
     #: L2 accesses made by draining write-buffer entries.
     l2_write_accesses: int = 0
     l2_write_misses: int = 0
+    #: Dirty victims displaced by write-buffer drains that missed in L2
+    #: (the write-path analog of ``l2i/l2d_dirty_victims``; the energy
+    #: model prices a victim write-back to main memory per occurrence).
+    l2_write_dirty_victims: int = 0
 
     itlb_probes: int = 0
     itlb_misses: int = 0
@@ -82,6 +86,19 @@ class SimStats:
 
     #: Total simulated cycles (includes the 1 cycle/instruction base).
     cycles: int = 0
+
+    # ------------------------------------------- energy (integer femtojoules)
+    # Set by :class:`repro.energy.EnergyAccountant` as an exact linear
+    # function of the counters above; all zero when no energy model is
+    # attached, which keeps energy-disabled runs bit-identical.
+    energy_l1i_fj: int = 0
+    energy_l1d_fj: int = 0
+    energy_l2_fj: int = 0
+    energy_bus_fj: int = 0
+    energy_wb_fj: int = 0
+    energy_mem_fj: int = 0
+    energy_tlb_fj: int = 0
+    energy_static_fj: int = 0
 
     # --------------------------------------------------------------- algebra
 
@@ -212,6 +229,34 @@ class SimStats:
         stack = {"base": 1.0 + cpu_stall_cpi}
         stack.update(self.stall_components())
         return stack
+
+    # ---------------------------------------------------------------- energy
+
+    @property
+    def energy_total_fj(self) -> int:
+        """Total accounted energy in femtojoules (0 when disabled)."""
+        return (self.energy_l1i_fj + self.energy_l1d_fj + self.energy_l2_fj
+                + self.energy_bus_fj + self.energy_wb_fj + self.energy_mem_fj
+                + self.energy_tlb_fj + self.energy_static_fj)
+
+    @property
+    def epi_pj(self) -> float:
+        """Energy per instruction, picojoules (the EPI figure)."""
+        n = self.instructions or 1
+        return self.energy_total_fj / n / 1000.0
+
+    def energy_breakdown_pj(self) -> Dict[str, float]:
+        """Per-class energy in picojoules, in report order."""
+        return {
+            "l1i": self.energy_l1i_fj / 1000.0,
+            "l1d": self.energy_l1d_fj / 1000.0,
+            "l2": self.energy_l2_fj / 1000.0,
+            "bus": self.energy_bus_fj / 1000.0,
+            "wb": self.energy_wb_fj / 1000.0,
+            "mem": self.energy_mem_fj / 1000.0,
+            "tlb": self.energy_tlb_fj / 1000.0,
+            "static": self.energy_static_fj / 1000.0,
+        }
 
     def write_loss_fraction(self) -> float:
         """Fraction of memory-system loss due to writes (Section 6 reports

@@ -1,0 +1,54 @@
+"""repro.energy: per-event energy accounting for the simulated machine.
+
+The second metric axis next to CPI.  An :class:`EnergyModel` prices every
+class of memory-system event in integer femtojoules, derived from the same
+technology substrate (:mod:`repro.tech`) that prices them in cycles; an
+:class:`EnergyAccountant` folds the simulator's event counters into
+per-class energy totals and an energy-per-instruction (EPI) figure carried
+on :class:`~repro.core.stats.SimStats`.
+
+Enable it anywhere a simulation is specified::
+
+    from repro import base_architecture, default_suite, simulate
+
+    stats = simulate(base_architecture(), default_suite(100_000),
+                     energy="paper")
+    print(f"EPI = {stats.epi_pj:.1f} pJ/instr", stats.energy_breakdown_pj())
+
+or ``repro-experiments fig4 --energy paper``, or ``"energy": "paper"`` in
+a ``/v1/simulate`` request.  With no model selected the subsystem costs
+nothing and changes nothing: every energy field stays zero and runs are
+bit-identical to an energy-free build.
+"""
+
+from repro.energy.accounting import (
+    ENERGY_CLASSES,
+    ENERGY_CLASS_LABELS,
+    EnergyAccountant,
+    breakdown_pj,
+    resolve_accountant,
+)
+from repro.energy.model import (
+    DEFAULT_TECHNOLOGY,
+    ENERGY_TECHNOLOGIES,
+    EnergyModel,
+    EnergyTechnology,
+    derive_energy_model,
+    energy_spec,
+    resolve_technology,
+)
+
+__all__ = [
+    "ENERGY_CLASSES",
+    "ENERGY_CLASS_LABELS",
+    "ENERGY_TECHNOLOGIES",
+    "DEFAULT_TECHNOLOGY",
+    "EnergyAccountant",
+    "EnergyModel",
+    "EnergyTechnology",
+    "breakdown_pj",
+    "derive_energy_model",
+    "energy_spec",
+    "resolve_accountant",
+    "resolve_technology",
+]

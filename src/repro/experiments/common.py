@@ -79,8 +79,14 @@ def workload(scale: ExperimentScale,
 
 def run_system(config: SystemConfig, scale: ExperimentScale,
                level: Optional[int] = None,
-               time_slice: Optional[int] = None) -> SimStats:
-    """Run one configuration at a scale; returns its statistics."""
+               time_slice: Optional[int] = None,
+               energy: Optional[str] = None) -> SimStats:
+    """Run one configuration at a scale; returns its statistics.
+
+    ``energy`` selects an energy technology
+    (:data:`repro.energy.ENERGY_TECHNOLOGIES`) for per-event accounting;
+    ``None`` defers to the ambient farm session (usually disabled).
+    """
     n = level if level is not None else scale.level
     return run_point(
         config,
@@ -88,6 +94,7 @@ def run_system(config: SystemConfig, scale: ExperimentScale,
         time_slice=time_slice if time_slice is not None else scale.time_slice,
         level=n,
         warmup_instructions=scale.warmup_instructions(n),
+        energy=energy,
     )
 
 

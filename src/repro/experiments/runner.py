@@ -64,12 +64,19 @@ from repro.experiments import (  # noqa: F401  (imported for registration)
     fig10_concurrency,
     fig11_optimized,
     l1_size_ablation,
+    pareto,
     per_benchmark,
     scaling,
     table1_workload,
     tech_derivation,
     variance,
 )
+
+
+def _energy_choices() -> List[str]:
+    from repro.energy import ENERGY_TECHNOLOGIES
+
+    return sorted(ENERGY_TECHNOLOGIES)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -107,6 +114,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="simulation engine for every sweep point "
                              "(engines are bit-identical; 'batched' "
                              "vectorizes the hit path)")
+    parser.add_argument("--energy", choices=_energy_choices(), default=None,
+                        help="enable per-event energy accounting under this "
+                             "technology for every sweep point (default: "
+                             "disabled; timing results are unaffected)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for independent experiments "
                              "(default %(default)s; results are identical "
@@ -233,7 +244,8 @@ def _experiment_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     with farm_session(jobs=1,
                       cache_dir=payload["cache_dir"],
                       no_cache=payload["cache_dir"] is None,
-                      engine=payload.get("engine", DEFAULT_ENGINE)) as ctx:
+                      engine=payload.get("engine", DEFAULT_ENGINE),
+                      energy=payload.get("energy")) as ctx:
         report = _render(payload["experiment_id"], scale, payload["chart"])
     return {
         "report": report,
@@ -326,7 +338,7 @@ def _run(args: argparse.Namespace, telemetry: RunTelemetry) -> int:
     if args.config is not None:
         with farm_session(jobs=1, cache=cache, no_cache=args.no_cache,
                           telemetry=telemetry, engine=args.engine,
-                          nodes=nodes):
+                          energy=args.energy, nodes=nodes):
             print(run_custom_config(args.config, scale))
         if args.manifest is not None:
             telemetry.write_manifest(args.manifest)
@@ -381,6 +393,7 @@ def _run(args: argparse.Namespace, telemetry: RunTelemetry) -> int:
                 "cache_dir": None if cache is None else str(cache.root),
                 "chart": args.chart,
                 "engine": args.engine,
+                "energy": args.energy,
             } for experiment_id in wanted]
 
             def collect(index: int, value: Dict[str, Any]) -> None:
@@ -398,7 +411,7 @@ def _run(args: argparse.Namespace, telemetry: RunTelemetry) -> int:
         else:
             with farm_session(jobs=1, cache=cache, no_cache=args.no_cache,
                               telemetry=telemetry, engine=args.engine,
-                              nodes=nodes):
+                              energy=args.energy, nodes=nodes):
                 for experiment_id in wanted:
                     if latch.triggered:
                         interrupted = True

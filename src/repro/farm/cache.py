@@ -53,7 +53,11 @@ CACHE_MAGIC = "repro-farm"
 #: bit-identical by contract, but a cached result must still record which
 #: engine produced it so an equivalence bug can never hide behind a warm
 #: cache.
-CACHE_SCHEMA_VERSION = 2
+#: Version 3 added the energy-model identity (``None`` or the technology
+#: name plus the full derived cost vector) and the energy fields that
+#: ride in every cached ``SimStats``; bumping makes pre-energy entries
+#: miss instead of answering with stats that lack the new fields.
+CACHE_SCHEMA_VERSION = 3
 
 #: Environment variable overriding the default cache root.
 CACHE_ENV_VAR = "REPRO_FARM_CACHE"
@@ -73,7 +77,8 @@ def point_payload(config: SystemConfig,
                   level: Optional[int],
                   warmup_instructions: int,
                   max_instructions: Optional[int],
-                  engine: str = DEFAULT_ENGINE) -> Dict[str, Any]:
+                  engine: str = DEFAULT_ENGINE,
+                  energy: Optional[str] = None) -> Dict[str, Any]:
     """The canonical, JSON-ready description of one sweep point.
 
     This dict is both the cache key's preimage and the exact payload a
@@ -82,9 +87,21 @@ def point_payload(config: SystemConfig,
     though engines are bit-identical: a result cached under one engine
     is never served to a request for the other, so the lockstep
     guarantee is checkable against production caches.
+
+    The energy selection participates the same way, but as the *derived
+    model* (technology name plus the full per-event cost vector), not
+    just the name: stats cached with and without energy fields can never
+    collide, and a change to the energy constants moves every affected
+    key even without a schema bump.
     """
     config_dict = config_to_dict(config)
     config_dict.pop("name", None)  # label, not simulation input
+    if energy is None:
+        energy_desc = None
+    else:
+        from repro.energy import derive_energy_model
+
+        energy_desc = derive_energy_model(config, energy).params()
     return {
         "schema": CACHE_SCHEMA_VERSION,
         "config": config_dict,
@@ -94,6 +111,7 @@ def point_payload(config: SystemConfig,
         "warmup_instructions": warmup_instructions,
         "max_instructions": max_instructions,
         "engine": engine,
+        "energy": energy_desc,
     }
 
 
@@ -113,11 +131,12 @@ def point_key(config: SystemConfig,
               level: Optional[int] = None,
               warmup_instructions: int = 0,
               max_instructions: Optional[int] = None,
-              engine: str = DEFAULT_ENGINE) -> str:
+              engine: str = DEFAULT_ENGINE,
+              energy: Optional[str] = None) -> str:
     """The content address of one sweep point."""
     return payload_key(point_payload(config, profiles, time_slice, level,
                                      warmup_instructions, max_instructions,
-                                     engine))
+                                     engine, energy))
 
 
 class ResultCache:

@@ -40,6 +40,8 @@ class FarmContext:
     retries: int = 1
     #: Simulation engine every point in the session runs under.
     engine: str = DEFAULT_ENGINE
+    #: Energy technology every point accounts under (``None`` = disabled).
+    energy: Optional[str] = None
     #: Distributed dispatcher (:class:`repro.grid.GridDispatcher`); when
     #: set, sweep points go to the serve-node pool instead of local
     #: workers.  Typed loosely so ``repro.farm`` never imports
@@ -65,6 +67,7 @@ def farm_session(jobs: int = 1,
                  task_timeout: Optional[float] = None,
                  retries: int = 1,
                  engine: str = DEFAULT_ENGINE,
+                 energy: Optional[str] = None,
                  nodes: Optional[Sequence[str]] = None,
                  grid_settings=None):
     """Activate a :class:`FarmContext` for the duration of the block.
@@ -81,6 +84,9 @@ def farm_session(jobs: int = 1,
         engine: simulation engine for every point in the session
             (``repro.core.engine.ENGINE_NAMES``); part of each point's
             cache key.
+        energy: energy technology name for every point in the session
+            (``repro.energy.ENERGY_TECHNOLOGIES``); ``None`` disables
+            accounting.  The derived model joins each point's cache key.
         nodes: serve-backend URLs; when given, a
             :class:`repro.grid.GridDispatcher` over those nodes executes
             every uncached point in the session (with local in-process
@@ -103,7 +109,7 @@ def farm_session(jobs: int = 1,
                                     cache=cache, telemetry=telemetry)
     ctx = FarmContext(jobs=jobs, cache=cache, telemetry=telemetry,
                       task_timeout=task_timeout, retries=retries,
-                      engine=engine, dispatcher=dispatcher)
+                      engine=engine, energy=energy, dispatcher=dispatcher)
     _STACK.append(ctx)
     try:
         yield ctx

@@ -42,12 +42,16 @@ class PointSpec:
     warmup_instructions: int = 0
     max_instructions: Optional[int] = None
     engine: str = DEFAULT_ENGINE
+    #: Energy accounting technology name (``None`` = disabled); the
+    #: *derived model* joins the payload, so it is part of the cache key.
+    energy: Optional[str] = None
 
     def payload(self) -> Dict[str, Any]:
         """Canonical dict: cache-key preimage and worker input."""
         return point_payload(self.config, self.profiles, self.time_slice,
                              self.level, self.warmup_instructions,
-                             self.max_instructions, self.engine)
+                             self.max_instructions, self.engine,
+                             self.energy)
 
     def key(self) -> str:
         """Content address of this point."""
@@ -92,12 +96,20 @@ def execute_point(payload: Dict[str, Any]) -> Dict[str, Any]:
     # so the caller can stitch the cross-process trace together.
     trace = (obs.Trace(payload["obs_trace"])
              if payload.get("obs_trace") else None)
+    # The payload carries the *derived* energy model, not just its name:
+    # the worker runs exactly the cost vector the cache key hashed.
+    energy = payload.get("energy")
+    if energy is not None:
+        from repro.energy import EnergyModel
+
+        energy = EnergyModel.from_params(energy)
     started = time.monotonic()
     sim = Simulation(config=config, profiles=profiles,
                      time_slice=payload["time_slice"],
                      level=payload["level"],
                      warmup_instructions=payload["warmup_instructions"],
-                     engine=payload.get("engine", DEFAULT_ENGINE))
+                     engine=payload.get("engine", DEFAULT_ENGINE),
+                     energy=energy)
     if trace is not None:
         with obs.activate_trace(trace):
             stats = sim.run(max_instructions=payload["max_instructions"])
@@ -115,6 +127,10 @@ def execute_point(payload: Dict[str, Any]) -> Dict[str, Any]:
     task_metrics.histogram("sim_wall_seconds",
                            "wall-clock seconds per simulation"
                            ).observe(wall_s)
+    if energy is not None:
+        task_metrics.counter("sim_energy_pj_total",
+                             "accounted energy (picojoules)"
+                             ).inc(stats.energy_total_fj // 1000)
     result = {
         "stats": stats.to_dict(),
         "wall_s": wall_s,

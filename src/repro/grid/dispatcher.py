@@ -144,6 +144,8 @@ def _wire_body(spec: PointSpec) -> Dict[str, Any]:
         body["level"] = spec.level
     if spec.max_instructions is not None:
         body["max_instructions"] = spec.max_instructions
+    if spec.energy is not None:
+        body["energy"] = spec.energy
     return body
 
 

@@ -25,8 +25,9 @@ from repro.errors import ObsError, cli_errors
 from repro.obs.chrome import export_chrome_trace
 from repro.obs.tracing import read_events
 
-#: Metrics ``timeline`` can plot, mapped to sample-record fields.
-TIMELINE_METRICS = ("cpi", "l1i_mr", "l1d_mr", "wb_stall_frac")
+#: Metrics ``timeline`` can plot, mapped to sample-record fields
+#: (``epi_pj`` appears only in runs that enabled energy accounting).
+TIMELINE_METRICS = ("cpi", "l1i_mr", "l1d_mr", "wb_stall_frac", "epi_pj")
 
 
 def summarize_events(events: List[Dict[str, Any]]) -> Dict[str, Any]:
@@ -35,6 +36,7 @@ def summarize_events(events: List[Dict[str, Any]]) -> Dict[str, Any]:
     span_wall_us = 0
     span_names: Dict[str, int] = {}
     samples: List[Dict[str, Any]] = []
+    energies: List[Dict[str, Any]] = []
     traces = set()
     for record in events:
         ev = record["ev"]
@@ -47,6 +49,8 @@ def summarize_events(events: List[Dict[str, Any]]) -> Dict[str, Any]:
                 traces.add(record["trace"])
         elif ev == "sample":
             samples.append(record)
+        elif ev == "energy":
+            energies.append(record)
     summary: Dict[str, Any] = {
         "records": len(events),
         "event_counts": dict(sorted(counts.items())),
@@ -67,6 +71,18 @@ def summarize_events(events: List[Dict[str, Any]]) -> Dict[str, Any]:
             int(s.get("d_cycles", 0)) for s in samples)
         summary["instructions_sampled"] = sum(
             int(s.get("d_instr", 0)) for s in samples)
+    if energies:
+        from repro.energy import ENERGY_CLASSES
+
+        summary["energy_runs"] = len(energies)
+        summary["energy_pj"] = {
+            cls: round(sum(float(e.get(cls, 0.0)) for e in energies), 1)
+            for cls in ENERGY_CLASSES}
+        summary["energy_total_pj"] = round(
+            sum(float(e.get("total_pj", 0.0)) for e in energies), 1)
+        summary["epi_pj"] = energies[-1].get("epi_pj", 0.0)
+        technologies = sorted({e.get("technology", "?") for e in energies})
+        summary["energy_technologies"] = technologies
     return summary
 
 
@@ -93,6 +109,13 @@ def format_summary(path: str, summary: Dict[str, Any]) -> str:
             lines.append(f"interval CPI : {summary['cpi_min']:.3f} min, "
                          f"{summary['cpi_max']:.3f} max, "
                          f"{summary['cpi_last']:.3f} last")
+    if "energy_pj" in summary:
+        techs = ", ".join(summary.get("energy_technologies", []))
+        lines.append(f"energy       : {summary['energy_total_pj']:,.1f} pJ "
+                     f"across {summary['energy_runs']} run(s) [{techs}], "
+                     f"{summary['epi_pj']:.2f} pJ/instr last")
+        for cls, pj in summary["energy_pj"].items():
+            lines.append(f"  {cls:<14} {pj:,.1f} pJ")
     return "\n".join(lines)
 
 
@@ -149,11 +172,19 @@ def _cmd_diff(args) -> int:
         b = after["event_counts"].get(ev, 0)
         if a != b or args.all:
             print(f"  {ev:<14} {_format_delta(a, b)}")
-    for key in ("span_wall_s", "cpi_last", "cpi_max"):
+    for key in ("span_wall_s", "cpi_last", "cpi_max", "epi_pj",
+                "energy_total_pj"):
         if key in before or key in after:
             a, b = before.get(key, 0.0), after.get(key, 0.0)
             if a != b or args.all:
                 print(f"  {key:<14} {_format_delta(float(a), float(b))}")
+    classes = sorted(set(before.get("energy_pj", {}))
+                     | set(after.get("energy_pj", {})))
+    for cls in classes:
+        a = float(before.get("energy_pj", {}).get(cls, 0.0))
+        b = float(after.get("energy_pj", {}).get(cls, 0.0))
+        if a != b or args.all:
+            print(f"  energy:{cls:<7} {_format_delta(a, b)}")
     return 0
 
 

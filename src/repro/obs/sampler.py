@@ -46,6 +46,8 @@ class Sampler:
         st = memsys.stats
         for name in _DELTA_FIELDS:
             base[name] = getattr(st, name)
+        if memsys.energy is not None:
+            base["energy_total_fj"] = st.energy_total_fj
         return base
 
     def tick(self, memsys) -> None:
@@ -78,6 +80,12 @@ class Sampler:
             if elapsed else 0.0,
             "l2_misses": deltas["l2i_misses"] + deltas["l2d_misses"],
         }
+        if memsys.energy is not None and "energy_total_fj" in base:
+            # The engines fold energy once per slice epilogue, so at a tick
+            # the fields are exactly as fresh as the counters they mirror.
+            d_fj = st.energy_total_fj - base["energy_total_fj"]
+            record["d_energy_pj"] = round(d_fj / 1000.0, 1)
+            record["epi_pj"] = round(d_fj / instr / 1000.0, 4)
         if runtime.enabled:
             runtime.tracer.emit("sample", **record)
         self.samples_emitted += 1

@@ -48,7 +48,7 @@ PROTOCOL_VERSION = 1
 
 _TOP_KEYS = {"config", "workload", "time_slice", "level",
              "warmup_instructions", "max_instructions", "deadline_s",
-             "engine", "obs_trace"}
+             "engine", "energy", "obs_trace"}
 
 #: Ceiling on a client-supplied trace ID; generous next to the 32-hex
 #: IDs :func:`repro.obs.tracing.new_trace_id` mints.
@@ -169,6 +169,15 @@ def parse_simulate_request(raw: bytes,
         raise ServeError(
             f"unknown engine {engine!r} "
             f"(available: {', '.join(ENGINE_NAMES)})", status=400)
+    energy = body.get("energy")
+    if energy is not None:
+        from repro.energy import ENERGY_TECHNOLOGIES
+
+        if not isinstance(energy, str) or energy not in ENERGY_TECHNOLOGIES:
+            raise ServeError(
+                f"unknown energy technology {energy!r} "
+                f"(available: {', '.join(sorted(ENERGY_TECHNOLOGIES))})",
+                status=400)
     obs_trace = body.get("obs_trace")
     if obs_trace is not None:
         if not isinstance(obs_trace, str) or not obs_trace \
@@ -180,7 +189,8 @@ def parse_simulate_request(raw: bytes,
     spec = PointSpec(label=config.name, config=config, profiles=profiles,
                      time_slice=time_slice, level=level,
                      warmup_instructions=warmup,
-                     max_instructions=max_instructions, engine=engine)
+                     max_instructions=max_instructions, engine=engine,
+                     energy=energy)
     return spec, deadline_s, obs_trace
 
 
@@ -202,9 +212,15 @@ def stats_digest(snapshot: Dict[str, Any]) -> str:
 
 def render_result(spec: PointSpec, stats: SimStats, key: str,
                   cached: bool, wall_s: float) -> Dict[str, Any]:
-    """The JSON body of a 200 response."""
+    """The JSON body of a 200 response.
+
+    Energy-free requests get the historical shape; when the request
+    selected an energy technology the response adds the EPI figure and
+    the per-class breakdown next to CPI (the raw femtojoule fields ride
+    inside ``stats`` either way).
+    """
     snapshot = stats.to_dict()
-    return {
+    body = {
         "version": PROTOCOL_VERSION,
         "key": key,
         "cached": cached,
@@ -214,6 +230,12 @@ def render_result(spec: PointSpec, stats: SimStats, key: str,
         "stats": snapshot,
         "stats_sha256": stats_digest(snapshot),
     }
+    if spec.energy is not None:
+        body["energy"] = spec.energy
+        body["epi_pj"] = round(stats.epi_pj, 4)
+        body["energy_pj"] = {cls: round(pj, 1) for cls, pj
+                             in stats.energy_breakdown_pj().items()}
+    return body
 
 
 def error_body(status: int, message: str, **extra: Any) -> Dict[str, Any]:

@@ -548,7 +548,7 @@ class SimServer:
         sim = Simulation(config=spec.config, profiles=list(spec.profiles),
                          time_slice=spec.time_slice, level=spec.level,
                          warmup_instructions=spec.warmup_instructions,
-                         engine=spec.engine)
+                         engine=spec.engine, energy=spec.energy)
 
         def on_slice(scheduler) -> None:
             # Deadline first: a handler that already answered 504 sets

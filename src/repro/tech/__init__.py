@@ -1,5 +1,18 @@
-"""Technology substrate: SRAM parts, MCM interconnect, derived timing."""
+"""Technology substrate: SRAM parts, MCM interconnect, derived timing
+and energy."""
 
+from repro.tech.energy import (
+    BICMOS_8KX8_ENERGY,
+    GAAS_1KX32_ENERGY,
+    MAIN_MEMORY_ENERGY,
+    MCM_WIRE,
+    PCB_WIRE,
+    MainMemoryEnergy,
+    SramEnergy,
+    WireEnergy,
+    sram_energy,
+    wire_energy,
+)
 from repro.tech.mcm import MCM, PCB, Mounting, interconnect_fraction
 from repro.tech.sram import (
     BICMOS_8KX8,
@@ -21,6 +34,16 @@ from repro.tech.timing import (
 )
 
 __all__ = [
+    "BICMOS_8KX8_ENERGY",
+    "GAAS_1KX32_ENERGY",
+    "MAIN_MEMORY_ENERGY",
+    "MCM_WIRE",
+    "PCB_WIRE",
+    "MainMemoryEnergy",
+    "SramEnergy",
+    "WireEnergy",
+    "sram_energy",
+    "wire_energy",
     "MCM",
     "PCB",
     "Mounting",

@@ -1,0 +1,205 @@
+"""Energy constants for the technology substrate: parts, wires, memory.
+
+The same physical description that gives the simulator its cycle counts
+(:mod:`repro.tech.timing`) also determines energy: which SRAM part a cache
+is built from, how many chips the array takes, and whether the wires that
+reach it live on the MCM substrate or cross the board.  This module holds
+the per-part and per-mounting energy constants and the small derivation
+helpers; :mod:`repro.energy.model` assembles them into the per-event cost
+vector the accountant applies.
+
+The constants are assumption-level engineering numbers, not datasheet
+reproductions (the paper reports no power figures), chosen to respect the
+relationships that make the trade-off real:
+
+* GaAs DCFL SRAMs are *static-power dominated*: the pull-down network
+  conducts continuously, so a Vitesse-class 1Kx32 part dissipates on the
+  order of a watt whether or not it is accessed.  Dynamic (per-access)
+  energy is small.
+* BiCMOS SRAMs are the opposite: modest static power, larger per-access
+  energy (bigger array, higher capacitance, 10 ns of active current).
+* Wires follow ``E = C * V^2``: an MCM line is ~10-20 microns wide and a
+  few pF; a PCB trace through the module connector is tens of pF at a
+  larger swing — two orders of magnitude per bit.
+
+Like the timing model's ``base + load * sqrt(chips)`` crossing delay, the
+wire energy grows with the array's linear dimension: more chips means
+longer lines and heavier loading on every transfer.
+
+Units: constants are picojoules (pJ) and milliwatts (mW); the derived
+:class:`~repro.energy.model.EnergyModel` quantizes to integer femtojoules
+(fJ) so energy accounting is exact integer arithmetic (1 pJ = 1000 fJ,
+and 1 mW * 1 ns = 1 pJ).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tech.mcm import MCM, PCB, Mounting
+from repro.tech.sram import (
+    BICMOS_8KX8,
+    DATA_PATH_BITS,
+    GAAS_1KX32,
+    SramPart,
+    chips_needed,
+)
+
+
+@dataclass(frozen=True)
+class SramEnergy:
+    """Per-part energy profile of one SRAM product.
+
+    Attributes:
+        part: the :class:`~repro.tech.sram.SramPart` this profile covers.
+        read_pj_per_chip: dynamic energy of one read access, per chip in
+            the active rank.
+        write_pj_per_chip: dynamic energy of one write access, per chip.
+        static_mw_per_chip: standby dissipation per chip; every chip of
+            the array pays it every cycle, accessed or not.
+    """
+
+    part: SramPart
+    read_pj_per_chip: float
+    write_pj_per_chip: float
+    static_mw_per_chip: float
+
+    def __post_init__(self) -> None:
+        if self.read_pj_per_chip <= 0 or self.write_pj_per_chip <= 0:
+            raise ConfigurationError("SRAM access energy must be positive")
+        if self.static_mw_per_chip < 0:
+            raise ConfigurationError("SRAM static power cannot be negative")
+
+    @property
+    def rank_width(self) -> int:
+        """Chips activated per access: the rank that spans the data path."""
+        return math.ceil(DATA_PATH_BITS / self.part.bits)
+
+    def read_pj(self) -> float:
+        """Dynamic energy of one 32-bit read (the active rank switches)."""
+        return self.rank_width * self.read_pj_per_chip
+
+    def write_pj(self) -> float:
+        """Dynamic energy of one 32-bit write."""
+        return self.rank_width * self.write_pj_per_chip
+
+    def static_mw(self, cache_words: int) -> float:
+        """Standby power of a whole array of ``cache_words``."""
+        return chips_needed(cache_words, self.part) * self.static_mw_per_chip
+
+
+#: The 1Kx32 GaAs part: DCFL logic conducts continuously — about a watt of
+#: standby per chip — while the small array keeps per-access energy low.
+GAAS_1KX32_ENERGY = SramEnergy(part=GAAS_1KX32,
+                               read_pj_per_chip=6.0,
+                               write_pj_per_chip=7.0,
+                               static_mw_per_chip=1150.0)
+
+#: The 8Kx8 BiCMOS part: an order of magnitude less standby power, but a
+#: 10 ns access through a larger array costs far more per read, and four
+#: chips switch per 32-bit access.
+BICMOS_8KX8_ENERGY = SramEnergy(part=BICMOS_8KX8,
+                                read_pj_per_chip=55.0,
+                                write_pj_per_chip=60.0,
+                                static_mw_per_chip=90.0)
+
+_PROFILES = {GAAS_1KX32.name: GAAS_1KX32_ENERGY,
+             BICMOS_8KX8.name: BICMOS_8KX8_ENERGY}
+
+
+def sram_energy(part: SramPart) -> SramEnergy:
+    """The energy profile of a catalog part."""
+    try:
+        return _PROFILES[part.name]
+    except KeyError:
+        raise ConfigurationError(
+            f"no energy profile for SRAM part {part.name!r} "
+            f"(known: {', '.join(sorted(_PROFILES))})") from None
+
+
+@dataclass(frozen=True)
+class WireEnergy:
+    """Per-bit transfer energy of a mounting style (``E = C * V^2``).
+
+    Mirrors the timing model's two-parameter crossing delay: a fixed
+    per-bit cost plus a loading term that grows with the array's linear
+    dimension (``sqrt(chips)``).
+    """
+
+    mounting: Mounting
+    base_pj_per_bit: float
+    load_pj_per_bit: float
+
+    def pj_per_bit(self, chips: int) -> float:
+        """Energy to move one bit to/from an array of ``chips`` parts."""
+        if chips <= 0:
+            raise ConfigurationError("chip count must be positive")
+        return self.base_pj_per_bit + self.load_pj_per_bit * math.sqrt(chips)
+
+    def word_pj(self, chips: int, bits: int = DATA_PATH_BITS) -> float:
+        """Energy to move one ``bits``-wide word."""
+        return bits * self.pj_per_bit(chips)
+
+
+#: Bare-die bonding on the substrate: ~1 pF lines at GaAs swings.
+MCM_WIRE = WireEnergy(mounting=MCM, base_pj_per_bit=0.08,
+                      load_pj_per_bit=0.02)
+
+#: Packaged parts behind the module connector: tens of pF at full swing.
+PCB_WIRE = WireEnergy(mounting=PCB, base_pj_per_bit=3.0,
+                      load_pj_per_bit=0.8)
+
+_WIRES = {MCM.name: MCM_WIRE, PCB.name: PCB_WIRE}
+
+
+def wire_energy(mounting: Mounting) -> WireEnergy:
+    """The wire-energy model of a mounting style."""
+    try:
+        return _WIRES[mounting.name]
+    except KeyError:
+        raise ConfigurationError(
+            f"no wire-energy model for mounting {mounting.name!r} "
+            f"(known: {', '.join(sorted(_WIRES))})") from None
+
+
+@dataclass(frozen=True)
+class MainMemoryEnergy:
+    """Main memory behind the ECL system bus (R6020-class).
+
+    A line fetch activates a DRAM page and streams the line over the
+    backplane; a dirty-victim write-back streams the victim line back
+    without a fresh activation (the paper's bus overlaps the setup).
+    """
+
+    #: DRAM page activation + ECL bus arbitration per access.
+    activate_pj: float = 9000.0
+    #: Per 32-bit word streamed over the backplane (ECL drivers).
+    pj_per_word: float = 450.0
+
+    def fetch_pj(self, line_words: int) -> float:
+        """One line fetch from memory."""
+        return self.activate_pj + line_words * self.pj_per_word
+
+    def writeback_pj(self, line_words: int) -> float:
+        """Streaming a dirty victim back (activation overlapped)."""
+        return 0.5 * self.activate_pj + line_words * self.pj_per_word
+
+
+#: The system's one main memory; per-line costs come from the L2 geometry.
+MAIN_MEMORY_ENERGY = MainMemoryEnergy()
+
+#: One L1 tag probe: the tags live on the MMU die, checked in parallel
+#: with the array read — a small on-chip CAM/compare, not an SRAM access.
+TAG_PROBE_PJ = 0.8
+
+#: One TLB probe (on-MMU CAM lookup, both ports).
+TLB_PROBE_PJ = 1.2
+
+#: One TLB refill: the table walk's memory traffic, amortized.
+TLB_REFILL_PJ = 2500.0
+
+#: One write-buffer entry push/drain: queue bookkeeping and the CAM slice
+#: the associative-bypass comparators need.
+WB_ENTRY_PJ = 2.5

@@ -1,0 +1,228 @@
+"""Unit tests for the energy model derivation and the accountant."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import (
+    L2Config,
+    WritePolicy,
+    base_architecture,
+    split_l2_architecture,
+    write_through_buffer,
+)
+from repro.core.stats import SimStats
+from repro.energy import (
+    DEFAULT_TECHNOLOGY,
+    ENERGY_CLASSES,
+    ENERGY_TECHNOLOGIES,
+    EnergyAccountant,
+    EnergyModel,
+    breakdown_pj,
+    derive_energy_model,
+    energy_spec,
+    resolve_accountant,
+    resolve_technology,
+)
+from repro.errors import ConfigurationError
+from repro.tech.energy import (
+    BICMOS_8KX8_ENERGY,
+    GAAS_1KX32_ENERGY,
+    MCM_WIRE,
+    PCB_WIRE,
+    sram_energy,
+    wire_energy,
+)
+
+
+class TestTechnologyTable:
+    def test_paper_is_default(self):
+        assert DEFAULT_TECHNOLOGY == "paper"
+        assert "paper" in ENERGY_TECHNOLOGIES
+
+    def test_unknown_technology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_technology("wishful-cmos")
+
+    def test_lookup_helpers_reject_unknown(self):
+        from repro.tech.sram import SramPart
+
+        fake = SramPart(name="fake", words=1024, bits=32, access_ns=1.0,
+                        technology="vaporware")
+        with pytest.raises(ConfigurationError):
+            sram_energy(fake)
+
+
+class TestSramEnergy:
+    def test_gaas_is_static_dominated(self):
+        # The paper's DCFL arrays burn >1 W standing still; BiCMOS burns
+        # an order of magnitude less but pays ~10x per access.
+        assert GAAS_1KX32_ENERGY.static_mw_per_chip \
+            > 10 * BICMOS_8KX8_ENERGY.static_mw_per_chip
+        assert BICMOS_8KX8_ENERGY.read_pj_per_chip \
+            > 5 * GAAS_1KX32_ENERGY.read_pj_per_chip
+
+    def test_rank_width_from_part_width(self):
+        # 32-bit parts need one chip per rank; 8-bit parts need four.
+        assert GAAS_1KX32_ENERGY.rank_width == 1
+        assert BICMOS_8KX8_ENERGY.rank_width == 4
+        assert BICMOS_8KX8_ENERGY.read_pj() \
+            == 4 * BICMOS_8KX8_ENERGY.read_pj_per_chip
+
+    def test_wire_energy_mcm_far_below_pcb(self):
+        assert PCB_WIRE.pj_per_bit(16) > 10 * MCM_WIRE.pj_per_bit(16)
+        assert wire_energy(MCM_WIRE.mounting) is MCM_WIRE
+
+
+class TestDerivation:
+    def test_params_round_trip(self):
+        model = derive_energy_model(base_architecture(), "paper")
+        rebuilt = EnergyModel.from_params(model.params())
+        assert rebuilt == model
+
+    def test_from_params_rejects_unknown_and_missing(self):
+        params = derive_energy_model(base_architecture()).params()
+        with pytest.raises(ConfigurationError):
+            EnergyModel.from_params({**params, "warp_core_fj": 1})
+        short = dict(params)
+        short.pop("l1i_fetch_fj")
+        with pytest.raises(ConfigurationError):
+            EnergyModel.from_params(short)
+
+    def test_all_costs_positive_integers(self):
+        for technology in ENERGY_TECHNOLOGIES:
+            model = derive_energy_model(base_architecture(), technology)
+            for field in dataclasses.fields(model):
+                if field.name == "technology":
+                    continue
+                value = getattr(model, field.name)
+                assert isinstance(value, int) and value > 0, field.name
+
+    def test_bigger_l2_costs_more_static(self):
+        small = base_architecture().with_(
+            l2=L2Config(size_words=64 * 1024, line_words=32, ways=1,
+                        access_time=6, split=False))
+        big = base_architecture().with_(
+            l2=L2Config(size_words=512 * 1024, line_words=32, ways=1,
+                        access_time=6, split=False))
+        assert derive_energy_model(big).static_fj_per_cycle \
+            > derive_energy_model(small).static_fj_per_cycle
+
+    def test_split_l2_carries_both_sides_static(self):
+        unified = derive_energy_model(base_architecture())
+        split = derive_energy_model(split_l2_architecture())
+        assert split.static_fj_per_cycle > unified.static_fj_per_cycle
+
+    def test_associativity_prices_extra_tag_probes(self):
+        one_way = base_architecture().with_(
+            l2=L2Config(size_words=256 * 1024, line_words=32, ways=1,
+                        access_time=6, split=False))
+        two_way = base_architecture().with_(
+            l2=L2Config(size_words=256 * 1024, line_words=32, ways=2,
+                        access_time=7, split=False))
+        assert derive_energy_model(two_way).l2i_access_fj \
+            > derive_energy_model(one_way).l2i_access_fj
+
+    def test_drain_cost_follows_write_policy(self):
+        wb = derive_energy_model(base_architecture())
+        wt = derive_energy_model(base_architecture().with_(
+            write_policy=WritePolicy.WRITE_MISS_INVALIDATE,
+            write_buffer=write_through_buffer()))
+        # Write-back drains victim lines; write-through drains words.
+        assert wb.bus_drain_fj > wt.bus_drain_fj
+
+    def test_technologies_differ(self):
+        models = {t: derive_energy_model(base_architecture(), t)
+                  for t in ENERGY_TECHNOLOGIES}
+        assert models["all-gaas"].static_fj_per_cycle \
+            > models["paper"].static_fj_per_cycle \
+            > models["bicmos"].static_fj_per_cycle
+        assert models["bicmos"].l1d_read_fj > models["paper"].l1d_read_fj
+
+
+class TestEnergySpec:
+    def test_spec_identities(self):
+        model = derive_energy_model(base_architecture(), "all-gaas")
+        assert energy_spec(None) is None
+        assert energy_spec("paper") == "paper"
+        assert energy_spec(model) == "all-gaas"
+
+    def test_spec_rejects_junk(self):
+        with pytest.raises(ConfigurationError):
+            energy_spec("wishful-cmos")
+        with pytest.raises(ConfigurationError):
+            energy_spec(42)
+
+
+class TestAccountant:
+    @staticmethod
+    def _loaded_stats() -> SimStats:
+        st = SimStats()
+        st.instructions = 1000
+        st.loads = 300
+        st.stores = 150
+        st.cycles = 4000
+        st.l1i_misses = 40
+        st.l2i_accesses = 40
+        st.l2i_misses = 5
+        st.l2i_dirty_victims = 1
+        st.l2d_accesses = 60
+        st.l2d_misses = 8
+        st.l2d_dirty_victims = 2
+        st.l2_write_accesses = 70
+        st.l2_write_misses = 6
+        st.l2_write_dirty_victims = 3
+        st.itlb_probes = 1000
+        st.dtlb_probes = 450
+        st.itlb_misses = 2
+        st.dtlb_misses = 3
+        return st
+
+    def test_account_matches_hand_computation(self):
+        model = derive_energy_model(base_architecture())
+        st = self._loaded_stats()
+        EnergyAccountant(model).account(st)
+        assert st.energy_l1i_fj == (1000 * model.l1i_fetch_fj
+                                    + 40 * model.l1i_fill_fj)
+        assert st.energy_wb_fj == 70 * model.wb_entry_fj
+        assert st.energy_mem_fj == ((5 + 8 + 6) * model.mem_fetch_fj
+                                    + (1 + 2 + 3) * model.mem_writeback_fj)
+        assert st.energy_static_fj == 4000 * model.static_fj_per_cycle
+        assert st.energy_total_fj == sum(
+            getattr(st, f"energy_{cls}_fj") for cls in ENERGY_CLASSES)
+        assert st.epi_pj == pytest.approx(
+            st.energy_total_fj / 1000 / 1000)
+
+    def test_account_is_idempotent(self):
+        accountant = EnergyAccountant(derive_energy_model(
+            base_architecture()))
+        st = self._loaded_stats()
+        accountant.account(st)
+        once = dataclasses.asdict(st)
+        accountant.account(st)
+        assert dataclasses.asdict(st) == once
+
+    def test_breakdown_covers_every_class(self):
+        st = self._loaded_stats()
+        EnergyAccountant(derive_energy_model(base_architecture())).account(st)
+        pj = breakdown_pj(st)
+        assert tuple(pj) == ENERGY_CLASSES
+        assert pj == st.energy_breakdown_pj()
+        assert sum(pj.values()) == pytest.approx(
+            st.energy_total_fj / 1000.0)
+
+    def test_resolve_accountant_forms(self):
+        config = base_architecture()
+        model = derive_energy_model(config, "bicmos")
+        assert resolve_accountant(None, config) is None
+        assert resolve_accountant("paper", config).model.technology \
+            == "paper"
+        assert resolve_accountant(model, config).model is model
+        ready = EnergyAccountant(model)
+        assert resolve_accountant(ready, config) is ready
+        with pytest.raises(ConfigurationError):
+            resolve_accountant(3.14, config)
+
+    def test_epi_zero_on_empty_stats(self):
+        assert SimStats().epi_pj == 0.0
+        assert SimStats().energy_total_fj == 0

@@ -17,7 +17,7 @@ ALL_IDS = ("table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
            "fig8", "fig9", "fig10", "fig11", "l1size")
 
 ABLATION_IDS = ("wbdepth", "wboverlap", "coloring", "tech",
-                "perbench", "scaling", "clockrate", "variance")
+                "perbench", "scaling", "clockrate", "variance", "pareto")
 
 
 def test_registry_is_complete():
