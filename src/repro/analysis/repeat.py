@@ -100,8 +100,8 @@ def repeat_simulation(config: SystemConfig,
     if seeds < 1:
         raise ValueError("seeds must be >= 1")
     chosen = metrics if metrics is not None else DEFAULT_METRICS
-    jobs, cache, telemetry, timeout, retries, engine, energy, dispatcher = \
-        _resolve(jobs, None, None)
+    jobs, cache, telemetry, timeout, retries, engine, energy, dispatcher, \
+        journal, durable = _resolve(jobs, None, None)
     specs = [
         PointSpec(label=f"{config.name}/seed{offset}", config=config,
                   profiles=tuple(reseed_profiles(profiles, offset)),
@@ -112,7 +112,8 @@ def repeat_simulation(config: SystemConfig,
     ]
     stats_list = run_points(specs, jobs=jobs, cache=cache,
                             telemetry=telemetry, timeout=timeout,
-                            retries=retries, dispatcher=dispatcher)
+                            retries=retries, dispatcher=dispatcher,
+                            journal=journal, durable=durable)
     samples: Dict[str, List[float]] = {
         name: [extract(stats) for stats in stats_list]
         for name, extract in chosen.items()

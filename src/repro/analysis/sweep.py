@@ -57,8 +57,10 @@ def _resolve(jobs: Optional[int], cache, telemetry,
     if energy is None and ctx is not None:
         energy = ctx.energy
     dispatcher = ctx.dispatcher if ctx is not None else None
+    journal = ctx.journal if ctx is not None else None
+    durable = ctx.durable if ctx is not None else None
     return jobs, cache, telemetry, timeout, retries, engine, energy, \
-        dispatcher
+        dispatcher, journal, durable
 
 
 def run_point(config: SystemConfig, profiles: Sequence[BenchmarkProfile],
@@ -76,15 +78,16 @@ def run_point(config: SystemConfig, profiles: Sequence[BenchmarkProfile],
     cache; otherwise this is a plain in-process simulation.  ``engine``
     and ``energy`` default to the ambient session's settings.
     """
-    _, cache, telemetry, _, _, engine, energy, dispatcher = _resolve(
-        1, cache, None, engine, energy)
+    _, cache, telemetry, _, _, engine, energy, dispatcher, journal, \
+        durable = _resolve(1, cache, None, engine, energy)
     spec = PointSpec(label=config.name, config=config,
                      profiles=tuple(profiles), time_slice=time_slice,
                      level=level, warmup_instructions=warmup_instructions,
                      max_instructions=max_instructions, engine=engine,
                      energy=energy)
     return run_points([spec], jobs=1, cache=cache, telemetry=telemetry,
-                      dispatcher=dispatcher)[0]
+                      dispatcher=dispatcher, journal=journal,
+                      durable=durable)[0]
 
 
 def run_sweep(configs: Sequence[Tuple[str, SystemConfig]],
@@ -113,8 +116,8 @@ def run_sweep(configs: Sequence[Tuple[str, SystemConfig]],
         energy: energy technology for every point (``None`` = ambient
             farm session's setting, else disabled).
     """
-    jobs, cache, telemetry, timeout, retries, engine, energy, dispatcher = \
-        _resolve(jobs, cache, telemetry, engine, energy)
+    jobs, cache, telemetry, timeout, retries, engine, energy, dispatcher, \
+        journal, durable = _resolve(jobs, cache, telemetry, engine, energy)
     specs = [
         PointSpec(label=label, config=config, profiles=tuple(profiles),
                   time_slice=time_slice, level=level,
@@ -126,7 +129,8 @@ def run_sweep(configs: Sequence[Tuple[str, SystemConfig]],
     stats_list = run_points(specs, jobs=jobs, cache=cache,
                             telemetry=telemetry, timeout=timeout,
                             retries=retries, on_point=progress,
-                            dispatcher=dispatcher)
+                            dispatcher=dispatcher, journal=journal,
+                            durable=durable)
     return [SweepPoint(label=label, config=config, stats=stats)
             for (label, config), stats in zip(configs, stats_list)]
 

@@ -1,0 +1,8 @@
+"""``python -m repro.durable`` == ``repro-durable``."""
+
+import sys
+
+from repro.durable.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,419 @@
+"""Kill-anywhere chaos: SIGKILL the coordinator at every journal offset.
+
+The grid storm (:mod:`repro.grid.chaos`) kills *workers* and proves the
+dispatcher survives.  This harness kills the **coordinator** — the process
+that owns the journal, the cache writes, and the report — and proves the
+write-ahead journal makes that survivable at *every* point in the run:
+
+* an uninterrupted journaled run of a small sweep is executed first to
+  enumerate its journal offsets (``R`` durable appends, deterministic for
+  a serial pool);
+* then, for each offset ``k`` in ``1..R``, a **fresh** coordinator
+  subprocess runs the same sweep with
+  :data:`~repro.durable.journal.CRASH_ENV` set to ``k`` — the journal
+  SIGKILLs the process immediately after its ``k``-th fsynced append,
+  the closest software can get to yanking the power cord at a chosen
+  WAL position;
+* a resume coordinator (no crash armed) then reruns the sweep against
+  the surviving journal + cache and must finish and **seal** it.
+
+The contract, asserted per offset against ground truth computed serially
+before any journal exists:
+
+1. the dead coordinator really died by SIGKILL (no cleanup softened it);
+2. the resumed run's results are **bit-identical** to the serial truth —
+   zero lost points, zero spurious points;
+3. the final journal holds **exactly one** ``point_done`` per point (no
+   double execution past a done record — the exactly-once book-keeping)
+   and ends sealed;
+4. the cache holds exactly one entry per distinct point (no
+   double-counted results).
+
+Two extra scenarios ride along: a **parallel crash** (``jobs=2``, one
+mid-run offset) proving recovery does not depend on the serial pool, and
+a **stalled worker** — a forked worker SIGSTOPs itself (via the
+``freeze_once`` fault in :mod:`repro.robust.faults`), its heartbeats
+stop, the pool's lease watchdog SIGKILLs it past the lease, and the
+journal shows the ``point_reclaimed``/re-claim trail while the report
+still comes out bit-identical.
+
+:func:`run_durable_chaos` returns a :class:`DurableChaosReport`;
+``report.passed`` is the single bit CI cares about.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import multiprocessing
+import os
+import signal
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.core.config import base_architecture
+from repro.core.simulator import simulate
+from repro.durable.journal import CRASH_ENV, read_records, replay_records
+from repro.errors import JournalError
+from repro.farm.points import PointSpec
+from repro.robust.faults import WORKER_FAULT_ENV, worker_fault_spec
+
+
+@dataclass
+class DurableChaosSettings:
+    """Knobs for one kill-anywhere storm; defaults are CI-sized."""
+
+    points: int = 3
+    instructions: int = 4000
+    time_slice: int = 2000
+    #: Crash offsets to test; ``None`` = every append of the reference
+    #: run (``1..R``), ``stride`` thins that to every n-th offset.
+    offsets: Optional[List[int]] = None
+    stride: int = 1
+    #: Resume attempts allowed per offset before declaring the journal
+    #: unrecoverable (one should always suffice — the bound is a guard
+    #: against a resume loop that itself keeps crashing).
+    max_resumes: int = 3
+    #: Also crash a ``jobs=2`` coordinator at one mid-run offset.
+    parallel_crash: bool = True
+    #: Also run the stalled-worker (SIGSTOP past lease) scenario.
+    stalled_worker: bool = True
+    #: Lease/heartbeat timing for the stalled-worker scenario: tight, so
+    #: the watchdog verdict lands in CI time.
+    lease_s: float = 3.0
+    heartbeat_s: float = 0.5
+    #: Per-child wall-clock guard.
+    child_timeout_s: float = 120.0
+
+
+@dataclass
+class DurableChaosReport:
+    """What the storm produced."""
+
+    points: int = 0
+    journal_records: int = 0
+    offsets_tested: List[int] = field(default_factory=list)
+    crashes: int = 0
+    resumes: int = 0
+    parallel_crash_tested: bool = False
+    stalled_worker_tested: bool = False
+    watchdog_reclaims: int = 0
+    violations: List[str] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        lines = [
+            "== durable chaos report ==",
+            f"points             : {self.points}",
+            f"journal records    : {self.journal_records}",
+            f"offsets tested     : {len(self.offsets_tested)} "
+            f"{self.offsets_tested}",
+            f"coordinator kills  : {self.crashes}",
+            f"resumes            : {self.resumes}",
+            f"parallel crash     : "
+            f"{'yes' if self.parallel_crash_tested else 'no'}",
+            f"stalled worker     : "
+            f"{'yes' if self.stalled_worker_tested else 'no'}"
+            + (f" (watchdog reclaims={self.watchdog_reclaims})"
+               if self.stalled_worker_tested else ""),
+            f"wall               : {self.wall_s:.1f}s",
+            f"violations         : {len(self.violations)}",
+        ]
+        lines.extend(f"  VIOLATION: {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+def _chaos_specs(settings: DurableChaosSettings) -> List[PointSpec]:
+    """``points`` distinct specs (distinct workload sizes -> distinct
+    content addresses)."""
+    from repro.trace.benchmarks import default_suite
+
+    config = base_architecture()
+    specs = []
+    for i in range(settings.points):
+        instructions = settings.instructions + 250 * i
+        profiles = tuple(default_suite(instructions)[:1])
+        specs.append(PointSpec(
+            label=f"durable-{i}", config=config, profiles=profiles,
+            time_slice=settings.time_slice))
+    return specs
+
+
+def _coordinator_child(payload: Dict[str, Any]) -> None:
+    """Body of one coordinator subprocess (fork target).
+
+    Runs the journaled sweep and writes the results to ``out_path`` —
+    unless the armed crash kills it first.  Exceptions are written to the
+    out file too, so the parent can tell "crashed as planned" (no file,
+    exitcode ``-SIGKILL``) from "failed" (file with an error).
+    """
+    from repro.durable import DurableSettings
+    from repro.farm.cache import ResultCache
+    from repro.farm.points import run_points
+    from repro.farm.telemetry import RunTelemetry
+    from repro.robust.atomic import atomic_write_text
+
+    if payload.get("crash_after"):
+        os.environ[CRASH_ENV] = str(payload["crash_after"])
+    if payload.get("worker_faults"):
+        os.environ[WORKER_FAULT_ENV] = payload["worker_faults"]
+    settings = DurableChaosSettings(**payload["settings"])
+    specs = _chaos_specs(settings)
+    telemetry = RunTelemetry(stream=None, tag="durable-chaos")
+    out: Dict[str, Any] = {}
+    try:
+        results = run_points(
+            specs, jobs=payload["jobs"],
+            cache=ResultCache(payload["cache_dir"]),
+            telemetry=telemetry,
+            timeout=settings.child_timeout_s,
+            journal=payload["journal_dir"],
+            durable=DurableSettings(
+                lease_s=settings.lease_s,
+                heartbeat_s=settings.heartbeat_s))
+        out["results"] = [stats.to_dict() for stats in results]
+        out["telemetry_points"] = sum(
+            1 for e in telemetry.events if e["kind"] == "point")
+    except Exception as exc:  # noqa: BLE001 - shipped to the parent
+        out["error"] = f"{type(exc).__name__}: {exc}"
+    atomic_write_text(Path(payload["out_path"]), json.dumps(out))
+
+
+def _run_coordinator(payload: Dict[str, Any],
+                     timeout_s: float) -> Optional[int]:
+    """Fork-run one coordinator; returns its exitcode (negative =
+    killed by that signal, ``None`` = hung past the timeout and killed
+    by us)."""
+    ctx = multiprocessing.get_context("fork")
+    proc = ctx.Process(target=_coordinator_child, args=(payload,),
+                       daemon=False)
+    proc.start()
+    proc.join(timeout_s)
+    if proc.is_alive():
+        proc.kill()
+        proc.join(5.0)
+        return None
+    return proc.exitcode
+
+
+def _read_out(out_path: Path) -> Dict[str, Any]:
+    try:
+        return json.loads(out_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return {}
+
+
+def _check_final_journal(journal_dir: Path, n_points: int,
+                         where: str, violations: List[str]) -> int:
+    """Exactly-once invariants on the surviving journal; returns the
+    number of ``point_reclaimed`` records (the stall scenario's
+    watchdog evidence)."""
+    wals = sorted(journal_dir.glob("*.wal"))
+    if len(wals) != 1:
+        violations.append(
+            f"{where}: expected exactly one journal file, found "
+            f"{len(wals)}")
+        return 0
+    try:
+        records, torn = read_records(wals[0])
+        state = replay_records(records)
+    except JournalError as exc:
+        violations.append(f"{where}: final journal unreadable: {exc}")
+        return 0
+    if torn:
+        # Legal mid-crash, but the *final* journal was written by a
+        # coordinator that exited cleanly.
+        violations.append(f"{where}: final journal ends in a torn line")
+    if not state.sealed:
+        violations.append(f"{where}: final journal is not sealed")
+    done_counts = collections.Counter(
+        r["index"] for r in records if r["rec"] == "point_done")
+    if sorted(done_counts) != list(range(n_points)):
+        violations.append(
+            f"{where}: point_done indices {sorted(done_counts)} != "
+            f"expected 0..{n_points - 1}")
+    doubled = {i: c for i, c in done_counts.items() if c != 1}
+    if doubled:
+        violations.append(
+            f"{where}: points done more than once (double-counted): "
+            f"{doubled}")
+    return sum(1 for r in records if r["rec"] == "point_reclaimed")
+
+
+def _crash_and_resume(settings: DurableChaosSettings, truths: List[dict],
+                      offset: int, jobs: int, where: str, tmp: Path,
+                      report: DurableChaosReport) -> None:
+    """One full crash-at-offset-``k`` cycle: kill, resume, verify."""
+    workdir = tmp / where
+    cache_dir = workdir / "cache"
+    journal_dir = workdir / "journal"
+    journal_dir.mkdir(parents=True)
+    out_path = workdir / "out.json"
+    payload = {
+        "settings": settings.__dict__,
+        "jobs": jobs,
+        "cache_dir": str(cache_dir),
+        "journal_dir": str(journal_dir),
+        "out_path": str(out_path),
+        "crash_after": offset,
+    }
+
+    code = _run_coordinator(payload, settings.child_timeout_s)
+    if code != -signal.SIGKILL:
+        report.violations.append(
+            f"{where}: armed crash at append {offset} did not SIGKILL "
+            f"the coordinator (exitcode={code})")
+        return
+    report.crashes += 1
+
+    # Resume (no crash armed) until the run seals.
+    resumed = dict(payload, crash_after=None)
+    final: Dict[str, Any] = {}
+    for _ in range(settings.max_resumes):
+        out_path.unlink(missing_ok=True)
+        code = _run_coordinator(resumed, settings.child_timeout_s)
+        report.resumes += 1
+        final = _read_out(out_path)
+        if code == 0 and "results" in final:
+            break
+    else:
+        report.violations.append(
+            f"{where}: run never completed within "
+            f"{settings.max_resumes} resumes "
+            f"(last exitcode={code}, error={final.get('error')!r})")
+        return
+
+    if final["results"] != truths:
+        report.violations.append(
+            f"{where}: resumed results diverge from the serial ground "
+            "truth")
+    if final.get("telemetry_points") != settings.points:
+        report.violations.append(
+            f"{where}: resumed run reported "
+            f"{final.get('telemetry_points')} telemetry points, "
+            f"expected {settings.points} (lost or double-counted)")
+    _check_final_journal(journal_dir, settings.points, where,
+                         report.violations)
+    cache_entries = len(list(cache_dir.glob("*.json")))
+    if cache_entries != settings.points:
+        report.violations.append(
+            f"{where}: cache holds {cache_entries} entries, expected "
+            f"{settings.points}")
+
+
+def run_durable_chaos(settings: Optional[DurableChaosSettings] = None,
+                      stream=None) -> DurableChaosReport:
+    """Run the full kill-anywhere storm; see the module doc."""
+    settings = settings or DurableChaosSettings()
+    report = DurableChaosReport(points=settings.points)
+    started = time.monotonic()
+
+    specs = _chaos_specs(settings)
+    # Serial ground truth before any journal exists: the bare simulator,
+    # nothing shared with the system under test.
+    truths = [simulate(spec.config, list(spec.profiles),
+                       time_slice=spec.time_slice).to_dict()
+              for spec in specs]
+
+    with tempfile.TemporaryDirectory(prefix="repro-durable-chaos-") as td:
+        tmp = Path(td)
+
+        # Reference run, uninterrupted: counts the journal's appends so
+        # the crash scan covers every offset that can actually occur.
+        ref = tmp / "reference"
+        (ref / "journal").mkdir(parents=True)
+        ref_payload = {
+            "settings": settings.__dict__,
+            "jobs": 1,
+            "cache_dir": str(ref / "cache"),
+            "journal_dir": str(ref / "journal"),
+            "out_path": str(ref / "out.json"),
+            "crash_after": None,
+        }
+        code = _run_coordinator(ref_payload, settings.child_timeout_s)
+        ref_out = _read_out(ref / "out.json")
+        if code != 0 or "results" not in ref_out:
+            report.violations.append(
+                f"reference run failed (exitcode={code}, "
+                f"error={ref_out.get('error')!r}) — nothing to crash")
+            report.wall_s = time.monotonic() - started
+            if stream is not None:
+                print(report.render(), file=stream, flush=True)
+            return report
+        if ref_out["results"] != truths:
+            report.violations.append(
+                "reference journaled run diverges from the serial ground "
+                "truth — the durable path is wrong before any fault")
+        wal = next(iter(sorted((ref / "journal").glob("*.wal"))))
+        records, _ = read_records(wal)
+        report.journal_records = len(records)
+
+        offsets = settings.offsets
+        if offsets is None:
+            offsets = list(range(1, len(records) + 1, settings.stride))
+        report.offsets_tested = offsets
+
+        for k in offsets:
+            _crash_and_resume(settings, truths, k, jobs=1,
+                              where=f"offset-{k}", tmp=tmp, report=report)
+
+        if settings.parallel_crash:
+            # One mid-run offset with a 2-worker pool: recovery must not
+            # depend on the serial pool's deterministic append order.
+            k = max(2, len(records) // 2)
+            _crash_and_resume(settings, truths, k, jobs=2,
+                              where="parallel-crash", tmp=tmp,
+                              report=report)
+            report.parallel_crash_tested = True
+
+        if settings.stalled_worker:
+            workdir = tmp / "stalled-worker"
+            journal_dir = workdir / "journal"
+            journal_dir.mkdir(parents=True)
+            out_path = workdir / "out.json"
+            payload = {
+                "settings": settings.__dict__,
+                "jobs": 2,
+                "cache_dir": str(workdir / "cache"),
+                "journal_dir": str(journal_dir),
+                "out_path": str(out_path),
+                "crash_after": None,
+                "worker_faults": worker_fault_spec(
+                    freeze_once=str(workdir / "freeze.marker")),
+            }
+            code = _run_coordinator(payload, settings.child_timeout_s)
+            out = _read_out(out_path)
+            report.stalled_worker_tested = True
+            if code != 0 or "results" not in out:
+                report.violations.append(
+                    f"stalled-worker: run failed (exitcode={code}, "
+                    f"error={out.get('error')!r})")
+            else:
+                if out["results"] != truths:
+                    report.violations.append(
+                        "stalled-worker: results diverge from the serial "
+                        "ground truth")
+                if not (workdir / "freeze.marker").exists():
+                    report.violations.append(
+                        "stalled-worker: the freeze fault never fired")
+                reclaims = _check_final_journal(
+                    journal_dir, settings.points, "stalled-worker",
+                    report.violations)
+                report.watchdog_reclaims = reclaims
+                if reclaims < 1:
+                    report.violations.append(
+                        "stalled-worker: no point_reclaimed record — the "
+                        "lease watchdog never declared the frozen worker "
+                        "stuck")
+
+    report.wall_s = time.monotonic() - started
+    if stream is not None:
+        print(report.render(), file=stream, flush=True)
+    return report

@@ -69,6 +69,14 @@ class GridError(ReproError):
         self.label = label
 
 
+class JournalError(ReproError):
+    """A run journal is unusable: corrupt mid-file record, wrong magic or
+    version, a sequence gap, or a journal that describes a different sweep
+    than the one being resumed.  A *torn final record* (the crash landed
+    mid-append) is **not** an error — replay drops it, because the write
+    protocol guarantees the transition it described never took effect."""
+
+
 class ObsError(ReproError):
     """The observability layer was misused (metric type/label mismatch,
     malformed snapshot merge, or an unreadable event log)."""

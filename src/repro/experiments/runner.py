@@ -135,6 +135,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "$REPRO_FARM_CACHE or ~/.cache/repro-farm)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the sweep-point result cache")
+    parser.add_argument("--journal", type=Path, default=None,
+                        metavar="DIR",
+                        help="write-ahead run journal directory: every "
+                             "sweep becomes crash-resumable exactly-once "
+                             "(kill -9 this process at any instant, re-run "
+                             "the same command, get a bit-identical "
+                             "report); each sweep gets a content-addressed "
+                             "journal file in DIR, so resume and "
+                             "sealed-run detection are automatic. "
+                             "Requires the cache (not --no-cache)")
     parser.add_argument("--manifest", type=Path, default=None,
                         help="write run telemetry (points, wall clock, "
                              "cache hit-rate) to this JSON file")
@@ -245,7 +255,8 @@ def _experiment_task(payload: Dict[str, Any]) -> Dict[str, Any]:
                       cache_dir=payload["cache_dir"],
                       no_cache=payload["cache_dir"] is None,
                       engine=payload.get("engine", DEFAULT_ENGINE),
-                      energy=payload.get("energy")) as ctx:
+                      energy=payload.get("energy"),
+                      journal=payload.get("journal")) as ctx:
         report = _render(payload["experiment_id"], scale, payload["chart"])
     return {
         "report": report,
@@ -272,21 +283,65 @@ def clamp_jobs(requested: int,
                   f"clamping to {cpus}")
 
 
+def stale_report_reason(path: Path) -> Optional[str]:
+    """Why an existing report file should be re-run, or ``None`` if it
+    looks complete.
+
+    ``--resume`` used to trust any non-empty file; a truncated or
+    corrupted report (a torn write from a crash, a NUL-padded block from
+    a dirty filesystem, a manifest written under an older schema) was
+    then "skipped" and crashed whoever read it later.  Detect those here
+    and re-run the experiment instead.
+    """
+    import json as _json
+
+    from repro.farm.telemetry import MANIFEST_MAGIC, MANIFEST_VERSION
+
+    try:
+        blob = path.read_bytes()
+    except OSError:
+        return "unreadable"
+    if not blob.strip():
+        return "empty (stale partial write)"
+    if b"\x00" in blob:
+        return "contains NUL bytes (truncated/torn write)"
+    try:
+        text = blob.decode("utf-8")
+    except UnicodeDecodeError:
+        return "not valid UTF-8 (corrupt write)"
+    stripped = text.lstrip()
+    if stripped.startswith("{") or stripped.startswith("["):
+        # A JSON report (e.g. a manifest co-located in --out): parse it
+        # now — better a re-run than a crash at read time.
+        try:
+            doc = _json.loads(text)
+        except _json.JSONDecodeError:
+            return "invalid JSON (truncated write)"
+        if isinstance(doc, dict) and "magic" in doc:
+            if (doc.get("magic") != MANIFEST_MAGIC
+                    or doc.get("version") != MANIFEST_VERSION):
+                return (f"schema mismatch (magic={doc.get('magic')!r}, "
+                        f"version={doc.get('version')!r}; this build "
+                        f"writes {MANIFEST_MAGIC!r} v{MANIFEST_VERSION})")
+    return None
+
+
 def _filter_resume(wanted: List[str], out: Optional[Path],
                    resume: bool) -> List[str]:
-    """Drop already-completed experiments; a zero-byte report (a stale
-    partial write from a pre-atomic-write version) is re-run, not skipped."""
+    """Drop already-completed experiments; a report that is empty,
+    truncated, corrupt, or schema-mismatched (see
+    :func:`stale_report_reason`) is re-run, not skipped."""
     if not resume:
         return wanted
     remaining: List[str] = []
     for experiment_id in wanted:
         report_path = out / f"{experiment_id}.txt"
         if report_path.exists():
-            if report_path.stat().st_size > 0:
+            reason = stale_report_reason(report_path)
+            if reason is None:
                 print(f"[{experiment_id} already done, skipping]\n")
                 continue
-            print(f"[{experiment_id} report is empty (stale partial "
-                  f"write); re-running]")
+            print(f"[{experiment_id} report is {reason}; re-running]")
         remaining.append(experiment_id)
     return remaining
 
@@ -329,6 +384,11 @@ def _run(args: argparse.Namespace, telemetry: RunTelemetry) -> int:
         warmup_fraction=args.warmup_fraction,
     )
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if args.journal is not None and args.no_cache:
+        print("--journal requires the result cache (drop --no-cache): "
+              "the journal records digests, the cache holds the results",
+              file=sys.stderr)
+        return 2
     nodes = None
     if args.nodes:
         nodes = [u.strip() for u in args.nodes.split(",") if u.strip()]
@@ -338,7 +398,8 @@ def _run(args: argparse.Namespace, telemetry: RunTelemetry) -> int:
     if args.config is not None:
         with farm_session(jobs=1, cache=cache, no_cache=args.no_cache,
                           telemetry=telemetry, engine=args.engine,
-                          energy=args.energy, nodes=nodes):
+                          energy=args.energy, nodes=nodes,
+                          journal=args.journal):
             print(run_custom_config(args.config, scale))
         if args.manifest is not None:
             telemetry.write_manifest(args.manifest)
@@ -394,6 +455,8 @@ def _run(args: argparse.Namespace, telemetry: RunTelemetry) -> int:
                 "chart": args.chart,
                 "engine": args.engine,
                 "energy": args.energy,
+                "journal": (None if args.journal is None
+                            else str(args.journal)),
             } for experiment_id in wanted]
 
             def collect(index: int, value: Dict[str, Any]) -> None:
@@ -411,7 +474,8 @@ def _run(args: argparse.Namespace, telemetry: RunTelemetry) -> int:
         else:
             with farm_session(jobs=1, cache=cache, no_cache=args.no_cache,
                               telemetry=telemetry, engine=args.engine,
-                              energy=args.energy, nodes=nodes):
+                              energy=args.energy, nodes=nodes,
+                              journal=args.journal):
                 for experiment_id in wanted:
                     if latch.triggered:
                         interrupted = True

@@ -241,6 +241,57 @@ class ResultCache:
 
     # ------------------------------------------------------------- management
 
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where :meth:`scrub` moves corrupt entries (outside the
+        ``*.json`` glob, so quarantined files can never be served)."""
+        return self.root / "quarantine"
+
+    def scrub(self, quarantine: bool = True) -> Dict[str, Any]:
+        """Proactively verify every entry's checksum; corrupt entries are
+        moved into ``quarantine/`` (or unlinked with ``quarantine=False``).
+
+        ``get`` already detects corruption lazily — but only for keys
+        that are asked for again, and it *deletes* the evidence.  A scrub
+        walks the whole cache up front and preserves the bad bytes for a
+        post-mortem.  Safe against concurrent readers/writers/collectors
+        the same way :meth:`gc` is: a file vanishing mid-walk is skipped.
+
+        Returns a summary dict: ``checked``, ``ok``, ``corrupt``,
+        ``quarantined``, ``removed``, ``quarantine_dir``.
+        """
+        checked = ok = corrupt = quarantined = removed = 0
+        for path in self._entry_paths():
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                continue  # vanished under us (concurrent gc/clear): skip
+            checked += 1
+            if self._verify(blob, path.stem, path) is not None:
+                ok += 1
+                continue
+            corrupt += 1
+            self.corrupt_dropped += 1
+            try:
+                if quarantine:
+                    self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+                    os.replace(path, self.quarantine_dir / path.name)
+                    quarantined += 1
+                else:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                pass
+        return {
+            "root": str(self.root),
+            "checked": checked,
+            "ok": ok,
+            "corrupt": corrupt,
+            "quarantined": quarantined,
+            "removed": removed,
+            "quarantine_dir": str(self.quarantine_dir),
+        }
+
     def entries(self) -> Iterator[Tuple[Path, Dict[str, Any]]]:
         """Yield ``(path, meta)`` for every readable entry."""
         for path in self._entry_paths():

@@ -7,6 +7,8 @@ Usage::
     repro-farm gc --max-age-days 30      # drop stale entries
     repro-farm gc --keep 1000            # keep only the newest 1000
     repro-farm clear                     # drop everything
+    repro-farm scrub                     # verify checksums, quarantine
+    repro-farm scrub --remove            # ... or delete corrupt entries
 
 The cache root is ``--cache-dir``, else ``$REPRO_FARM_CACHE``, else
 ``~/.cache/repro-farm``.
@@ -47,6 +49,15 @@ def build_parser() -> argparse.ArgumentParser:
                     help="keep only the newest N entries")
 
     sub.add_parser("clear", help="drop every cache entry")
+
+    scrub = sub.add_parser(
+        "scrub", help="verify every entry's checksum; corrupt entries "
+                      "are quarantined (get only finds corruption lazily)")
+    scrub.add_argument("--remove", action="store_true",
+                       help="delete corrupt entries instead of moving "
+                            "them into quarantine/")
+    scrub.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON")
     return parser
 
 
@@ -89,6 +100,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         removed = cache.clear()
         print(f"removed {removed} entr{'y' if removed == 1 else 'ies'}")
         return 0
+    if args.command == "scrub":
+        summary = cache.scrub(quarantine=not args.remove)
+        if args.json:
+            print(json.dumps(summary, indent=1))
+        else:
+            disposal = (f"{summary['removed']} removed" if args.remove
+                        else f"{summary['quarantined']} quarantined into "
+                             f"{summary['quarantine_dir']}")
+            print(f"scrubbed {summary['checked']} entries: "
+                  f"{summary['ok']} ok, {summary['corrupt']} corrupt "
+                  f"({disposal})")
+        return 1 if summary["corrupt"] else 0
     return 2  # pragma: no cover - argparse enforces the choices
 
 

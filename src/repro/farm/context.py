@@ -47,6 +47,15 @@ class FarmContext:
     #: workers.  Typed loosely so ``repro.farm`` never imports
     #: ``repro.grid`` at module load.
     dispatcher: Optional[Any] = None
+    #: Write-ahead run journal: a :class:`repro.durable.RunJournal`, a
+    #: journal file path, or a journal *directory* (each sweep inside the
+    #: session then gets its own content-addressed journal file, which is
+    #: what makes auto-resume work).  ``None`` = journaling off, with the
+    #: exact pre-durable code path.  Typed loosely so ``repro.farm``
+    #: never imports ``repro.durable`` at module load.
+    journal: Optional[Any] = None
+    #: Optional :class:`repro.durable.DurableSettings` for the session.
+    durable: Optional[Any] = None
 
 
 _STACK: List[FarmContext] = []
@@ -69,7 +78,9 @@ def farm_session(jobs: int = 1,
                  engine: str = DEFAULT_ENGINE,
                  energy: Optional[str] = None,
                  nodes: Optional[Sequence[str]] = None,
-                 grid_settings=None):
+                 grid_settings=None,
+                 journal=None,
+                 durable=None):
     """Activate a :class:`FarmContext` for the duration of the block.
 
     Args:
@@ -94,7 +105,19 @@ def farm_session(jobs: int = 1,
             closes.
         grid_settings: optional :class:`repro.grid.GridSettings`
             overriding the dispatcher's failure policy.
+        journal: write-ahead run journal (path, directory, or
+            :class:`repro.durable.RunJournal`): every sweep in the
+            session becomes crash-resumable exactly-once (see
+            :mod:`repro.durable`).  Requires caching to stay enabled.
+        durable: optional :class:`repro.durable.DurableSettings`
+            overriding lease/heartbeat/retry-budget timing.
     """
+    if journal is not None and no_cache:
+        from repro.errors import JournalError
+
+        raise JournalError(
+            "journal= requires the result cache: the journal records "
+            "digests, the cache holds the results (drop no_cache)")
     if no_cache:
         cache = None
     elif cache is None:
@@ -109,7 +132,8 @@ def farm_session(jobs: int = 1,
                                     cache=cache, telemetry=telemetry)
     ctx = FarmContext(jobs=jobs, cache=cache, telemetry=telemetry,
                       task_timeout=task_timeout, retries=retries,
-                      engine=engine, energy=energy, dispatcher=dispatcher)
+                      engine=engine, energy=energy, dispatcher=dispatcher,
+                      journal=journal, durable=durable)
     _STACK.append(ctx)
     try:
         yield ctx

@@ -149,7 +149,9 @@ def run_points(specs: Sequence[PointSpec],
                retries: int = 1,
                on_point=None,
                stop_event=None,
-               dispatcher=None) -> List[SimStats]:
+               dispatcher=None,
+               journal=None,
+               durable=None) -> List[SimStats]:
     """Execute every point (cache first, then the pool); input order out.
 
     Args:
@@ -166,10 +168,22 @@ def run_points(specs: Sequence[PointSpec],
         dispatcher: a :class:`repro.grid.GridDispatcher`; when set, the
             whole call delegates to it (the dispatcher honors the same
             cache/telemetry/ordering contract, against its own session
-            handles) and every other execution knob is ignored.
+            handles) and every other execution knob is ignored — except
+            ``journal``/``durable``, which are forwarded.
+        journal: a :class:`repro.durable.RunJournal`, journal file path,
+            or journal directory; when set, the whole sweep runs under a
+            write-ahead journal (see :mod:`repro.durable`) and is
+            resumable exactly-once after a crash of any process,
+            including this one.  Requires ``cache``.
+        durable: optional :class:`repro.durable.DurableSettings`
+            overriding lease/heartbeat/retry-budget timing.
     """
     if dispatcher is not None:
-        return dispatcher.run_points(specs, on_point=on_point)
+        return dispatcher.run_points(specs, on_point=on_point,
+                                     journal=journal, durable=durable)
+    if journal is not None:
+        return _run_points_durable(specs, jobs, cache, telemetry, timeout,
+                                   on_point, stop_event, journal, durable)
     results: List[Optional[SimStats]] = [None] * len(specs)
     todo: List[int] = []
     keys: List[Optional[str]] = [None] * len(specs)
@@ -215,3 +229,97 @@ def run_points(specs: Sequence[PointSpec],
               on_result=finish,
               stop_event=stop_event)
     return results  # type: ignore[return-value]
+
+
+def _retry_reason(what: str) -> str:
+    return "lease_expired" if "lease expired" in what else "worker_crashed"
+
+
+def _run_points_durable(specs: Sequence[PointSpec], jobs, cache, telemetry,
+                        timeout, on_point, stop_event, journal,
+                        durable) -> List[SimStats]:
+    """The journaled twin of :func:`run_points`'s local path.
+
+    Same contract (cache first, input order out, callers cannot tell
+    silicon from disk) plus the WAL: recovery replays ``point_done``
+    records validated against the cache, every execution attempt is
+    journaled as a lease before it starts, every stored result is
+    journaled after the cache holds it, and the pool's heartbeat/lease
+    machinery feeds the journal's watchdog counters.  The per-point
+    retry budget comes from ``durable.max_point_retries`` and is counted
+    *across resumes* — the pool's own retry knob is slaved to it.
+    """
+    from repro.durable import DurableRun, DurableSettings
+
+    settings = durable if durable is not None else DurableSettings()
+    run = DurableRun(journal, cache, settings,
+                     registry=telemetry.registry if telemetry else None)
+    try:
+        recovered = run.begin(specs)
+        results: List[Optional[SimStats]] = [None] * len(specs)
+        todo: List[int] = []
+        for i, spec in enumerate(specs):
+            if on_point is not None:
+                on_point(spec.label)
+            hit = recovered.get(i)
+            if hit is None and i not in run.state.done:
+                # A cache entry with no done record is the signature of a
+                # crash between cache.put and the journal append — the
+                # result is durable, only the record is missing.
+                hit = cache.get(spec.key())
+                if hit is not None:
+                    run.done(i, hit)
+            if hit is not None:
+                results[i] = hit
+                if telemetry is not None:
+                    telemetry.record_point(spec.label, hit.instructions,
+                                           0.0, cached=True)
+                continue
+            todo.append(i)
+
+        parallel = jobs > 1
+
+        def on_start(j: int) -> None:
+            run.claim(todo[j])
+
+        def on_heartbeat(j: int) -> None:
+            run.heartbeat(todo[j])
+
+        def on_retry(j: int, what: str) -> None:
+            run.reclaim(todo[j], reason=_retry_reason(what))
+
+        def finish(j: int, value: Dict[str, Any]) -> None:
+            i = todo[j]
+            stats = SimStats.from_dict(value["stats"])
+            results[i] = stats
+            cache.put(specs[i].key(), stats, meta={
+                "label": specs[i].label,
+                "config": specs[i].config.name,
+                "instructions": stats.instructions,
+                "wall_s": round(value["wall_s"], 3),
+                "created_unix": int(time.time()),
+            })
+            run.done(i, stats)   # after the put: done asserts durability
+            if telemetry is not None:
+                telemetry.record_point(specs[i].label, stats.instructions,
+                                       value["wall_s"], cached=False)
+                if value.get("obs"):
+                    telemetry.registry.merge(value["obs"])
+
+        run_tasks(execute_point,
+                  [specs[i].payload() for i in todo],
+                  jobs=jobs,
+                  timeout=timeout,
+                  retries=settings.max_point_retries,
+                  labels=[specs[i].label for i in todo],
+                  on_result=finish,
+                  stop_event=stop_event,
+                  heartbeat_s=settings.heartbeat_s if parallel else None,
+                  lease_s=settings.lease_s if parallel else None,
+                  on_heartbeat=on_heartbeat if parallel else None,
+                  on_start=on_start,
+                  on_retry=on_retry)
+        run.seal()
+        return results  # type: ignore[return-value]
+    finally:
+        run.close()

@@ -20,10 +20,19 @@ Execution model:
 * a task function that *raises* fails fast with no retry — a deterministic
   exception would just raise again.
 
+Liveness (the durable layer's watchdog channel): when ``heartbeat_s`` is
+set, each child runs a daemon thread that sends ``("hb", t)`` over the
+same result pipe every beat.  When ``lease_s`` is also set, the parent
+declares a worker **stuck** — as opposed to merely *slow* — when its
+lease elapses with no heartbeat (a sleeping worker still beats; a
+SIGSTOPped or livelocked one cannot), SIGKILLs it, and retries under the
+same budget.  ``on_start``/``on_heartbeat`` let a caller (the journal
+driver) witness every attempt and every proof of life.
+
 When ``jobs <= 1`` or the platform cannot fork (Windows, some macOS
 configurations), the pool degrades to plain in-process execution with
-identical semantics except that timeouts are not enforced (there is no
-process to kill).
+identical semantics except that timeouts and leases are not enforced
+(there is no separate process to watch or kill).
 
 Interruption is first-class:
 
@@ -43,15 +52,19 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.connection
 import signal
+import threading
 import time
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import FarmCancelled, FarmError
+from repro.errors import ConfigurationError, FarmCancelled, FarmError
 from repro.robust.signals import SignalDrain
 
 #: How long one scheduling-loop wait on the children's pipes may block.
 _POLL_SECONDS = 0.05
+
+#: How long a terminated child gets to die politely before SIGKILL.
+_TERM_GRACE_SECONDS = 2.0
 
 
 def fork_available() -> bool:
@@ -59,21 +72,39 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
-def _child(conn, fn: Callable[[Any], Any], payload: Any) -> None:
+def _child(conn, fn: Callable[[Any], Any], payload: Any,
+           heartbeat_s: Optional[float] = None) -> None:
     # The fork inherits the parent's latched SIGINT/SIGTERM handlers
     # (SignalDrain); restore the defaults so ``terminate()`` and Ctrl-C
     # actually kill the child instead of being latched and ignored.
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
     signal.signal(signal.SIGINT, signal.SIG_DFL)
+    send_lock = threading.Lock()   # beat thread and main thread share conn
+    stop_beat = threading.Event()
+    if heartbeat_s is not None:
+        def _beat() -> None:
+            while not stop_beat.wait(heartbeat_s):
+                try:
+                    with send_lock:
+                        conn.send(("hb", time.monotonic()))
+                except OSError:
+                    return   # parent gone or pipe closed: nothing to prove
+
+        threading.Thread(target=_beat, name="pool-heartbeat",
+                         daemon=True).start()
     try:
         result = fn(payload)
     except BaseException as exc:  # report, don't crash: crashes mean retry
+        stop_beat.set()
         try:
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            with send_lock:
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
         finally:
             conn.close()
         return
-    conn.send(("ok", result))
+    stop_beat.set()
+    with send_lock:
+        conn.send(("ok", result))
     conn.close()
 
 
@@ -83,9 +114,11 @@ def _label(labels: Optional[Sequence[str]], index: int) -> str:
     return f"task {index}"
 
 
-def _run_serial(fn, payloads, labels, on_result) -> List[Any]:
+def _run_serial(fn, payloads, labels, on_result, on_start) -> List[Any]:
     results: List[Any] = []
     for index, payload in enumerate(payloads):
+        if on_start is not None:
+            on_start(index)
         try:
             result = fn(payload)
         except FarmError:
@@ -101,6 +134,33 @@ def _run_serial(fn, payloads, labels, on_result) -> List[Any]:
     return results
 
 
+def _validate_pool_params(jobs, timeout, retries, heartbeat_s, lease_s):
+    if timeout is not None and not timeout > 0:
+        raise ConfigurationError(
+            f"timeout must be positive (or None), got {timeout!r}: a "
+            "non-positive timeout kills every task before it starts")
+    if retries < 0:
+        raise ConfigurationError(
+            f"retries must be >= 0, got {retries!r}")
+    if heartbeat_s is not None and not heartbeat_s > 0:
+        raise ConfigurationError(
+            f"heartbeat_s must be positive (or None), got {heartbeat_s!r}")
+    if lease_s is not None:
+        if not lease_s > 0:
+            raise ConfigurationError(
+                f"lease_s must be positive (or None), got {lease_s!r}: a "
+                "zero/negative lease declares every worker stuck instantly")
+        if heartbeat_s is None:
+            raise ConfigurationError(
+                "lease_s without heartbeat_s would reap every worker at "
+                "the lease deadline: enable heartbeats or drop the lease")
+        if heartbeat_s > lease_s / 2:
+            raise ConfigurationError(
+                f"heartbeat_s ({heartbeat_s:g}) must be at most half of "
+                f"lease_s ({lease_s:g}); a lease needs several beats of "
+                "slack or healthy workers get reaped")
+
+
 def run_tasks(fn: Callable[[Any], Any],
               payloads: Sequence[Any],
               jobs: int = 1,
@@ -108,7 +168,12 @@ def run_tasks(fn: Callable[[Any], Any],
               retries: int = 1,
               labels: Optional[Sequence[str]] = None,
               on_result: Optional[Callable[[int, Any], None]] = None,
-              stop_event: Optional[Any] = None
+              stop_event: Optional[Any] = None,
+              heartbeat_s: Optional[float] = None,
+              lease_s: Optional[float] = None,
+              on_heartbeat: Optional[Callable[[int], None]] = None,
+              on_start: Optional[Callable[[int], None]] = None,
+              on_retry: Optional[Callable[[int, str], None]] = None
               ) -> List[Any]:
     """Run ``fn`` over every payload; results in payload order.
 
@@ -126,41 +191,73 @@ def run_tasks(fn: Callable[[Any], Any],
             every scheduling pass, parallel mode only); when set, workers
             are terminated and :class:`~repro.errors.FarmCancelled` is
             raised.
+        heartbeat_s: when set, each forked child proves liveness this
+            often over the result pipe.
+        lease_s: when set (requires ``heartbeat_s``), a worker whose
+            lease elapses with **no** heartbeat is declared stuck,
+            SIGKILLed, and retried under the same ``retries`` budget —
+            distinct from ``timeout``, which bounds total runtime of
+            even a healthy worker.
+        on_heartbeat: called as ``on_heartbeat(index)`` on every beat
+            (the durable layer renews journal leases here).
+        on_start: called as ``on_start(index)`` immediately before every
+            execution attempt of a task, including retries (the durable
+            layer journals ``point_claimed`` here; raising aborts the
+            run).
+        on_retry: called as ``on_retry(index, what)`` when an attempt is
+            abandoned — crashed, timed out, or lease-expired (``what``
+            says which) — whether or not budget remains (the durable
+            layer journals ``point_reclaimed`` here).
 
     Raises:
+        ConfigurationError: a parameter is out of range (checked up
+            front — misconfiguration must not surface hours into a run).
         FarmCancelled: ``stop_event`` was set mid-run.
         FarmError: a task raised, or crashed/timed out past its retry
             budget.  Outstanding workers are terminated before raising.
     """
+    _validate_pool_params(jobs, timeout, retries, heartbeat_s, lease_s)
     if not payloads:
         return []
     if jobs <= 1 or not fork_available():
-        return _run_serial(fn, payloads, labels, on_result)
+        return _run_serial(fn, payloads, labels, on_result, on_start)
     with SignalDrain() as drain:
         return _run_forked(fn, payloads, jobs, timeout, retries, labels,
-                           on_result, stop_event, drain)
+                           on_result, stop_event, drain, heartbeat_s,
+                           lease_s, on_heartbeat, on_start, on_retry)
 
 
 def _run_forked(fn, payloads, jobs, timeout, retries, labels, on_result,
-                stop_event, drain: SignalDrain) -> List[Any]:
+                stop_event, drain: SignalDrain, heartbeat_s, lease_s,
+                on_heartbeat, on_start, on_retry) -> List[Any]:
     ctx = multiprocessing.get_context("fork")
     results: List[Any] = [None] * len(payloads)
     pending = deque(range(len(payloads)))
     attempts: Dict[int, int] = {i: 0 for i in range(len(payloads))}
     # index -> (process, receiving pipe end, absolute deadline or None)
     active: Dict[int, Tuple[Any, Any, Optional[float]]] = {}
+    # index -> monotonic time of the last proof of life (start counts).
+    last_beat: Dict[int, float] = {}
 
     def _reap(index: int) -> None:
         proc, conn, _ = active.pop(index)
+        last_beat.pop(index, None)
         try:
             conn.close()
         except OSError:
             pass
         if proc.is_alive():
+            # terminate() is SIGTERM, which a SIGSTOPped (stuck) child
+            # never receives; escalate to SIGKILL rather than hang here.
             proc.terminate()
+            proc.join(_TERM_GRACE_SECONDS)
+            if proc.is_alive():
+                proc.kill()
         proc.join()
 
     def _retry_or_fail(index: int, what: str) -> None:
+        if on_retry is not None:
+            on_retry(index, what)
         attempts[index] += 1
         if attempts[index] > retries:
             raise FarmError(
@@ -180,15 +277,19 @@ def _run_forked(fn, payloads, jobs, timeout, retries, labels, on_result,
                 raise FarmCancelled("worker pool cancelled by caller")
             while pending and len(active) < jobs:
                 index = pending.popleft()
+                if on_start is not None:
+                    on_start(index)
                 recv, send = ctx.Pipe(duplex=False)
                 proc = ctx.Process(target=_child,
-                                   args=(send, fn, payloads[index]),
+                                   args=(send, fn, payloads[index],
+                                         heartbeat_s),
                                    daemon=True)
                 proc.start()
                 send.close()  # child holds the only writer now
                 deadline = (time.monotonic() + timeout
                             if timeout is not None else None)
                 active[index] = (proc, recv, deadline)
+                last_beat[index] = time.monotonic()
 
             ready = multiprocessing.connection.wait(
                 [conn for _, conn, _ in active.values()],
@@ -203,6 +304,11 @@ def _run_forked(fn, payloads, jobs, timeout, retries, labels, on_result,
                         _reap(index)
                         _retry_or_fail(index, "crashed mid-report")
                         continue
+                    if status == "hb":
+                        last_beat[index] = now
+                        if on_heartbeat is not None:
+                            on_heartbeat(index)
+                        continue
                     _reap(index)
                     if status != "ok":
                         raise FarmError(
@@ -214,6 +320,15 @@ def _run_forked(fn, payloads, jobs, timeout, retries, labels, on_result,
                 elif deadline is not None and now > deadline:
                     _reap(index)
                     _retry_or_fail(index, f"timed out after {timeout:g}s")
+                elif (lease_s is not None
+                      and now - last_beat.get(index, now) > lease_s):
+                    # Expired lease with no beat: *stuck*, not slow — a
+                    # slow worker would still be heartbeating.
+                    _reap(index)
+                    _retry_or_fail(
+                        index,
+                        f"went silent: lease expired after {lease_s:g}s "
+                        f"with no heartbeat (worker presumed stuck)")
                 elif not proc.is_alive() and not conn.poll():
                     code = proc.exitcode
                     _reap(index)

@@ -51,7 +51,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set
 import repro.obs as obs
 from repro.core.serialization import config_to_dict, profile_to_dict
 from repro.core.stats import SimStats
-from repro.errors import GridError, ServeError
+from repro.errors import ConfigurationError, GridError, ServeError
 from repro.farm.cache import ResultCache
 from repro.farm.points import PointSpec, execute_point
 from repro.farm.telemetry import RunTelemetry
@@ -103,6 +103,44 @@ class GridSettings:
     #: Degrade to local in-process execution when no backend is usable
     #: (disable only in tests that assert the error path).
     local_fallback: bool = True
+
+    def __post_init__(self):
+        positive = (
+            ("readmit_after_s", self.readmit_after_s),
+            ("probe_interval_s", self.probe_interval_s),
+            ("probe_timeout_s", self.probe_timeout_s),
+            ("request_timeout_s", self.request_timeout_s),
+            ("deadline_s", self.deadline_s),
+            ("attempt_budget_s", self.attempt_budget_s),
+            ("hedge_multiplier", self.hedge_multiplier),
+            ("hedge_min_s", self.hedge_min_s),
+        )
+        for name, value in positive:
+            if not value > 0:
+                raise ConfigurationError(
+                    f"GridSettings.{name} must be positive, got {value!r}")
+        if self.hedge_after_s is not None and not self.hedge_after_s > 0:
+            raise ConfigurationError(
+                f"GridSettings.hedge_after_s must be positive (or None "
+                f"for adaptive), got {self.hedge_after_s!r}")
+        if self.quarantine_after < 1:
+            raise ConfigurationError(
+                f"GridSettings.quarantine_after must be >= 1, got "
+                f"{self.quarantine_after!r}: a node needs at least one "
+                "failure before quarantine")
+        if self.max_remote_attempts < 1:
+            raise ConfigurationError(
+                f"GridSettings.max_remote_attempts must be >= 1, got "
+                f"{self.max_remote_attempts!r}: every point needs at "
+                "least one dispatch")
+        if self.max_hedges < 0:
+            raise ConfigurationError(
+                f"GridSettings.max_hedges must be >= 0, got "
+                f"{self.max_hedges!r}")
+        if self.inflight_per_node < 1:
+            raise ConfigurationError(
+                f"GridSettings.inflight_per_node must be >= 1, got "
+                f"{self.inflight_per_node!r}")
 
 
 class _Task:
@@ -191,6 +229,11 @@ class GridDispatcher:
             "duplicate completions discarded by reconciliation")
         self._attempt_latencies: List[float] = []
         self._lock = threading.Lock()
+        # Active DurableRun for the current run_points call (None when
+        # journaling is off); its own lock serializes worker-thread
+        # done/fail transitions against the supervisor's renewals.
+        self._durable = None
+        self._durable_lock = threading.Lock()
         self._started = False
         # Worker threads start with a fresh contextvar context, so the
         # caller's ambient trace is captured once per run_points and
@@ -225,7 +268,8 @@ class GridDispatcher:
     # ------------------------------------------------------------ main entry
 
     def run_points(self, specs: Sequence[PointSpec],
-                   on_point=None) -> List[SimStats]:
+                   on_point=None, journal=None,
+                   durable=None) -> List[SimStats]:
         """Execute every point (cache first, then the pool); input order
         out — the distributed twin of :func:`repro.farm.points.run_points`.
 
@@ -233,25 +277,63 @@ class GridDispatcher:
         pool cannot produce is simulated in-process.  Raises
         :class:`~repro.errors.GridError` only when fallback is disabled
         and a point exhausted every option.
+
+        With ``journal=`` the sweep runs under a write-ahead journal
+        (:mod:`repro.durable`): recovery skips cache-validated
+        ``point_done`` records, every todo point is leased before its
+        first dispatch, the supervisor renews leases while attempts are
+        in flight (hedging remains the slow-straggler answer; the lease
+        covers coordinator death), and completions are journaled *after*
+        the cache holds them.  Requires the dispatcher's cache.
         """
+        run = None
+        if journal is not None:
+            from repro.durable import DurableRun
+
+            run = DurableRun(journal, self.cache, durable,
+                             registry=self.metrics)
+        try:
+            return self._run_points(specs, on_point, run)
+        finally:
+            if run is not None:
+                run.close()
+                self._durable = None
+
+    def _run_points(self, specs: Sequence[PointSpec], on_point,
+                    run) -> List[SimStats]:
         results: List[Optional[SimStats]] = [None] * len(specs)
+        recovered = run.begin(specs) if run is not None else {}
+        self._durable = run
         tasks: List[_Task] = []
         for i, spec in enumerate(specs):
             if on_point is not None:
                 on_point(spec.label)
-            if self.cache is not None:
-                key = spec.key()
-                hit = self.cache.get(key)
-                if hit is not None:
-                    results[i] = hit
-                    self._m_points.labels("cached").inc()
-                    if self.telemetry is not None:
-                        self.telemetry.record_point(
-                            spec.label, hit.instructions, 0.0, cached=True)
-                    continue
+            hit = recovered.get(i)
+            if hit is None and self.cache is not None:
+                hit = self.cache.get(spec.key())
+                if hit is not None and run is not None:
+                    # Durable result with no done record (crash between
+                    # cache.put and the journal append): record it now.
+                    run.done(i, hit)
+            if hit is not None:
+                results[i] = hit
+                self._m_points.labels("cached").inc()
+                if self.telemetry is not None:
+                    self.telemetry.record_point(
+                        spec.label, hit.instructions, 0.0, cached=True)
+                continue
             tasks.append(_Task(i, spec))
         if not tasks:
+            if run is not None:
+                run.seal()
             return results  # type: ignore[return-value]
+        if run is not None:
+            # Lease every todo point up front — the claim is the record
+            # that lets a successor reclaim-and-redo after we die.  The
+            # budget check inside claim() is what stops a sweep that
+            # kills its coordinator deterministically.
+            for task in tasks:
+                run.claim(task.index)
 
         self.start()
         self._trace = obs.current_trace()
@@ -297,6 +379,8 @@ class GridDispatcher:
                        "(this is a bug: fallback should have caught it)",
                     label=task.spec.label)
             results[task.index] = task.result
+        if run is not None:
+            run.seal()
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------ scheduling
@@ -306,6 +390,16 @@ class GridDispatcher:
                    done_event: threading.Event) -> None:
         """Wait for completion, hedging stragglers as they appear."""
         while not done_event.wait(_TICK):
+            run = self._durable
+            if run is not None:
+                # The coordinator is alive and still working these
+                # points: extend their on-disk leases (rate-limited by
+                # the driver).  Stragglers stay the hedging loop's
+                # problem — a lease only expires when *we* die.
+                with self._durable_lock:
+                    for task in tasks:
+                        if not task.done:
+                            run.heartbeat(task.index)
             threshold = self._hedge_threshold()
             if threshold is None:
                 continue
@@ -484,9 +578,18 @@ class GridDispatcher:
             task_finished()
         self._m_points.labels("remote").inc()
         self._store(task, stats, wall_s, source="grid")
+        self._durable_done(task, stats)
         if self.telemetry is not None:
             self.telemetry.record_point(task.spec.label, stats.instructions,
                                         wall_s, cached=False)
+
+    def _durable_done(self, task: _Task, stats: SimStats) -> None:
+        """Journal a completion (after :meth:`_store`: the ``point_done``
+        record asserts the result is already durable in the cache)."""
+        run = self._durable
+        if run is not None:
+            with self._durable_lock:
+                run.done(task.index, stats)
 
     def _validate(self, task: _Task,
                   response: Dict[str, Any]) -> Optional[SimStats]:
@@ -572,6 +675,7 @@ class GridDispatcher:
             task_finished()
         self._m_points.labels("local").inc()
         self._store(task, stats, wall_s, source="grid-local")
+        self._durable_done(task, stats)
         if self.telemetry is not None:
             self.telemetry.record_point(task.spec.label, stats.instructions,
                                         wall_s, cached=False)
@@ -586,6 +690,10 @@ class GridDispatcher:
             task.done = True
             task.permanent_error = message
             task_finished()
+        run = self._durable
+        if run is not None:
+            with self._durable_lock:
+                run.fail(task.index, message)
 
     def _store(self, task: _Task, stats: SimStats, wall_s: float,
                source: str) -> None:

@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import os
 import random
+import signal
 import time
 from typing import Dict, Optional, Union
 
@@ -247,24 +248,36 @@ WORKER_FAULT_ENV = "REPRO_WORKER_FAULTS"
 
 
 def worker_fault_spec(crash: float = 0.0, stall: float = 0.0,
-                      stall_s: float = 30.0) -> str:
+                      stall_s: float = 30.0,
+                      freeze_once: str = "") -> str:
     """Render a :data:`WORKER_FAULT_ENV` value: per-attempt crash/stall
-    probabilities and the stall duration in seconds."""
-    return f"crash={crash:g},stall={stall:g},stall_s={stall_s:g}"
+    probabilities and the stall duration in seconds.  ``freeze_once`` is
+    a marker-file path: the first worker attempt to create it SIGSTOPs
+    itself — a deterministic *hang* (no heartbeats, unlike ``stall``,
+    whose sleeping worker still beats) for exercising lease watchdogs."""
+    spec = f"crash={crash:g},stall={stall:g},stall_s={stall_s:g}"
+    if freeze_once:
+        spec += f",freeze_once={freeze_once}"
+    return spec
 
 
-def parse_worker_faults(spec: str) -> Dict[str, float]:
+def parse_worker_faults(spec: str) -> Dict[str, object]:
     """Parse a fault spec; unknown or malformed fields are ignored (a typo
     in a chaos knob must never take down a production worker)."""
-    out = {"crash": 0.0, "stall": 0.0, "stall_s": 30.0}
+    out: Dict[str, object] = {"crash": 0.0, "stall": 0.0, "stall_s": 30.0,
+                              "freeze_once": ""}
     for field in spec.split(","):
         name, sep, value = field.partition("=")
         name = name.strip()
-        if sep and name in out:
-            try:
-                out[name] = float(value)
-            except ValueError:
-                pass
+        if not sep or name not in out:
+            continue
+        if name == "freeze_once":
+            out[name] = value.strip()
+            continue
+        try:
+            out[name] = float(value)
+        except ValueError:
+            pass
     return out
 
 
@@ -281,6 +294,20 @@ def maybe_worker_fault(label: str = "") -> None:
     if not spec:
         return
     faults = parse_worker_faults(spec)
+    marker = faults["freeze_once"]
+    if marker:
+        try:
+            # O_EXCL makes the marker a one-shot ticket: exactly one
+            # attempt across all workers wins it and hangs.
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except OSError:
+            pass  # already taken (or path bad): no freeze
+        else:
+            os.close(fd)
+            # A stopped process sends no heartbeats and ignores SIGTERM;
+            # only the pool's SIGKILL escalation can clear it — which is
+            # precisely the watchdog path under test.
+            os.kill(os.getpid(), signal.SIGSTOP)
     rng = random.SystemRandom()
     if faults["crash"] > 0 and rng.random() < faults["crash"]:
         os._exit(137)

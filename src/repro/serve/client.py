@@ -36,7 +36,7 @@ import urllib.request
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro.errors import ServeError
+from repro.errors import ConfigurationError, ServeError
 
 #: HTTP statuses worth retrying: shedding, draining, deadline expiry.
 RETRYABLE_STATUSES = frozenset({429, 502, 503, 504})
@@ -49,6 +49,19 @@ class RetryPolicy:
     max_attempts: int = 5
     base_delay_s: float = 0.1
     max_delay_s: float = 5.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts!r}: "
+                "every request needs at least one attempt")
+        if self.base_delay_s < 0:
+            raise ConfigurationError(
+                f"base_delay_s must be >= 0, got {self.base_delay_s!r}")
+        if self.max_delay_s < self.base_delay_s:
+            raise ConfigurationError(
+                f"max_delay_s ({self.max_delay_s!r}) must be >= "
+                f"base_delay_s ({self.base_delay_s!r})")
 
     def delay(self, attempt: int, rng: random.Random,
               retry_after: Optional[float] = None) -> float:
@@ -69,6 +82,14 @@ class CircuitBreaker:
 
     def __init__(self, failure_threshold: int = 5, cooldown_s: float = 5.0,
                  clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got "
+                f"{failure_threshold!r}: a breaker needs at least one "
+                "failure before opening")
+        if not cooldown_s > 0:
+            raise ConfigurationError(
+                f"cooldown_s must be positive, got {cooldown_s!r}")
         self.failure_threshold = failure_threshold
         self.cooldown_s = cooldown_s
         self._clock = clock

@@ -101,6 +101,40 @@ class ServeSettings:
     #: Spool directory for drain checkpoints (inline isolation).
     checkpoint_dir: Optional[Path] = None
     max_body_bytes: int = 1 << 20
+    #: Forked-worker liveness beat period (long-deadline requests only).
+    worker_heartbeat_s: float = 2.0
+    #: A forked worker whose deadline exceeds this must heartbeat; a
+    #: lease expiring with no beat means *stuck*, and the pool kills and
+    #: retries it instead of burning the whole request deadline.
+    worker_lease_s: float = 15.0
+
+    def __post_init__(self):
+        if self.queue_depth < 1:
+            raise ConfigurationError(
+                f"queue_depth must be >= 1, got {self.queue_depth!r}")
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers!r}")
+        if self.retries < 0:
+            raise ConfigurationError(
+                f"retries must be >= 0, got {self.retries!r}")
+        for name in ("default_deadline_s", "max_deadline_s",
+                     "drain_grace_s", "retry_after_s", "max_body_bytes",
+                     "worker_heartbeat_s", "worker_lease_s"):
+            value = getattr(self, name)
+            if not value > 0:
+                raise ConfigurationError(
+                    f"{name} must be positive, got {value!r}")
+        if self.worker_heartbeat_s > self.worker_lease_s / 2:
+            raise ConfigurationError(
+                f"worker_heartbeat_s ({self.worker_heartbeat_s:g}) must "
+                f"be at most half of worker_lease_s "
+                f"({self.worker_lease_s:g}); a lease needs several beats "
+                "of slack or healthy workers get reaped")
+        if self.isolation not in ("auto", "fork", "inline"):
+            raise ConfigurationError(
+                f"isolation must be 'auto', 'fork', or 'inline', got "
+                f"{self.isolation!r}")
 
     def effective_isolation(self) -> str:
         if self.isolation == "auto":
@@ -140,6 +174,9 @@ class Metrics:
         self._executor = self.registry.counter(
             "serve_executor_total", "executor outcomes",
             labels=("outcome",))
+        self._lease_renewals = self.registry.counter(
+            "serve_lease_renewals_total",
+            "forked-worker heartbeats observed on long-deadline requests")
         for name in _RESPONSE_CLASSES:
             self._responses.labels(name)
         for name in _EXECUTOR_OUTCOMES:
@@ -156,6 +193,9 @@ class Metrics:
 
     def count_executor(self, outcome: str) -> None:
         self._executor.labels(outcome).inc()
+
+    def count_lease_renewal(self) -> None:
+        self._lease_renewals.inc()
 
     def snapshot(self) -> Dict[str, Any]:
         by_endpoint = {}
@@ -526,12 +566,28 @@ class SimServer:
         # ``spec.key()`` over the pristine payload, so caching is unaffected.
         payload = dict(job.spec.payload())
         payload["obs_trace"] = job.trace.trace_id
+        # Long-deadline requests get worker-side lease renewal: the child
+        # heartbeats over the result pipe, and a beat-less lease expiry
+        # kills the stuck worker *now* instead of burning the rest of the
+        # request deadline on a process that will never answer.
+        lease = None
+        heartbeat = None
+        on_heartbeat = None
+        if remaining > self.settings.worker_lease_s:
+            lease = self.settings.worker_lease_s
+            heartbeat = self.settings.worker_heartbeat_s
+
+            def on_heartbeat(_index: int) -> None:
+                self.metrics.count_lease_renewal()
         value = run_tasks(execute_point, [payload],
                           jobs=2,  # parallel path: one child, killable
                           timeout=remaining,
                           retries=self.settings.retries,
                           labels=[job.spec.label],
-                          stop_event=job.stop)[0]
+                          stop_event=job.stop,
+                          heartbeat_s=heartbeat,
+                          lease_s=lease,
+                          on_heartbeat=on_heartbeat)[0]
         for record in value.get("trace_spans", ()):
             job.trace.add_record(record)
         if value.get("obs"):

@@ -1,0 +1,105 @@
+"""Proactive cache scrubbing: checksum every entry, quarantine the bad.
+
+``get`` already detects corruption lazily — but only for keys asked for
+again, and it deletes the evidence.  ``ResultCache.scrub`` (and
+``repro-farm scrub``) walks the whole cache up front and preserves
+corrupt entries in ``quarantine/`` for post-mortem.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.stats import SimStats
+from repro.farm.cache import ResultCache
+from repro.farm.cli import main
+from repro.robust.faults import FaultInjector
+
+
+def _stats(instructions=1000):
+    stats = SimStats()
+    stats.instructions = instructions
+    stats.cycles = instructions * 2
+    return stats
+
+
+def fill(cache, n=3):
+    keys = [f"{i:02x}" * 32 for i in range(n)]
+    for i, key in enumerate(keys):
+        cache.put(key, _stats(1000 + i), meta={"label": f"p{i}"})
+    return keys
+
+
+def test_scrub_clean_cache(tmp_path):
+    cache = ResultCache(tmp_path)
+    fill(cache)
+    summary = cache.scrub()
+    assert summary["checked"] == 3
+    assert summary["ok"] == 3
+    assert summary["corrupt"] == 0
+    assert not cache.quarantine_dir.exists()
+
+
+def test_scrub_quarantines_corrupt_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    keys = fill(cache)
+    FaultInjector().corrupt_file(cache.path_for(keys[1]))
+
+    summary = cache.scrub()
+    assert summary["corrupt"] == 1
+    assert summary["quarantined"] == 1
+    assert summary["ok"] == 2
+    # The bad bytes are preserved for post-mortem, outside the serving
+    # glob: a get() can never return them, and a re-scrub skips them.
+    assert not cache.path_for(keys[1]).exists()
+    assert (cache.quarantine_dir / f"{keys[1]}.json").exists()
+    assert cache.get(keys[1]) is None
+    assert cache.get(keys[0]) is not None
+    resummary = cache.scrub()
+    assert resummary["checked"] == 2 and resummary["corrupt"] == 0
+
+
+def test_scrub_remove_mode_deletes(tmp_path):
+    cache = ResultCache(tmp_path)
+    keys = fill(cache)
+    FaultInjector().corrupt_file(cache.path_for(keys[0]))
+    summary = cache.scrub(quarantine=False)
+    assert summary["removed"] == 1 and summary["quarantined"] == 0
+    assert not cache.path_for(keys[0]).exists()
+    assert not cache.quarantine_dir.exists()
+
+
+def test_scrub_catches_wrong_key_entry(tmp_path):
+    """An entry whose payload hashes fine but sits under the wrong file
+    name (e.g. a botched manual copy) is corruption too."""
+    cache = ResultCache(tmp_path)
+    keys = fill(cache, n=1)
+    blob = cache.path_for(keys[0]).read_bytes()
+    (tmp_path / ("ff" * 32 + ".json")).write_bytes(blob)
+    summary = cache.scrub()
+    assert summary["corrupt"] == 1
+
+
+def test_scrub_cli(tmp_path, capsys):
+    cache = ResultCache(tmp_path)
+    keys = fill(cache)
+    assert main(["--cache-dir", str(tmp_path), "scrub"]) == 0
+    assert "3 ok, 0 corrupt" in capsys.readouterr().out
+
+    FaultInjector().corrupt_file(cache.path_for(keys[2]))
+    assert main(["--cache-dir", str(tmp_path), "scrub"]) == 1
+    assert "1 corrupt (1 quarantined" in capsys.readouterr().out
+
+    code = main(["--cache-dir", str(tmp_path), "scrub", "--json"])
+    assert code == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["checked"] == 2 and summary["corrupt"] == 0
+
+
+def test_scrub_cli_remove(tmp_path, capsys):
+    cache = ResultCache(tmp_path)
+    keys = fill(cache, n=2)
+    FaultInjector().corrupt_file(cache.path_for(keys[0]))
+    assert main(["--cache-dir", str(tmp_path), "scrub", "--remove"]) == 1
+    assert "1 removed" in capsys.readouterr().out
+    assert not cache.quarantine_dir.exists()

@@ -1,0 +1,93 @@
+"""``--resume`` stale-report detection.
+
+The old check trusted any non-empty report file; a torn write, a
+NUL-padded block, invalid JSON, or a manifest from an older schema was
+"skipped" and crashed whoever read it later.  ``stale_report_reason``
+classifies those; ``_filter_resume`` re-runs them instead of skipping.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.runner import _filter_resume, stale_report_reason
+from repro.farm.telemetry import MANIFEST_MAGIC, MANIFEST_VERSION
+
+
+def test_complete_text_report_is_not_stale(tmp_path):
+    path = tmp_path / "fig5.txt"
+    path.write_text("== fig5 ==\nmiss rate vs cache size\n1024  0.12\n")
+    assert stale_report_reason(path) is None
+
+
+def test_missing_file_is_unreadable(tmp_path):
+    assert stale_report_reason(tmp_path / "nope.txt") == "unreadable"
+
+
+def test_empty_and_whitespace_reports_are_stale(tmp_path):
+    path = tmp_path / "fig5.txt"
+    path.write_text("")
+    assert "empty" in stale_report_reason(path)
+    path.write_text("   \n\n")
+    assert "empty" in stale_report_reason(path)
+
+
+def test_nul_padded_report_is_stale(tmp_path):
+    """The classic torn-write signature: a filesystem that lost power
+    mid-write leaves a block of NULs, which is not 'complete output'."""
+    path = tmp_path / "fig5.txt"
+    path.write_bytes(b"== fig5 ==\n1024  0.12\n" + b"\x00" * 512)
+    assert "NUL" in stale_report_reason(path)
+
+
+def test_invalid_utf8_is_stale(tmp_path):
+    path = tmp_path / "fig5.txt"
+    path.write_bytes(b"== fig5 ==\n\xff\xfe garbage")
+    assert "UTF-8" in stale_report_reason(path)
+
+
+def test_truncated_json_is_stale(tmp_path):
+    path = tmp_path / "fig5.txt"
+    path.write_text('{"magic": "repro-farm-manifest", "version": 1, "ev')
+    assert "JSON" in stale_report_reason(path)
+
+
+def test_manifest_schema_mismatch_is_stale(tmp_path):
+    path = tmp_path / "fig5.txt"
+    path.write_text(json.dumps({"magic": MANIFEST_MAGIC,
+                                "version": MANIFEST_VERSION + 1}))
+    assert "schema mismatch" in stale_report_reason(path)
+    path.write_text(json.dumps({"magic": "someone-elses-manifest",
+                                "version": MANIFEST_VERSION}))
+    assert "schema mismatch" in stale_report_reason(path)
+
+
+def test_valid_manifest_json_is_not_stale(tmp_path):
+    path = tmp_path / "fig5.txt"
+    path.write_text(json.dumps({"magic": MANIFEST_MAGIC,
+                                "version": MANIFEST_VERSION,
+                                "events": []}))
+    assert stale_report_reason(path) is None
+
+
+def test_plain_json_without_magic_is_not_stale(tmp_path):
+    # A JSON report that is not a manifest has no schema to mismatch.
+    path = tmp_path / "fig5.txt"
+    path.write_text('{"rows": [1, 2, 3]}')
+    assert stale_report_reason(path) is None
+
+
+def test_filter_resume_reruns_stale_skips_complete(tmp_path, capsys):
+    (tmp_path / "fig5.txt").write_text("== fig5 ==\ncomplete\n")
+    (tmp_path / "fig9.txt").write_text("")                # stale: empty
+    (tmp_path / "fig11.txt").write_bytes(b"x\x00\x00")    # stale: torn
+    wanted = ["fig5", "fig9", "fig11", "fig17"]           # fig17: no file
+
+    remaining = _filter_resume(wanted, tmp_path, resume=True)
+    assert remaining == ["fig9", "fig11", "fig17"]
+    out = capsys.readouterr().out
+    assert "fig5 already done" in out
+    assert "re-running" in out
+
+    # resume=False touches nothing.
+    assert _filter_resume(wanted, tmp_path, resume=False) == wanted
