@@ -5,6 +5,7 @@ diagnostics instead of tracebacks."""
 from __future__ import annotations
 
 import functools
+import os
 import sys
 
 
@@ -82,6 +83,12 @@ class ObsError(ReproError):
     malformed snapshot merge, or an unreadable event log)."""
 
 
+class FleetError(ReproError):
+    """The fleet telemetry plane could not do its job: an SLO file is
+    malformed, a benchmark trajectory file is missing or unreadable, or
+    exposition text failed strict validation."""
+
+
 class ServeError(ReproError):
     """The simulation service could not satisfy a request: the server
     rejected it, retries and the circuit breaker gave up, or the client's
@@ -117,5 +124,19 @@ def cli_errors(fn):
         except KeyboardInterrupt:
             print("interrupted", file=sys.stderr)
             return 130
+        except BrokenPipeError:
+            # Piped into `head` (or any reader that quit): die quietly
+            # like a well-behaved filter, 128 + SIGPIPE.  Redirect stdout
+            # to devnull so the interpreter's exit-time flush of the
+            # closed pipe doesn't raise a second time.
+            try:
+                devnull = os.open(os.devnull, os.O_WRONLY)
+                try:
+                    os.dup2(devnull, sys.stdout.fileno())
+                finally:
+                    os.close(devnull)
+            except (OSError, ValueError):
+                pass
+            return 141
 
     return wrapper

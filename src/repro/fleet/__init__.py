@@ -1,0 +1,58 @@
+"""repro.fleet — the fleet-wide telemetry plane.
+
+PRs 2–8 built the machinery that runs sweeps at scale (farm, serve,
+grid, durable journals, energy accounting); this subsystem watches all
+of it at once.  Four concerns, one package:
+
+* **Exposition** (:mod:`repro.fleet.prom`): every serve node already
+  renders Prometheus text format from its obs registry
+  (``GET /metrics?format=prometheus``); this module holds the *strict
+  parser/validator* the tests and CI use to prove that exposition is
+  well-formed — name grammar, TYPE discipline, bucket cumulativity,
+  exactly one ``+Inf`` per series.
+* **Aggregation** (:mod:`repro.fleet.collector`): a
+  :class:`~repro.fleet.collector.FleetCollector` scrapes every backend
+  through the grid's health-checked :class:`~repro.grid.nodes.NodeRegistry`,
+  merges the per-node registries with the lossless snapshot/merge the
+  farm already uses across process boundaries, and feeds a fixed-size
+  wall-clock-stamped time-series store (:mod:`repro.fleet.series`) with
+  delta/rate derivation.
+* **SLOs** (:mod:`repro.fleet.slo`): declarative objectives (latency
+  quantile ceilings, error-budget burn rates over multiple windows,
+  gauge and ratio bounds) evaluated against the collected series —
+  ``repro-fleet check`` exits non-zero on breach, CI-friendly.
+* **Dashboard + regression tracking** (:mod:`repro.fleet.dashboard`,
+  :mod:`repro.fleet.bench`): ``repro-fleet top`` renders the live fleet
+  (node health, journal-derived sweep progress, throughput, latency
+  percentiles, energy) as an ANSI TUI or ``--once --json``;
+  ``repro-fleet bench-diff`` compares a fresh benchmark run against the
+  committed ``BENCH_*.json`` trajectory and flags regressions beyond a
+  noise threshold.
+
+The plane is strictly read-side: scraping reuses ``/metrics``, sweep
+progress replays the durable journal without locking it, and nothing
+here runs unless asked — the simulator's disabled-mode speed floor is
+untouched.
+"""
+
+from __future__ import annotations
+
+from repro.fleet.bench import diff_trajectory, load_bench_file
+from repro.fleet.collector import FleetCollector, FleetSample
+from repro.fleet.prom import parse_exposition, validate_exposition
+from repro.fleet.series import RingBuffer, SeriesStore
+from repro.fleet.slo import SLO, evaluate_slos, load_slo_file
+
+__all__ = [
+    "FleetCollector",
+    "FleetSample",
+    "RingBuffer",
+    "SLO",
+    "SeriesStore",
+    "diff_trajectory",
+    "evaluate_slos",
+    "load_bench_file",
+    "load_slo_file",
+    "parse_exposition",
+    "validate_exposition",
+]

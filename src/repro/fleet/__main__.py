@@ -1,0 +1,8 @@
+"""``python -m repro.fleet`` — same entry point as ``repro-fleet``."""
+
+import sys
+
+from repro.fleet.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

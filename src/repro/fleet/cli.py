@@ -1,0 +1,222 @@
+"""``repro-fleet``: the fleet-wide telemetry CLI.
+
+Usage::
+
+    repro-fleet top --node URL [--node URL ...] [--journal-dir DIR]
+                    [--interval S] [--once] [--json]
+    repro-fleet check --slo slo.json --node URL [...] [--cycles N]
+                      [--interval S] [--json]
+    repro-fleet bench-diff COMMITTED FRESH [--threshold F]
+                           [--include-rates] [--json]
+    repro-fleet bench-diff --smoke [BENCH.json ...]
+
+``top`` is the live dashboard (ANSI repaint on a TTY, one plain frame
+with ``--once``; ``--once --json`` prints the full status document).
+``check`` collects a few cycles, evaluates the SLO file, prints a
+verdict per objective, and exits **1 on breach** — the CI shape.
+``bench-diff`` compares a fresh benchmark trajectory against the
+committed one (exit 1 on regression); ``--smoke`` self-diffs committed
+``BENCH_*.json`` files, proving the extractors still understand every
+trajectory shape without running a single benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import List, Optional
+
+from repro.errors import FleetError, cli_errors
+from repro.fleet.bench import (DEFAULT_THRESHOLD, diff_trajectory,
+                               load_bench_file)
+from repro.fleet.collector import FleetCollector
+from repro.fleet.dashboard import fleet_status, run_top
+from repro.fleet.slo import evaluate_slos, load_slo_file
+
+#: Trajectory files --smoke checks when none are named.
+SMOKE_DEFAULTS = ("BENCH_engine.json", "BENCH_farm.json",
+                  "BENCH_serve.json", "BENCH_obs.json")
+
+
+def _collector_from_args(args) -> FleetCollector:
+    if not args.node:
+        raise FleetError("name at least one backend with --node URL")
+    return FleetCollector(urls=args.node,
+                          journal_dir=args.journal_dir,
+                          interval_s=args.interval)
+
+
+def _cmd_top(args) -> int:
+    collector = _collector_from_args(args)
+    try:
+        run_top(collector, interval_s=args.interval,
+                iterations=1 if args.once else args.iterations,
+                as_json=args.json)
+    finally:
+        collector.close()
+    return 0
+
+
+def _cmd_check(args) -> int:
+    slos = load_slo_file(args.slo)
+    collector = _collector_from_args(args)
+    try:
+        for cycle in range(max(1, args.cycles)):
+            collector.collect()
+            if cycle + 1 < args.cycles:
+                time.sleep(args.interval)
+        verdict = evaluate_slos(slos, collector.store)
+    finally:
+        collector.close()
+    if args.json:
+        doc = {"verdict": verdict, "status": fleet_status(collector)}
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        for result in verdict["results"]:
+            marker = "PASS" if result["ok"] else "FAIL"
+            print(f"[{marker}] {result['name']} ({result['kind']}): "
+                  f"{result['detail']}")
+        print(f"{'OK' if verdict['ok'] else 'BREACH'}: "
+              f"{len(verdict['results'])} objective(s), "
+              f"{len(verdict['breached'])} breached")
+    return 0 if verdict["ok"] else 1
+
+
+def _print_diff(label: str, outcome) -> None:
+    for row in outcome["comparisons"]:
+        verdict = row["verdict"]
+        marker = {"ok": " ok ", "new": " new",
+                  "regressed": "FAIL", "missing": "GONE"}.get(verdict,
+                                                              verdict)
+        change = row.get("relative_change")
+        change_txt = (f"  ({change:+.1%})" if change is not None else "")
+        print(f"[{marker}] {label}:{row['key']} "
+              f"{row['committed']!r} -> {row['fresh']!r}{change_txt}")
+    for row in outcome["skipped"]:
+        print(f"[skip] {label}:{row['key']} "
+              f"{row['committed']!r} -> {row['fresh']!r} "
+              "(machine-bound rate; --include-rates to compare)")
+
+
+def _cmd_bench_diff(args) -> int:
+    if args.smoke:
+        paths = args.files or [p for p in SMOKE_DEFAULTS]
+        checked = 0
+        failed: List[str] = []
+        for path in paths:
+            try:
+                doc = load_bench_file(path)
+            except FleetError:
+                if args.files:
+                    raise  # explicitly named files must exist
+                continue  # default list: absent trajectories are fine
+            outcome = diff_trajectory(doc, doc,
+                                      threshold=args.threshold,
+                                      include_rates=True)
+            checked += 1
+            if not outcome["ok"]:
+                failed.append(path)
+            metrics = len(outcome["comparisons"])
+            print(f"[{'ok' if outcome['ok'] else 'FAIL'}] {path}: "
+                  f"{metrics} metric(s) self-diff clean")
+        if not checked:
+            raise FleetError("bench-diff --smoke found no trajectory "
+                             "files to check")
+        if failed:
+            print(f"FAIL: self-diff regressed in {', '.join(failed)}")
+            return 1
+        print(f"PASS: {checked} trajectory file(s) extract and "
+              "self-diff clean")
+        return 0
+    if len(args.files) != 2:
+        raise FleetError(
+            "bench-diff takes exactly COMMITTED and FRESH paths "
+            "(or --smoke)")
+    committed_path, fresh_path = args.files
+    outcome = diff_trajectory(load_bench_file(committed_path),
+                              load_bench_file(fresh_path),
+                              threshold=args.threshold,
+                              include_rates=args.include_rates)
+    if args.json:
+        print(json.dumps(outcome, indent=2, sort_keys=True))
+    else:
+        _print_diff(fresh_path, outcome)
+        if outcome["ok"]:
+            print(f"PASS: no regression beyond "
+                  f"{outcome['threshold']:.0%} vs {committed_path}")
+        else:
+            print(f"FAIL: regressed — {', '.join(outcome['regressions'])}")
+    return 0 if outcome["ok"] else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fleet",
+        description="Fleet dashboard, SLO checks, and benchmark-"
+                    "trajectory regression diffs.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_fleet_args(p) -> None:
+        p.add_argument("--node", action="append", default=[],
+                       help="backend base URL (repeatable)")
+        p.add_argument("--journal-dir", default=None,
+                       help="durable journal directory for sweep progress")
+        p.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between collection cycles "
+                            "(default %(default)s)")
+
+    top = sub.add_parser("top", help="live fleet dashboard")
+    add_fleet_args(top)
+    top.add_argument("--once", action="store_true",
+                     help="one frame, then exit")
+    top.add_argument("--json", action="store_true",
+                     help="emit the status document as JSON")
+    top.add_argument("--iterations", type=int, default=None,
+                     help=argparse.SUPPRESS)  # bounded loops in tests
+
+    check = sub.add_parser("check",
+                           help="evaluate SLOs; exit 1 on breach")
+    add_fleet_args(check)
+    check.add_argument("--slo", required=True,
+                       help="SLO spec file (JSON)")
+    check.add_argument("--cycles", type=int, default=2,
+                       help="collection cycles before evaluating "
+                            "(default %(default)s)")
+    check.add_argument("--json", action="store_true",
+                       help="emit verdict + status as JSON")
+
+    bench = sub.add_parser(
+        "bench-diff",
+        help="diff a fresh benchmark run against the committed "
+             "trajectory; exit 1 on regression")
+    bench.add_argument("files", nargs="*",
+                       help="COMMITTED FRESH (or trajectory files "
+                            "for --smoke)")
+    bench.add_argument("--threshold", type=float,
+                       default=DEFAULT_THRESHOLD,
+                       help="relative noise tolerance for portable "
+                            "ratios (default %(default)s)")
+    bench.add_argument("--include-rates", action="store_true",
+                       help="also compare machine-bound rates "
+                            "(pinned-hardware runners only)")
+    bench.add_argument("--smoke", action="store_true",
+                       help="self-diff committed trajectories to "
+                            "validate extractor coverage")
+    bench.add_argument("--json", action="store_true",
+                       help="emit the diff as JSON")
+    return parser
+
+
+@cli_errors
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return {"top": _cmd_top, "check": _cmd_check,
+            "bench-diff": _cmd_bench_diff}[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    import sys
+
+    sys.exit(main())

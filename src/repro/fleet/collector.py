@@ -1,0 +1,242 @@
+"""FleetCollector: scrape every node, merge registries, feed the series.
+
+One collection cycle (:meth:`FleetCollector.collect`):
+
+1. **Scrape** every backend through the grid's
+   :class:`~repro.grid.nodes.NodeRegistry` — the same health-checked,
+   breaker-guarded, retrying clients the dispatcher uses, so a node
+   that stops answering ``/metrics`` accrues quarantine strikes exactly
+   like one that stops answering ``/readyz``, and a quarantined node's
+   scrape doubles as its probation probe.
+2. **Merge** each node's ``obs`` snapshot (itself already the merge of
+   the node's service + farm-telemetry registries) into one fleet-wide
+   snapshot with :func:`~repro.obs.metrics.merge_snapshots` — the same
+   lossless counter-add/gauge-max/histogram-add fold the farm uses
+   across process boundaries, so per-node bucket counts survive intact
+   and fleet-wide quantiles stay honest.
+3. **Synthesize** per-node load gauges (``fleet_node_up``, queue depth
+   and capacity, in-flight, uptime, cache entries/bytes/hit counters)
+   labeled by node URL, plus ``fleet_nodes`` / ``fleet_nodes_healthy``,
+   from the scraped JSON's point-in-time fields — these are levels a
+   scraper cannot reconstruct from counters.
+4. **Ingest** the merged snapshot into a bounded
+   :class:`~repro.fleet.series.SeriesStore` stamped with wall-clock
+   time, from which the dashboard and SLO layers read rates, deltas and
+   windowed quantiles.
+5. Optionally **replay** durable run journals
+   (:func:`~repro.durable.journal.scan_journals`) for live sweep
+   progress — read-only, no locks taken, safe while a sweep is running.
+
+Local registries (a grid dispatcher's, an embedded server's) can ride
+along via ``extra_registries``; their snapshots join the same merge.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.durable.journal import scan_journals
+from repro.errors import FleetError
+from repro.grid.nodes import NodeRegistry
+from repro.obs.metrics import Registry, merge_snapshots
+from repro.fleet.series import SeriesStore
+
+
+class FleetSample:
+    """The outcome of one collection cycle."""
+
+    __slots__ = ("when", "nodes", "merged", "journals")
+
+    def __init__(self, when: float, nodes: List[Dict[str, Any]],
+                 merged: Dict[str, Any],
+                 journals: List[Dict[str, Any]]):
+        self.when = when
+        #: Per-node scrape outcome: url, ok, and the node's health row.
+        self.nodes = nodes
+        #: The fleet-wide merged registry snapshot.
+        self.merged = merged
+        #: Sweep progress per journal found in ``journal_dir``.
+        self.journals = journals
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"when": self.when, "nodes": self.nodes,
+                "merged": self.merged, "journals": self.journals}
+
+
+class FleetCollector:
+    """Periodic scraper + aggregator over a node registry.
+
+    Args:
+        registry: a live :class:`NodeRegistry` to scrape through; or
+            pass ``urls`` to have one built (probe poller **not**
+            started — the collector's scrapes provide the health signal).
+        urls: backend base URLs, used only when ``registry`` is omitted.
+        journal_dir: directory of durable run journals to replay for
+            sweep progress each cycle (optional).
+        extra_registries: local :class:`Registry` objects whose
+            snapshots join the fleet merge (a grid dispatcher's metrics,
+            for example).
+        store: inject a :class:`SeriesStore`; one is built otherwise.
+        capacity: ring capacity for the built-in store.
+        interval_s: background collection period for :meth:`start`.
+        clock: wall-clock source, injectable for tests.
+    """
+
+    def __init__(self, registry: Optional[NodeRegistry] = None,
+                 urls: Sequence[str] = (),
+                 journal_dir: Optional[str] = None,
+                 extra_registries: Sequence[Registry] = (),
+                 store: Optional[SeriesStore] = None,
+                 capacity: int = 240,
+                 interval_s: float = 2.0,
+                 clock: Callable[[], float] = time.time):
+        if registry is None:
+            if not urls:
+                raise FleetError(
+                    "FleetCollector needs a NodeRegistry or backend URLs")
+            registry = NodeRegistry(urls)
+        self.registry = registry
+        self.journal_dir = journal_dir
+        self.extra_registries = list(extra_registries)
+        self.store = store if store is not None else SeriesStore(
+            capacity=capacity, clock=clock)
+        self.interval_s = interval_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._last: Optional[FleetSample] = None
+        self._cycles = 0
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # -------------------------------------------------------------- one cycle
+
+    def _node_gauges(self, docs: Dict[str, Optional[Dict[str, Any]]]
+                     ) -> Registry:
+        """Per-node point-in-time load levels, labeled by node URL."""
+        synth = Registry()
+        up = synth.gauge("fleet_node_up",
+                         "1 when the node answered the last scrape",
+                         labels=("node",))
+        depth = synth.gauge("fleet_queue_depth",
+                            "admitted requests waiting on the node",
+                            labels=("node",))
+        capacity = synth.gauge("fleet_queue_capacity",
+                               "admission queue capacity", labels=("node",))
+        in_flight = synth.gauge("fleet_in_flight",
+                                "requests executing on the node",
+                                labels=("node",))
+        uptime = synth.gauge("fleet_node_uptime_seconds",
+                             "node process uptime", labels=("node",))
+        draining = synth.gauge("fleet_node_draining",
+                               "1 when the node is draining",
+                               labels=("node",))
+        entries = synth.gauge("fleet_cache_entries",
+                              "result-cache entries on the node",
+                              labels=("node",))
+        cache_bytes = synth.gauge("fleet_cache_bytes",
+                                  "result-cache bytes on the node",
+                                  labels=("node",))
+        hits = synth.gauge("fleet_cache_hits",
+                           "cache hits counted by the node process",
+                           labels=("node",))
+        misses = synth.gauge("fleet_cache_misses",
+                             "cache misses counted by the node process",
+                             labels=("node",))
+        for url, doc in docs.items():
+            up.labels(url).set(1.0 if doc is not None else 0.0)
+            if doc is None:
+                continue
+            queue_doc = doc.get("queue") or {}
+            depth.labels(url).set(float(queue_doc.get("depth", 0)))
+            capacity.labels(url).set(float(queue_doc.get("capacity", 0)))
+            in_flight.labels(url).set(float(queue_doc.get("in_flight", 0)))
+            uptime.labels(url).set(float(doc.get("uptime_s", 0.0)))
+            draining.labels(url).set(1.0 if doc.get("draining") else 0.0)
+            cache_doc = doc.get("cache")
+            if isinstance(cache_doc, dict):
+                entries.labels(url).set(float(cache_doc.get("entries", 0)))
+                cache_bytes.labels(url).set(float(cache_doc.get("bytes", 0)))
+                hits.labels(url).set(float(cache_doc.get("hits", 0)))
+                misses.labels(url).set(float(cache_doc.get("misses", 0)))
+        healthy = self.registry.healthy_count()
+        synth.gauge("fleet_nodes", "backends registered").set(
+            float(len(self.registry.nodes)))
+        synth.gauge("fleet_nodes_healthy",
+                    "backends not quarantined").set(float(healthy))
+        return synth
+
+    def collect(self) -> FleetSample:
+        """Run one scrape-merge-ingest cycle and return its sample."""
+        when = self._clock()
+        docs = self.registry.scrape_all()
+        synth = self._node_gauges(docs)
+        snapshots = [doc.get("obs") or {} for doc in docs.values()
+                     if doc is not None]
+        snapshots.append(synth.snapshot())
+        snapshots.extend(r.snapshot() for r in self.extra_registries)
+        merged = merge_snapshots(*snapshots)
+        self.store.ingest(merged, when)
+        health = {row["url"]: row for row in self.registry.snapshot()}
+        nodes = [{
+            "url": url,
+            "ok": doc is not None,
+            **health.get(url, {}),
+        } for url, doc in docs.items()]
+        journals: List[Dict[str, Any]] = []
+        if self.journal_dir is not None:
+            journals = scan_journals(self.journal_dir, now=when)
+        sample = FleetSample(when, nodes, merged, journals)
+        with self._lock:
+            self._last = sample
+            self._cycles += 1
+        return sample
+
+    # ------------------------------------------------------------------ reads
+
+    @property
+    def last(self) -> Optional[FleetSample]:
+        with self._lock:
+            return self._last
+
+    @property
+    def cycles(self) -> int:
+        with self._lock:
+            return self._cycles
+
+    def merged_snapshot(self) -> Dict[str, Any]:
+        """The most recent fleet-wide merged snapshot ({} before the
+        first cycle)."""
+        sample = self.last
+        return sample.merged if sample is not None else {}
+
+    # ------------------------------------------------------------- background
+
+    def start(self) -> None:
+        """Collect every ``interval_s`` on a daemon thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.is_set():
+                try:
+                    self.collect()
+                except Exception:  # a bad cycle must not kill the plane
+                    pass
+                self._stop.wait(self.interval_s)
+
+        self._thread = threading.Thread(target=loop, name="fleet-collector",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def close(self) -> None:
+        self.stop()
+        self.registry.stop()

@@ -1,0 +1,272 @@
+"""The live fleet dashboard: one status document, two renderings.
+
+:func:`fleet_status` distills a :class:`~repro.fleet.collector.FleetCollector`'s
+latest cycle into a single JSON-safe document — node health, sweep
+progress from the durable journals, windowed throughput split by
+source (simulated vs cache-served vs remote), latency percentiles,
+cache hit ratios, hedge/duplicate counts, and energy-per-instruction
+when the energy plane is on.  ``repro-fleet top --once --json`` emits
+exactly this document, so anything the TUI shows is scriptable.
+
+:func:`render_status` turns that document into an ANSI screen:
+
+.. code-block:: text
+
+    repro-fleet  .  3 cycles  .  2/2 nodes healthy
+    NODE                          STATE      INFLT  QUEUE  FAILS  BREAKER
+    http://127.0.0.1:8101         healthy        0    0/8      0  closed
+    http://127.0.0.1:8102         healthy        0    0/8      0  closed
+    SWEEP a4f0c9e2 (run r-12)     done 37/64  claimed 4  failed 1  todo 22
+    ...
+
+Rendering is pure string-building (no curses dependency): the ``top``
+loop repaints with cursor-home + clear-to-end escapes, degrades to
+plain text when the stream is not a TTY, and needs nothing beyond a
+VT100 terminal.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Any, Dict, IO, List, Optional
+
+from repro.fleet.collector import FleetCollector
+
+#: Window (seconds) over which rates and percentiles are derived.
+RATE_WINDOW_S = 60.0
+
+_RESET = "\x1b[0m"
+_BOLD = "\x1b[1m"
+_DIM = "\x1b[2m"
+_RED = "\x1b[31m"
+_GREEN = "\x1b[32m"
+_YELLOW = "\x1b[33m"
+
+
+def _fmt(value: Optional[float], unit: str = "", digits: int = 3) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.{digits}g}{unit}"
+
+
+def _source_rates(collector: FleetCollector, metric: str
+                  ) -> Dict[str, Optional[float]]:
+    """Per-label rates for a counter family labeled by source."""
+    out: Dict[str, Optional[float]] = {}
+    store = collector.store
+    for key in store.keys(metric):
+        try:
+            label = json.loads(key)
+        except ValueError:
+            label = [key]
+        name = label[0] if label else "(unlabeled)"
+        out[str(name)] = store.rate(metric, key, window_s=RATE_WINDOW_S)
+    return out
+
+
+def fleet_status(collector: FleetCollector) -> Dict[str, Any]:
+    """The dashboard document for the collector's most recent cycle."""
+    sample = collector.last
+    store = collector.store
+    nodes: List[Dict[str, Any]] = []
+    if sample is not None:
+        for row in sample.nodes:
+            breaker = row.get("breaker") or {}
+            nodes.append({
+                "url": row.get("url"),
+                "state": row.get("state"),
+                "scrape_ok": row.get("ok"),
+                "scrape_error": row.get("last_scrape_error"),
+                "in_flight": row.get("in_flight", 0),
+                "queue_depth": store.latest(
+                    "fleet_queue_depth",
+                    json.dumps([row.get("url")])),
+                "queue_capacity": store.latest(
+                    "fleet_queue_capacity",
+                    json.dumps([row.get("url")])),
+                "consecutive_failures": row.get("consecutive_failures", 0),
+                "failures_total": row.get("failures_total", 0),
+                "quarantines": row.get("quarantines", 0),
+                "breaker": breaker.get("state"),
+            })
+    hits = store.latest("fleet_cache_hits")
+    misses = store.latest("fleet_cache_misses")
+    lookups = (hits or 0.0) + (misses or 0.0)
+    latency = {
+        point: store.quantile_over_window(
+            "serve_request_seconds", q, window_s=RATE_WINDOW_S)
+        for point, q in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99))
+    }
+    energy_pj = store.delta("sim_energy_pj_total", window_s=RATE_WINDOW_S)
+    instructions = store.delta("sim_instructions_total",
+                               window_s=RATE_WINDOW_S)
+    epi = (energy_pj / instructions
+           if energy_pj and instructions else None)
+    return {
+        "when": sample.when if sample is not None else None,
+        "cycles": collector.cycles,
+        "nodes": nodes,
+        "nodes_healthy": collector.registry.healthy_count(),
+        "sweeps": list(sample.journals) if sample is not None else [],
+        "throughput": {
+            "points_per_s": _source_rates(collector, "farm_points_total"),
+            "grid_points_per_s": _source_rates(collector,
+                                               "grid_points_total"),
+            "instructions_per_s": store.rate("sim_instructions_total",
+                                             window_s=RATE_WINDOW_S),
+            "requests_per_s": store.rate("serve_requests_total",
+                                         window_s=RATE_WINDOW_S),
+        },
+        "latency_s": latency,
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / lookups) if lookups else None,
+        },
+        "grid": {
+            "hedges": store.latest("grid_hedges_total"),
+            "duplicates": store.latest("grid_duplicates_total"),
+        },
+        "energy": {
+            "pj_per_instruction": epi,
+            "pj_window": energy_pj,
+        },
+        "store": store.size(),
+    }
+
+
+def _paint(text: str, code: str, color: bool) -> str:
+    return f"{code}{text}{_RESET}" if color else text
+
+
+def render_status(doc: Dict[str, Any], color: bool = True) -> str:
+    """One full dashboard frame as text (ANSI-colored when asked)."""
+    lines: List[str] = []
+    healthy = doc.get("nodes_healthy", 0)
+    total = len(doc.get("nodes", []))
+    health = f"{healthy}/{total} nodes healthy"
+    health_code = _GREEN if healthy == total and total else _RED
+    lines.append("  ".join([
+        _paint("repro-fleet", _BOLD, color),
+        f"cycle {doc.get('cycles', 0)}",
+        _paint(health, health_code, color),
+    ]))
+    lines.append(_paint(
+        f"{'NODE':<32}{'STATE':<13}{'INFLT':>6}{'QUEUE':>9}"
+        f"{'FAILS':>7}  BREAKER", _DIM, color))
+    for node in doc.get("nodes", []):
+        state = node.get("state") or "?"
+        code = _GREEN if state == "healthy" and node.get("scrape_ok") \
+            else _RED
+        if state == "healthy" and not node.get("scrape_ok"):
+            state = "unscraped"
+            code = _YELLOW
+        depth = node.get("queue_depth")
+        capacity = node.get("queue_capacity")
+        queue = (f"{depth:.0f}/{capacity:.0f}"
+                 if depth is not None and capacity else "-")
+        lines.append(
+            f"{str(node.get('url', '?')):<32}"
+            f"{_paint(f'{state:<13}', code, color)}"
+            f"{node.get('in_flight', 0):>6}{queue:>9}"
+            f"{node.get('failures_total', 0):>7}  "
+            f"{node.get('breaker') or '-'}")
+    sweeps = doc.get("sweeps", [])
+    if sweeps:
+        lines.append(_paint("SWEEPS", _DIM, color))
+    for sweep in sweeps:
+        if "error" in sweep:
+            lines.append(_paint(
+                f"  {sweep.get('journal', '?')}: {sweep['error']}",
+                _RED, color))
+            continue
+        done = sweep.get("done", 0)
+        points = sweep.get("points", 0)
+        failed = sweep.get("failed", 0)
+        fail_txt = _paint(f"failed {failed}",
+                          _RED if failed else _DIM, color)
+        sealed = "sealed" if sweep.get("sealed") else "open"
+        leases = sweep.get("leases", [])
+        expired = sum(1 for l in leases if l.get("expired"))
+        lease_txt = f"leases {len(leases)}"
+        if expired:
+            lease_txt += _paint(f" ({expired} expired)", _YELLOW, color)
+        lines.append(
+            f"  run {str(sweep.get('run_id', '?'))[:20]:<20} "
+            f"done {done}/{points}  claimed {sweep.get('claimed', 0)}  "
+            f"todo {sweep.get('todo', 0)}  {fail_txt}  {lease_txt}  "
+            f"retries {sweep.get('retries', 0)}  {sealed}")
+    throughput = doc.get("throughput", {})
+    points_rates = {**throughput.get("points_per_s", {}),
+                    **throughput.get("grid_points_per_s", {})}
+    rate_txt = "  ".join(f"{name} {_fmt(rate, '/s')}"
+                         for name, rate in sorted(points_rates.items())
+                         if rate is not None) or "no point traffic"
+    lines.append(f"points   {rate_txt}")
+    lines.append(
+        f"load     requests {_fmt(throughput.get('requests_per_s'), '/s')}"
+        f"  instr {_fmt(throughput.get('instructions_per_s'), '/s')}")
+    latency = doc.get("latency_s", {})
+    lines.append(
+        f"latency  p50 {_fmt(latency.get('p50'), 's')}"
+        f"  p95 {_fmt(latency.get('p95'), 's')}"
+        f"  p99 {_fmt(latency.get('p99'), 's')}")
+    cache = doc.get("cache", {})
+    hit_rate = cache.get("hit_rate")
+    lines.append(
+        f"cache    hits {_fmt(cache.get('hits'), digits=6)}"
+        f"  misses {_fmt(cache.get('misses'), digits=6)}"
+        f"  hit-rate {_fmt(100 * hit_rate, '%') if hit_rate is not None else '-'}")
+    grid = doc.get("grid", {})
+    if grid.get("hedges") is not None or grid.get("duplicates") is not None:
+        lines.append(
+            f"grid     hedges {_fmt(grid.get('hedges'), digits=6)}"
+            f"  duplicates {_fmt(grid.get('duplicates'), digits=6)}")
+    energy = doc.get("energy", {})
+    if energy.get("pj_per_instruction") is not None:
+        lines.append(
+            f"energy   {_fmt(energy['pj_per_instruction'], ' pJ/instr')}")
+    size = doc.get("store", {})
+    lines.append(_paint(
+        f"series {size.get('series', 0)}  points {size.get('points', 0)}"
+        f"  ring-capacity {size.get('capacity', 0)}", _DIM, color))
+    return "\n".join(lines) + "\n"
+
+
+def run_top(collector: FleetCollector, interval_s: float = 2.0,
+            iterations: Optional[int] = None, as_json: bool = False,
+            stream: Optional[IO[str]] = None,
+            sleep=time.sleep) -> Dict[str, Any]:
+    """The ``repro-fleet top`` loop.
+
+    Collect, render, repaint; ``iterations=1`` is ``--once``.  Returns
+    the final status document (what ``--once --json`` prints).
+    """
+    if stream is None:
+        stream = sys.stdout
+    is_tty = bool(getattr(stream, "isatty", lambda: False)())
+    count = 0
+    doc: Dict[str, Any] = {}
+    try:
+        while True:
+            collector.collect()
+            doc = fleet_status(collector)
+            count += 1
+            if as_json:
+                stream.write(json.dumps(doc, indent=2, sort_keys=True)
+                             + "\n")
+            else:
+                frame = render_status(doc, color=is_tty)
+                if is_tty and (iterations is None or iterations > 1):
+                    stream.write("\x1b[H\x1b[2J" + frame)
+                else:
+                    stream.write(frame)
+            stream.flush()
+            if iterations is not None and count >= iterations:
+                break
+            sleep(interval_s)
+    except KeyboardInterrupt:
+        pass
+    return doc

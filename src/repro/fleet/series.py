@@ -1,0 +1,284 @@
+"""Fixed-size time series over registry snapshots: deltas, rates, windows.
+
+The obs registries are cumulative — a counter only ever says "N events
+since the process started".  A dashboard needs *flow*: points per
+second over the last 30 seconds, the latency p95 of the last minute,
+whether the failure counter moved since the previous scrape.  This
+module derives all of that from successive snapshots without keeping
+unbounded history:
+
+* :class:`RingBuffer` — a bounded deque of ``(unix_time, value)``
+  points; O(1) append, oldest point evicted at capacity.
+* :class:`SeriesStore` — one ring per ``(metric, label_key)`` series.
+  :meth:`SeriesStore.ingest` walks one merged registry snapshot and
+  appends a point per child (plus a ``"*"`` family-total series so
+  fleet-wide rates need no label arithmetic at read time).  Histograms
+  store the full ``(counts, sum, count)`` triple so *windowed*
+  quantiles — the distribution of only the observations that happened
+  inside the window — fall out of a bucket-wise subtraction.
+
+Counter resets (a node restarted, its cumulative counts went back to
+zero) are handled the way Prometheus ``rate()`` does: a decrease is
+treated as a restart from zero, so the delta never goes negative and a
+bounce costs at most the pre-restart tail, never a phantom negative
+rate.
+
+Memory is strictly bounded: ``capacity`` points per series, and the
+number of series is the number of distinct metric children the fleet
+exposes — no per-request growth.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import quantile_from_buckets
+
+#: The pseudo label-key under which each family's cross-child total is
+#: tracked ("every node, every label" in one series).
+FAMILY_TOTAL = "*"
+
+#: Default points kept per series.  At one scrape per second this is
+#: four minutes of history — enough for every window the SLO layer uses.
+DEFAULT_CAPACITY = 240
+
+
+class RingBuffer:
+    """Bounded ``(unix_time, value)`` history for one series."""
+
+    __slots__ = ("_points",)
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 2:
+            raise ValueError("a ring buffer needs capacity >= 2")
+        self._points: deque = deque(maxlen=capacity)
+
+    def append(self, when: float, value: Any) -> None:
+        self._points.append((float(when), value))
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def capacity(self) -> int:
+        return self._points.maxlen or 0
+
+    def latest(self) -> Optional[Tuple[float, Any]]:
+        return self._points[-1] if self._points else None
+
+    def oldest(self) -> Optional[Tuple[float, Any]]:
+        return self._points[0] if self._points else None
+
+    def points(self) -> List[Tuple[float, Any]]:
+        return list(self._points)
+
+    def window(self, seconds: float, now: Optional[float] = None
+               ) -> List[Tuple[float, Any]]:
+        """Points no older than ``seconds`` before ``now``, plus the one
+        point immediately *before* the window when one exists — deltas
+        across the window boundary need the pre-window baseline."""
+        if now is None:
+            now = time.time()
+        cutoff = now - seconds
+        inside: List[Tuple[float, Any]] = []
+        baseline: Optional[Tuple[float, Any]] = None
+        for point in self._points:
+            if point[0] >= cutoff:
+                inside.append(point)
+            else:
+                baseline = point
+        if baseline is not None:
+            inside.insert(0, baseline)
+        return inside
+
+
+def _monotonic_delta(older: float, newer: float) -> float:
+    """Counter delta with reset handling: a decrease means the process
+    restarted and recounted from zero, so the new value *is* the delta."""
+    if newer >= older:
+        return newer - older
+    return newer
+
+
+def _counts_delta(older: Sequence[float], newer: Sequence[float]
+                  ) -> List[int]:
+    """Bucket-wise monotonic delta between two cumulative count vectors
+    (reset handling per bucket, same rule as scalars)."""
+    out: List[int] = []
+    for i, new in enumerate(newer):
+        old = older[i] if i < len(older) else 0
+        out.append(int(_monotonic_delta(float(old), float(new))))
+    return out
+
+
+class SeriesStore:
+    """Ring-buffered history for every series in successive snapshots.
+
+    Thread-safe: the collector's background thread ingests while a
+    dashboard or SLO evaluation reads.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 clock: Callable[[], float] = time.time):
+        self._capacity = capacity
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._series: Dict[Tuple[str, str], RingBuffer] = {}
+        self._kinds: Dict[str, str] = {}
+        self._bounds: Dict[str, List[float]] = {}
+
+    # --------------------------------------------------------------- ingest
+
+    def ingest(self, snapshot: Dict[str, Any],
+               when: Optional[float] = None) -> None:
+        """Append one point per series from a registry snapshot."""
+        if when is None:
+            when = self._clock()
+        with self._lock:
+            for name, entry in snapshot.items():
+                kind = entry.get("type")
+                if kind not in ("counter", "gauge", "histogram"):
+                    continue
+                self._kinds[name] = kind
+                values = entry.get("values", {})
+                if kind == "histogram":
+                    self._bounds[name] = [
+                        float(b) for b in entry.get("buckets", ())]
+                    total_counts: Optional[List[int]] = None
+                    total_sum = 0.0
+                    total_count = 0
+                    for key, child in values.items():
+                        counts = [int(c) for c in child.get("counts", ())]
+                        triple = (counts, float(child.get("sum", 0.0)),
+                                  int(child.get("count", 0)))
+                        self._ring(name, key).append(when, triple)
+                        if total_counts is None:
+                            total_counts = [0] * len(counts)
+                        for i, c in enumerate(counts):
+                            if i < len(total_counts):
+                                total_counts[i] += c
+                        total_sum += triple[1]
+                        total_count += triple[2]
+                    if total_counts is not None:
+                        self._ring(name, FAMILY_TOTAL).append(
+                            when, (total_counts, total_sum, total_count))
+                else:
+                    total = 0.0
+                    for key, value in values.items():
+                        value = float(value)
+                        self._ring(name, key).append(when, value)
+                        total += value
+                    self._ring(name, FAMILY_TOTAL).append(when, total)
+
+    def _ring(self, name: str, key: str) -> RingBuffer:
+        """Lock held."""
+        ring = self._series.get((name, key))
+        if ring is None:
+            ring = self._series[(name, key)] = RingBuffer(self._capacity)
+        return ring
+
+    # ---------------------------------------------------------------- reads
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._kinds)
+
+    def kind(self, name: str) -> Optional[str]:
+        with self._lock:
+            return self._kinds.get(name)
+
+    def keys(self, name: str) -> List[str]:
+        """Label keys tracked for a metric (excluding the family total)."""
+        with self._lock:
+            return sorted(k for (n, k) in self._series
+                          if n == name and k != FAMILY_TOTAL)
+
+    def _points(self, name: str, key: str, window_s: Optional[float],
+                now: Optional[float]) -> List[Tuple[float, Any]]:
+        with self._lock:
+            ring = self._series.get((name, key))
+            if ring is None:
+                return []
+            if window_s is None:
+                return ring.points()
+            return ring.window(window_s, now)
+
+    def latest(self, name: str, key: str = FAMILY_TOTAL) -> Optional[Any]:
+        with self._lock:
+            ring = self._series.get((name, key))
+            point = ring.latest() if ring is not None else None
+        return point[1] if point is not None else None
+
+    def delta(self, name: str, key: str = FAMILY_TOTAL,
+              window_s: Optional[float] = None,
+              now: Optional[float] = None) -> Optional[float]:
+        """Counter growth across the window (reset-safe); ``None`` with
+        fewer than two points."""
+        points = self._points(name, key, window_s, now)
+        if len(points) < 2:
+            return None
+        return _monotonic_delta(float(points[0][1]), float(points[-1][1]))
+
+    def rate(self, name: str, key: str = FAMILY_TOTAL,
+             window_s: Optional[float] = None,
+             now: Optional[float] = None) -> Optional[float]:
+        """Per-second rate across the window; ``None`` with fewer than
+        two points or zero elapsed time."""
+        points = self._points(name, key, window_s, now)
+        if len(points) < 2:
+            return None
+        elapsed = points[-1][0] - points[0][0]
+        if elapsed <= 0:
+            return None
+        return _monotonic_delta(float(points[0][1]),
+                                float(points[-1][1])) / elapsed
+
+    def quantile_over_window(self, name: str, q: float,
+                             key: str = FAMILY_TOTAL,
+                             window_s: Optional[float] = None,
+                             now: Optional[float] = None
+                             ) -> Optional[float]:
+        """Quantile of only the observations made inside the window —
+        bucket-wise delta between the window's edge snapshots.  Falls
+        back to the all-time distribution when only one point exists."""
+        bounds = self._bounds.get(name)
+        if bounds is None:
+            return None
+        points = self._points(name, key, window_s, now)
+        if not points:
+            return None
+        newest = points[-1][1]
+        if len(points) == 1:
+            counts = [int(c) for c in newest[0]]
+        else:
+            counts = _counts_delta(points[0][1][0], newest[0])
+        return quantile_from_buckets(bounds, counts, q)
+
+    def histogram_stats(self, name: str, key: str = FAMILY_TOTAL,
+                        window_s: Optional[float] = None,
+                        now: Optional[float] = None
+                        ) -> Optional[Dict[str, float]]:
+        """Windowed ``{"count", "sum", "mean"}`` for a histogram series."""
+        points = self._points(name, key, window_s, now)
+        if not points:
+            return None
+        newest = points[-1][1]
+        if len(points) == 1:
+            count = float(newest[2])
+            total = float(newest[1])
+        else:
+            oldest = points[0][1]
+            count = _monotonic_delta(float(oldest[2]), float(newest[2]))
+            total = _monotonic_delta(float(oldest[1]), float(newest[1]))
+        return {"count": count, "sum": total,
+                "mean": (total / count) if count else 0.0}
+
+    def size(self) -> Dict[str, int]:
+        """Bookkeeping for the dashboard: series and point counts."""
+        with self._lock:
+            return {"series": len(self._series),
+                    "points": sum(len(r) for r in self._series.values()),
+                    "capacity": self._capacity}

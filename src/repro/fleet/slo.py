@@ -1,0 +1,255 @@
+"""Declarative SLOs evaluated against the fleet's collected series.
+
+An SLO file is JSON — a list (or ``{"slos": [...]}``) of objective
+specs.  Four kinds:
+
+``quantile_max``
+    A latency ceiling: the windowed quantile of a histogram must stay
+    at or below ``max``.  ``{"kind": "quantile_max", "name": "p95-lat",
+    "metric": "serve_request_seconds", "q": 0.95, "max": 2.0,
+    "window_s": 300}``
+
+``burn_rate``
+    Error-budget burn with **multi-window** confirmation, the
+    SRE-workbook shape: the error fraction ``bad/total`` over a window,
+    divided by the budget ``1 - objective``, is the *burn rate* (1.0 =
+    spending the budget exactly at the sustainable pace).  The SLO
+    breaches only when the burn exceeds ``burn_max`` in **every**
+    window — the long window proves it is sustained, the short window
+    proves it is still happening, so a recovered blip does not page.
+    ``{"kind": "burn_rate", "name": "error-budget", "objective": 0.99,
+    "burn_max": 2.0, "windows_s": [300, 60],
+    "bad": {"metric": "serve_responses_total", "key": ["server_error"]},
+    "total": {"metric": "serve_responses_total"}}``
+
+``gauge_max`` / ``gauge_min``
+    A level bound on the latest value of a gauge (queue depth below
+    capacity, healthy-node count above zero).
+
+``ratio_max``
+    A windowed delta ratio bound (duplicate work below 10% of
+    dispatches, cache miss fraction, …) — same selectors as
+    ``burn_rate`` but compared directly against ``max``.
+
+Evaluation philosophy: **insufficient data is not a breach.**  A series
+that has not produced two points yet (fresh fleet, metric never
+incremented) evaluates ``ok`` with an explanatory ``detail`` — a CI
+check against a just-started fleet must not fail on emptiness.  A
+definite violation is the only thing that exits non-zero.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import FleetError
+from repro.fleet.series import FAMILY_TOTAL, SeriesStore
+
+KINDS = ("quantile_max", "burn_rate", "gauge_max", "gauge_min",
+         "ratio_max")
+
+#: Default evaluation windows for burn_rate (seconds): sustained + fresh.
+DEFAULT_WINDOWS_S = (300.0, 60.0)
+
+
+def _normalize_key(raw: Any) -> str:
+    """Accept a label-value list (``["server_error"]``), an encoded key
+    string, or nothing (family total)."""
+    if raw is None:
+        return FAMILY_TOTAL
+    if isinstance(raw, str):
+        return raw
+    if isinstance(raw, (list, tuple)):
+        return json.dumps([str(v) for v in raw])
+    raise FleetError(f"SLO selector key must be a list or string: {raw!r}")
+
+
+def _selector(spec: Any, field: str, slo_name: str) -> Tuple[str, str]:
+    if not isinstance(spec, dict) or "metric" not in spec:
+        raise FleetError(
+            f"SLO {slo_name!r}: {field} must be "
+            "{{\"metric\": ..., \"key\": [...]}}")
+    return str(spec["metric"]), _normalize_key(spec.get("key"))
+
+
+class SLO:
+    """One validated objective, ready to evaluate against a store."""
+
+    def __init__(self, spec: Dict[str, Any]):
+        if not isinstance(spec, dict):
+            raise FleetError(f"an SLO spec must be an object: {spec!r}")
+        self.name = str(spec.get("name", "")) or None
+        if not self.name:
+            raise FleetError(f"SLO without a name: {spec!r}")
+        self.kind = spec.get("kind")
+        if self.kind not in KINDS:
+            raise FleetError(
+                f"SLO {self.name!r}: unknown kind {self.kind!r} "
+                f"(one of {', '.join(KINDS)})")
+        self.spec = dict(spec)
+        # Validate eagerly so `repro-fleet check` fails fast on a typo
+        # rather than silently passing a never-evaluated objective.
+        if self.kind == "quantile_max":
+            self._require("metric", "max")
+            q = float(spec.get("q", 0.95))
+            if not 0.0 < q < 1.0:
+                raise FleetError(
+                    f"SLO {self.name!r}: q must be in (0, 1), got {q}")
+            self.q = q
+        elif self.kind in ("gauge_max", "gauge_min"):
+            self._require("metric",
+                          "max" if self.kind == "gauge_max" else "min")
+        elif self.kind == "burn_rate":
+            self._require("objective", "bad", "total")
+            objective = float(spec["objective"])
+            if not 0.0 < objective < 1.0:
+                raise FleetError(
+                    f"SLO {self.name!r}: objective must be in (0, 1)")
+            self.objective = objective
+            self.bad = _selector(spec["bad"], "bad", self.name)
+            self.total = _selector(spec["total"], "total", self.name)
+            self.burn_max = float(spec.get("burn_max", 1.0))
+            windows = spec.get("windows_s", DEFAULT_WINDOWS_S)
+            if not isinstance(windows, (list, tuple)) or not windows:
+                raise FleetError(
+                    f"SLO {self.name!r}: windows_s must be a non-empty "
+                    "list of seconds")
+            self.windows_s = tuple(float(w) for w in windows)
+        elif self.kind == "ratio_max":
+            self._require("max", "bad", "total")
+            self.bad = _selector(spec["bad"], "bad", self.name)
+            self.total = _selector(spec["total"], "total", self.name)
+
+    def _require(self, *fields: str) -> None:
+        for field in fields:
+            if field not in self.spec:
+                raise FleetError(
+                    f"SLO {self.name!r} ({self.kind}) requires "
+                    f"{field!r}")
+
+    # ------------------------------------------------------------- evaluation
+
+    def evaluate(self, store: SeriesStore,
+                 now: Optional[float] = None) -> Dict[str, Any]:
+        """One result row: ``ok`` (False only on a definite breach),
+        the measured value(s), the threshold, and a human detail."""
+        result: Dict[str, Any] = {"name": self.name, "kind": self.kind,
+                                  "ok": True, "detail": ""}
+        if self.kind == "quantile_max":
+            metric = str(self.spec["metric"])
+            key = _normalize_key(self.spec.get("key"))
+            window = float(self.spec.get("window_s", 300.0))
+            value = store.quantile_over_window(metric, self.q, key=key,
+                                               window_s=window, now=now)
+            ceiling = float(self.spec["max"])
+            result.update(value=value, threshold=ceiling)
+            if value is None:
+                result["detail"] = (f"no observations for {metric} "
+                                    "yet — not a breach")
+            elif value > ceiling:
+                result.update(ok=False, detail=(
+                    f"p{round(self.q * 100)} of {metric} is "
+                    f"{value:.6g}s, above the {ceiling:.6g}s ceiling"))
+            else:
+                result["detail"] = (
+                    f"p{round(self.q * 100)} of {metric} = {value:.6g}s")
+        elif self.kind in ("gauge_max", "gauge_min"):
+            metric = str(self.spec["metric"])
+            key = _normalize_key(self.spec.get("key"))
+            value = store.latest(metric, key)
+            result["value"] = value
+            if value is None:
+                result["detail"] = f"gauge {metric} not collected yet"
+            elif self.kind == "gauge_max":
+                ceiling = float(self.spec["max"])
+                result["threshold"] = ceiling
+                if float(value) > ceiling:
+                    result.update(ok=False, detail=(
+                        f"{metric} = {value:.6g}, above {ceiling:.6g}"))
+                else:
+                    result["detail"] = f"{metric} = {value:.6g}"
+            else:
+                floor = float(self.spec["min"])
+                result["threshold"] = floor
+                if float(value) < floor:
+                    result.update(ok=False, detail=(
+                        f"{metric} = {value:.6g}, below {floor:.6g}"))
+                else:
+                    result["detail"] = f"{metric} = {value:.6g}"
+        elif self.kind == "burn_rate":
+            burns: List[Optional[float]] = []
+            details: List[str] = []
+            for window in self.windows_s:
+                bad = store.delta(self.bad[0], self.bad[1],
+                                  window_s=window, now=now)
+                total = store.delta(self.total[0], self.total[1],
+                                    window_s=window, now=now)
+                if bad is None or total is None or total <= 0:
+                    burns.append(None)
+                    details.append(f"{window:g}s: no traffic")
+                    continue
+                fraction = bad / total
+                burn = fraction / (1.0 - self.objective)
+                burns.append(burn)
+                details.append(f"{window:g}s: burn {burn:.3g} "
+                               f"({bad:g}/{total:g} bad)")
+            result.update(value=burns, threshold=self.burn_max,
+                          detail="; ".join(details))
+            # Breach requires *every* window to confirm; a window with
+            # no data cannot confirm, so it vetoes the alert.
+            if burns and all(b is not None and b > self.burn_max
+                             for b in burns):
+                result["ok"] = False
+        elif self.kind == "ratio_max":
+            window = float(self.spec.get("window_s", 300.0))
+            bad = store.delta(self.bad[0], self.bad[1],
+                              window_s=window, now=now)
+            total = store.delta(self.total[0], self.total[1],
+                                window_s=window, now=now)
+            ceiling = float(self.spec["max"])
+            result["threshold"] = ceiling
+            if bad is None or total is None or total <= 0:
+                result.update(value=None,
+                              detail="no denominator traffic yet")
+            else:
+                ratio = bad / total
+                result["value"] = ratio
+                if ratio > ceiling:
+                    result.update(ok=False, detail=(
+                        f"{self.bad[0]}/{self.total[0]} = {ratio:.4g}, "
+                        f"above {ceiling:.4g}"))
+                else:
+                    result["detail"] = (
+                        f"{self.bad[0]}/{self.total[0]} = {ratio:.4g}")
+        return result
+
+
+def load_slo_file(path: str) -> List[SLO]:
+    """Parse and validate an SLO JSON file (raises FleetError)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except OSError as exc:
+        raise FleetError(f"cannot read SLO file {path}: {exc}") from exc
+    except ValueError as exc:
+        raise FleetError(f"SLO file {path} is not JSON: {exc}") from exc
+    if isinstance(doc, dict):
+        doc = doc.get("slos", doc)
+    if not isinstance(doc, list):
+        raise FleetError(
+            f"SLO file {path} must hold a list (or {{\"slos\": [...]}})")
+    slos = [SLO(spec) for spec in doc]
+    names = [s.name for s in slos]
+    if len(set(names)) != len(names):
+        raise FleetError(f"SLO file {path} repeats an SLO name")
+    return slos
+
+
+def evaluate_slos(slos: Sequence[SLO], store: SeriesStore,
+                  now: Optional[float] = None) -> Dict[str, Any]:
+    """Evaluate every SLO; ``ok`` is the conjunction."""
+    results = [slo.evaluate(store, now=now) for slo in slos]
+    return {"ok": all(r["ok"] for r in results),
+            "breached": [r["name"] for r in results if not r["ok"]],
+            "results": results}

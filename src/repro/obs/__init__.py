@@ -40,12 +40,16 @@ from repro.obs import runtime
 from repro.obs.chrome import export_chrome_trace, to_chrome_trace
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    PROMETHEUS_CONTENT_TYPE,
     Counter,
     Gauge,
     Histogram,
     Registry,
     global_registry,
+    histogram_quantiles,
     merge_snapshots,
+    quantile_from_buckets,
+    render_prometheus,
 )
 from repro.obs.sampler import DEFAULT_INTERVAL_CYCLES, Sampler
 from repro.obs.tracing import (

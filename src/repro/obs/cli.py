@@ -6,12 +6,16 @@ Usage::
     repro-obs timeline run.jsonl [--metric cpi|l1i_mr|l1d_mr|wb_stall_frac]
     repro-obs export run.jsonl --chrome-trace trace.json
     repro-obs diff before.jsonl after.jsonl
+    repro-obs metrics snapshot.json [--prometheus]
 
 ``summarize`` reports event counts, span wall-clock, and the sampled CPI
 range of a run; ``timeline`` draws the per-interval series with the shared
 ASCII plotter; ``export`` writes a ``chrome://tracing``-loadable file;
 ``diff`` compares two runs event class by event class — the quick answer to
-"why is this sweep point 10x slower than its neighbor".
+"why is this sweep point 10x slower than its neighbor".  ``metrics``
+renders a saved registry snapshot — a serve ``/metrics`` document, a farm
+manifest, or a bare :meth:`Registry.snapshot` dump — as a readable table
+or (``--prometheus``) as text exposition.
 """
 
 from __future__ import annotations
@@ -188,6 +192,66 @@ def _cmd_diff(args) -> int:
     return 0
 
 
+def extract_registry_snapshot(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Find the registry snapshot inside a saved JSON document.
+
+    Serve ``/metrics`` documents and farm manifests carry it under an
+    ``"obs"`` key; a bare :meth:`Registry.snapshot` dump *is* one.
+    """
+    if not isinstance(doc, dict):
+        raise ObsError("a metrics document must be a JSON object")
+    candidate = doc.get("obs", doc)
+    if not isinstance(candidate, dict) or not candidate:
+        raise ObsError("no registry snapshot found (empty or missing "
+                       "'obs' key)")
+    for name, entry in candidate.items():
+        if not (isinstance(entry, dict) and "type" in entry
+                and "values" in entry):
+            raise ObsError(
+                f"{name!r} is not a metric entry — is this a registry "
+                "snapshot (or a document with an 'obs' key)?")
+    return candidate
+
+
+def format_metrics_table(snapshot: Dict[str, Any]) -> str:
+    from repro.obs.metrics import histogram_quantiles
+
+    lines = [f"{'METRIC':<36}{'TYPE':<11}{'SERIES':>7}  VALUE"]
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        values = entry.get("values", {})
+        kind = entry.get("type", "?")
+        if kind == "histogram":
+            count = sum(int(v.get("count", 0)) for v in values.values())
+            total = sum(float(v.get("sum", 0.0)) for v in values.values())
+            quantiles = histogram_quantiles(entry)
+            p95 = quantiles.get("p95")
+            detail = (f"count {count}, sum {total:.6g}"
+                      + (f", p95 {p95:.6g}" if p95 is not None else ""))
+        else:
+            total = sum(float(v) for v in values.values())
+            detail = f"{total:.10g}"
+        lines.append(f"{name:<36}{kind:<11}{len(values):>7}  {detail}")
+    return "\n".join(lines)
+
+
+def _cmd_metrics(args) -> int:
+    from repro.obs.metrics import render_prometheus
+
+    try:
+        doc = json.loads(Path(args.snapshot).read_text())
+    except OSError as exc:
+        raise ObsError(f"cannot read {args.snapshot}: {exc}") from exc
+    except ValueError as exc:
+        raise ObsError(f"{args.snapshot} is not JSON: {exc}") from exc
+    snapshot = extract_registry_snapshot(doc)
+    if args.prometheus:
+        print(render_prometheus(snapshot), end="")
+    else:
+        print(format_metrics_table(snapshot))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-obs",
@@ -218,6 +282,16 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("other", type=Path, help="comparison JSONL event log")
     diff.add_argument("--all", action="store_true",
                       help="show unchanged rows too")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="render a saved registry snapshot (serve /metrics JSON, "
+             "farm manifest, or bare snapshot)")
+    metrics.add_argument("snapshot", type=Path,
+                         help="JSON document holding a registry snapshot")
+    metrics.add_argument("--prometheus", action="store_true",
+                         help="emit Prometheus text exposition instead "
+                              "of a table")
     return parser
 
 
@@ -226,7 +300,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     return {"summarize": _cmd_summarize, "timeline": _cmd_timeline,
-            "export": _cmd_export, "diff": _cmd_diff}[args.command](args)
+            "export": _cmd_export, "diff": _cmd_diff,
+            "metrics": _cmd_metrics}[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI

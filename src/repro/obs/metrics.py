@@ -24,6 +24,8 @@ tuple as a JSON array string so snapshots stay pure JSON.
 from __future__ import annotations
 
 import json
+import math
+import re
 import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -42,6 +44,62 @@ def _label_key(values: Tuple[str, ...]) -> str:
 
 def _parse_label_key(key: str) -> Tuple[str, ...]:
     return tuple(json.loads(key))
+
+
+#: The quantile points reported by snapshot(quantiles=True) and the fleet
+#: plane: median, tail, and far tail.
+QUANTILE_POINTS: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+def quantile_from_buckets(bounds: Sequence[float], counts: Sequence[int],
+                          q: float) -> Optional[float]:
+    """Coarse quantile estimate by linear interpolation within buckets.
+
+    ``counts`` are **per-bucket** (non-cumulative) tallies with one extra
+    trailing slot for the +Inf overflow, exactly the vector a
+    :class:`_HistogramChild` keeps.  Follows the Prometheus
+    ``histogram_quantile`` conventions: the first bucket's lower edge is 0
+    when its bound is positive, and a rank landing in the overflow bucket
+    answers the largest finite bound — nothing finer is known up there.
+
+    Returns ``None`` for an empty histogram (never NaN).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ObsError(f"quantile must be in [0, 1], got {q!r}")
+    total = sum(counts)
+    if total == 0:
+        return None
+    rank = q * total
+    cumulative = 0
+    largest_finite = max((b for b in bounds if math.isfinite(b)),
+                         default=0.0)
+    for i, bound in enumerate(bounds):
+        previous = cumulative
+        cumulative += counts[i]
+        if cumulative >= rank and counts[i]:
+            if not math.isfinite(bound):
+                return largest_finite
+            lower = bounds[i - 1] if i > 0 else min(0.0, bound)
+            if not math.isfinite(lower):
+                lower = min(0.0, bound)
+            fraction = (rank - previous) / counts[i]
+            return lower + (bound - lower) * fraction
+    return largest_finite
+
+
+def histogram_quantiles(entry: Dict[str, Any],
+                        qs: Sequence[float] = QUANTILE_POINTS
+                        ) -> Dict[str, Optional[float]]:
+    """Quantiles over **all** children of one histogram snapshot entry
+    (the fleet collector's view: children may come from many nodes)."""
+    bounds = [float(b) for b in entry.get("buckets", ())]
+    summed = [0] * (len(bounds) + 1)
+    for child in entry.get("values", {}).values():
+        for i, c in enumerate(child.get("counts", ())):
+            if i < len(summed):
+                summed[i] += int(c)
+    return {f"p{round(q * 100):d}": quantile_from_buckets(bounds, summed, q)
+            for q in qs}
 
 
 class _Metric:
@@ -203,6 +261,19 @@ class Histogram(_Metric):
         with self._lock:
             return sum(c._sum for c in self._children.values())
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Coarse quantile across every child (``None`` when empty)."""
+        with self._lock:
+            summed = [0] * (len(self.buckets) + 1)
+            for child in self._children.values():
+                for i, c in enumerate(child._counts):
+                    summed[i] += c
+        return quantile_from_buckets(self.buckets, summed, q)
+
+    def quantiles(self, qs: Sequence[float] = QUANTILE_POINTS
+                  ) -> Dict[str, Optional[float]]:
+        return {f"p{round(q * 100):d}": self.quantile(q) for q in qs}
+
 
 class _HistogramChild:
     __slots__ = ("_lock", "_bounds", "_counts", "_sum", "_count")
@@ -233,6 +304,12 @@ class _HistogramChild:
     @property
     def sum(self) -> float:
         return self._sum
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Coarse quantile for this child alone (``None`` when empty)."""
+        with self._lock:
+            counts = list(self._counts)
+        return quantile_from_buckets(self._bounds, counts, q)
 
 
 class Registry:
@@ -290,8 +367,15 @@ class Registry:
 
     # --------------------------------------------------------- snapshot/merge
 
-    def snapshot(self) -> Dict[str, Any]:
-        """JSON-safe dump of every metric (the merge/export format)."""
+    def snapshot(self, quantiles: bool = False) -> Dict[str, Any]:
+        """JSON-safe dump of every metric (the merge/export format).
+
+        ``quantiles=True`` adds a derived ``"quantiles"`` key (p50/p95/p99
+        per child) to histogram entries.  It is **opt-in** so the default
+        snapshot — the wire format forked workers ship and the legacy
+        ``/metrics`` JSON embeds — keeps its exact historical shape;
+        :meth:`merge` ignores the derived key either way.
+        """
         out: Dict[str, Any] = {}
         with self._lock:
             metrics = list(self._metrics.values())
@@ -317,8 +401,22 @@ class Registry:
                         _label_key(key): child._value
                         for key, child in metric._children.items()
                     }
+            if quantiles and metric.kind == "histogram":
+                entry["quantiles"] = {
+                    key: {
+                        point: quantile_from_buckets(
+                            entry["buckets"], value["counts"], q)
+                        for point, q in zip(("p50", "p95", "p99"),
+                                            QUANTILE_POINTS)
+                    }
+                    for key, value in entry["values"].items()
+                }
             out[metric.name] = entry
         return out
+
+    def prometheus(self) -> str:
+        """This registry in Prometheus text exposition format."""
+        return render_prometheus(self.snapshot())
 
     def merge(self, snapshot: Dict[str, Any]) -> None:
         """Fold a :meth:`snapshot` into this registry's live metrics.
@@ -377,6 +475,131 @@ def merge_snapshots(*snapshots: Dict[str, Any]) -> Dict[str, Any]:
         if snap:
             merged.merge(snap)
     return merged.snapshot()
+
+
+# ------------------------------------------------------- Prometheus exposition
+
+#: The Content-Type a Prometheus scraper expects for text exposition.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_PROM_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_PROM_LABEL_OK = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _prom_name(name: str) -> str:
+    """Force a metric or label name into the Prometheus grammar."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _prom_label_name(name: str) -> str:
+    cleaned = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _prom_escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _prom_escape_label(text: str) -> str:
+    return (text.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _prom_number(value: Any) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _prom_bound(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) and bound > 0 else _prom_number(bound)
+
+
+def _prom_labels(names: Sequence[str], values: Sequence[str],
+                 extra: Sequence[Tuple[str, str]] = ()) -> str:
+    pairs = [(_prom_label_name(n), v) for n, v in zip(names, values)]
+    pairs.extend(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{name}="{_prom_escape_label(value)}"'
+                     for name, value in pairs)
+    return "{" + inner + "}"
+
+
+def render_prometheus(snapshot: Dict[str, Any]) -> str:
+    """Render a registry :meth:`~Registry.snapshot` as Prometheus text
+    exposition (version 0.0.4).
+
+    * counters/gauges: one sample per labeled child, ``# HELP``/``# TYPE``
+      headers per family;
+    * histograms: cumulative ``_bucket`` samples with ``le`` labels, the
+      implicit ``+Inf`` bucket emitted **exactly once** even when the
+      declared bounds already end in infinity, plus ``_sum``/``_count``;
+    * an *empty* unlabeled histogram still renders a complete, valid
+      series (every bucket 0, ``_count`` 0 — never NaN), so a scraper sees
+      the family exist before the first observation;
+    * metric and label names outside the Prometheus grammar are sanitized,
+      help text and label values escaped.
+
+    Families render in sorted-name order, children in sorted label order,
+    so the exposition is deterministic — the property the fleet tests and
+    the bucket-cumulativity validator in :mod:`repro.fleet.prom` rely on.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        kind = entry.get("type")
+        if kind not in ("counter", "gauge", "histogram"):
+            raise ObsError(
+                f"snapshot metric {name!r} has unknown type {kind!r}")
+        pname = _prom_name(name)
+        label_names = [str(n) for n in entry.get("labels", ())]
+        help_text = entry.get("help", "")
+        if help_text:
+            lines.append(f"# HELP {pname} {_prom_escape_help(help_text)}")
+        lines.append(f"# TYPE {pname} {kind}")
+        values = entry.get("values", {})
+        children = sorted(values.items())
+        if kind in ("counter", "gauge"):
+            for key, value in children:
+                labels = _prom_labels(label_names, _parse_label_key(key))
+                lines.append(f"{pname}{labels} {_prom_number(value)}")
+            continue
+        bounds = [float(b) for b in entry.get("buckets", ())]
+        if not children and not label_names:
+            # Declared but never observed: render the zero series.
+            children = [(_label_key(()), {
+                "counts": [0] * (len(bounds) + 1), "sum": 0.0, "count": 0})]
+        for key, value in children:
+            label_values = _parse_label_key(key)
+            counts = [int(c) for c in value.get("counts", ())]
+            total = int(value.get("count", 0))
+            cumulative = 0
+            for i, bound in enumerate(bounds):
+                if math.isinf(bound) and bound > 0:
+                    continue  # folded into the single +Inf line below
+                cumulative += counts[i] if i < len(counts) else 0
+                labels = _prom_labels(label_names, label_values,
+                                      extra=(("le", _prom_bound(bound)),))
+                lines.append(f"{pname}_bucket{labels} {cumulative}")
+            labels = _prom_labels(label_names, label_values,
+                                  extra=(("le", "+Inf"),))
+            lines.append(f"{pname}_bucket{labels} {total}")
+            plain = _prom_labels(label_names, label_values)
+            lines.append(f"{pname}_sum{plain} "
+                         f"{_prom_number(value.get('sum', 0.0))}")
+            lines.append(f"{pname}_count{plain} {total}")
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 #: The process-global registry: core/farm instrumentation that has no

@@ -43,6 +43,7 @@ import json
 import queue
 import threading
 import time
+import urllib.parse
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -60,7 +61,12 @@ from repro.farm.cache import ResultCache
 from repro.farm.points import PointSpec, execute_point
 from repro.farm.pool import fork_available, run_tasks
 from repro.farm.telemetry import RunTelemetry
-from repro.obs.metrics import Registry, merge_snapshots
+from repro.obs.metrics import (
+    PROMETHEUS_CONTENT_TYPE,
+    Registry,
+    merge_snapshots,
+    render_prometheus,
+)
 from repro.obs.tracing import Trace, span
 from repro.robust.signals import SignalDrain
 from repro.serve.protocol import (
@@ -72,6 +78,9 @@ from repro.serve.protocol import (
 
 #: How often drain/worker loops poll their events, seconds.
 _TICK = 0.05
+
+#: Bound on the deduplicated recent-trace-ID window ``/metrics`` reports.
+RECENT_TRACES_MAX = 16
 
 
 @dataclass
@@ -177,6 +186,10 @@ class Metrics:
         self._lease_renewals = self.registry.counter(
             "serve_lease_renewals_total",
             "forked-worker heartbeats observed on long-deadline requests")
+        self._latency = self.registry.histogram(
+            "serve_request_seconds",
+            "request wall-clock seconds by endpoint",
+            labels=("endpoint",))
         for name in _RESPONSE_CLASSES:
             self._responses.labels(name)
         for name in _EXECUTOR_OUTCOMES:
@@ -196,6 +209,9 @@ class Metrics:
 
     def count_lease_renewal(self) -> None:
         self._lease_renewals.inc()
+
+    def observe_latency(self, endpoint: str, seconds: float) -> None:
+        self._latency.labels(endpoint).observe(seconds)
 
     def snapshot(self) -> Dict[str, Any]:
         by_endpoint = {}
@@ -424,9 +440,47 @@ class SimServer:
         return snapshot
 
     def _note_trace(self, trace_id: str) -> None:
+        # Deduplicated (a retried or hedged dispatch reuses one logical
+        # trace ID — it moves to the end instead of flooding the window)
+        # and bounded, so sustained load cannot grow this without limit.
         with self._recent_lock:
+            try:
+                self._recent_traces.remove(trace_id)
+            except ValueError:
+                pass
             self._recent_traces.append(trace_id)
-            del self._recent_traces[:-16]
+            del self._recent_traces[:-RECENT_TRACES_MAX]
+
+    def prometheus_body(self) -> str:
+        """The ``/metrics?format=prometheus`` document: the merged
+        service + telemetry registries plus the point-in-time load
+        gauges a scraper cannot derive from counters."""
+        gauges = Registry()
+        gauges.gauge("serve_queue_depth",
+                     "admitted requests waiting for an executor"
+                     ).set(self.queue.qsize())
+        gauges.gauge("serve_queue_capacity",
+                     "admission queue bound (beyond it requests shed)"
+                     ).set(self.settings.queue_depth)
+        gauges.gauge("serve_in_flight",
+                     "requests currently executing").set(self._in_flight)
+        gauges.gauge("serve_draining",
+                     "1 while a graceful drain is in progress"
+                     ).set(1.0 if self._draining else 0.0)
+        gauges.gauge("serve_uptime_seconds", "seconds since start").set(
+            round(time.monotonic() - self._started, 3))
+        if self.cache is not None:
+            stats = self.cache.stats()
+            gauges.gauge("serve_cache_entries",
+                         "entries in the content-addressed result cache"
+                         ).set(stats.get("entries", 0))
+            gauges.gauge("serve_cache_bytes",
+                         "bytes in the content-addressed result cache"
+                         ).set(stats.get("bytes", 0))
+        return render_prometheus(merge_snapshots(
+            self.metrics.registry.snapshot(),
+            self.telemetry.registry.snapshot(),
+            gauges.snapshot()))
 
     # -------------------------------------------------------------- admission
 
@@ -650,8 +704,13 @@ def _make_handler(server: SimServer):
         def _respond(self, status: int, body: Dict[str, Any],
                      headers: Optional[Dict[str, str]] = None) -> None:
             blob = (json.dumps(body) + "\n").encode("utf-8")
+            self._respond_bytes(status, blob, "application/json", headers)
+
+        def _respond_bytes(self, status: int, blob: bytes,
+                           content_type: str,
+                           headers: Optional[Dict[str, str]] = None) -> None:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(blob)))
             for name, value in (headers or {}).items():
                 self.send_header(name, value)
@@ -661,18 +720,33 @@ def _make_handler(server: SimServer):
             except (BrokenPipeError, ConnectionResetError):
                 pass  # client went away; nothing left to tell it
 
+        def _wants_prometheus(self, query: str) -> bool:
+            """Explicit ``?format=`` wins; otherwise an ``Accept`` header
+            that asks for ``text/plain`` (a Prometheus scraper's
+            preference) and not JSON selects exposition format."""
+            params = urllib.parse.parse_qs(query)
+            fmt = params.get("format", [""])[-1].lower()
+            if fmt == "prometheus":
+                return True
+            if fmt:          # explicit json (or anything else): legacy
+                return False
+            accept = self.headers.get("Accept", "")
+            return ("text/plain" in accept
+                    and "application/json" not in accept)
+
         # ------------------------------------------------------------ GET side
 
         def do_GET(self) -> None:  # noqa: N802 - stdlib API
             try:
-                if self.path == "/healthz":
+                path, _, query = self.path.partition("?")
+                if path == "/healthz":
                     server.metrics.hit("healthz")
                     self._respond(200, {
                         "ok": True,
                         "uptime_s": round(
                             time.monotonic() - server._started, 3),
                     })
-                elif self.path == "/readyz":
+                elif path == "/readyz":
                     server.metrics.hit("readyz")
                     # The status code is the contract (200 accepting,
                     # 503 draining); the body carries the load signals a
@@ -683,9 +757,15 @@ def _make_handler(server: SimServer):
                                                       **body))
                     else:
                         self._respond(200, {"ready": True, **body})
-                elif self.path == "/metrics":
+                elif path == "/metrics":
                     server.metrics.hit("metrics")
-                    self._respond(200, server.status_snapshot())
+                    if self._wants_prometheus(query):
+                        self._respond_bytes(
+                            200, server.prometheus_body().encode("utf-8"),
+                            PROMETHEUS_CONTENT_TYPE)
+                    else:
+                        # The legacy JSON document, shape untouched.
+                        self._respond(200, server.status_snapshot())
                 else:
                     server.metrics.hit("other")
                     self._respond(404, error_body(404, "unknown path"))
@@ -701,12 +781,15 @@ def _make_handler(server: SimServer):
                 self._respond(404, error_body(404, "unknown path"))
                 return
             server.metrics.hit("simulate")
+            started = time.monotonic()
             try:
                 status, body, headers = self._simulate()
             except Exception as exc:  # never a traceback on the wire
                 status, body, headers = 500, error_body(
                     500, f"{type(exc).__name__}: {exc}"), None
             server.metrics.count_response(status)
+            server.metrics.observe_latency("simulate",
+                                           time.monotonic() - started)
             self._respond(status, body, headers)
 
         def _simulate(self):

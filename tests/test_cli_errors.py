@@ -35,6 +35,44 @@ class TestDecorator:
         assert main([]) == 130
         assert "interrupted" in capsys.readouterr().err
 
+    def test_broken_pipe_is_quiet_141(self, capsys):
+        @cli_errors
+        def main(argv=None):
+            raise BrokenPipeError()
+
+        assert main([]) == 141
+        captured = capsys.readouterr()
+        assert "Traceback" not in captured.err
+
+    def test_piping_into_head_produces_no_traceback(self, tmp_path):
+        # End to end: a real CLI process whose stdout reader quits early
+        # must not die with a BrokenPipeError traceback.
+        import os
+        import subprocess
+        import sys
+
+        from pathlib import Path
+
+        from repro.obs.metrics import Registry
+
+        registry = Registry()
+        counter = registry.counter("rows_total", "rows", labels=("k",))
+        # Enough children that --prometheus output far exceeds a pipe
+        # buffer, so the writer is guaranteed to see EPIPE after head
+        # stops reading.
+        for i in range(4000):
+            counter.labels(f"{i:06d}" * 8).inc()
+        snapshot = tmp_path / "snap.json"
+        snapshot.write_text(json.dumps(registry.snapshot()))
+        root = Path(__file__).resolve().parents[1]
+        env = dict(os.environ, PYTHONPATH=str(root / "src"))
+        shell = (f"{sys.executable} -m repro.obs metrics {snapshot}"
+                 " --prometheus | head -c 8")
+        result = subprocess.run(["sh", "-c", shell], env=env,
+                                capture_output=True, text=True,
+                                cwd=str(root), timeout=60)
+        assert "Traceback" not in result.stderr, result.stderr
+
     def test_genuine_bugs_still_propagate(self):
         @cli_errors
         def main(argv=None):

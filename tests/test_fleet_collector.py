@@ -1,0 +1,236 @@
+"""FleetCollector and the dashboard over fake nodes: scraping through
+the health-checked registry, merging, synthesized gauges, journal
+progress, and status rendering."""
+
+import io
+import json
+import threading
+import time
+
+import pytest
+
+from repro.durable.journal import RunJournal
+from repro.errors import FleetError, ServeError
+from repro.fleet.collector import FleetCollector
+from repro.fleet.dashboard import fleet_status, render_status, run_top
+from repro.grid.nodes import NodeRegistry
+from repro.obs.metrics import Registry
+
+
+class FakeClient:
+    """A serve client double: /metrics documents from a live registry."""
+
+    def __init__(self, url):
+        self.url = url
+        self.registry = Registry()
+        self.fail = False
+        self.queue = {"capacity": 8, "depth": 2, "in_flight": 1}
+        self.cache = {"entries": 4, "bytes": 1024, "hits": 9, "misses": 1}
+
+    def metrics(self):
+        if self.fail:
+            raise ServeError("connection refused")
+        return {
+            "service": "repro-serve",
+            "uptime_s": 12.5,
+            "draining": False,
+            "queue": dict(self.queue),
+            "cache": dict(self.cache),
+            "obs": self.registry.snapshot(),
+        }
+
+    def readiness(self, timeout_s=None):
+        return (not self.fail), {}
+
+
+def make_collector(count=2, **kwargs):
+    clients = {}
+
+    def factory(url):
+        clients[url] = FakeClient(url)
+        return clients[url]
+
+    urls = [f"http://node{i}:80" for i in range(count)]
+    registry = NodeRegistry(urls, client_factory=factory,
+                            quarantine_after=3)
+    collector = FleetCollector(registry=registry, **kwargs)
+    return collector, [clients[u.url] for u in registry.nodes]
+
+
+class TestCollect:
+    def test_counters_merge_across_nodes(self):
+        collector, (a, b) = make_collector()
+        a.registry.counter("farm_points_total", labels=("source",)
+                           ).labels("simulated").inc(3)
+        b.registry.counter("farm_points_total", labels=("source",)
+                           ).labels("simulated").inc(4)
+        sample = collector.collect()
+        merged = sample.merged["farm_points_total"]["values"]
+        assert merged[json.dumps(["simulated"])] == 7
+
+    def test_synthesized_node_gauges_are_labeled_by_url(self):
+        collector, (a, _) = make_collector()
+        sample = collector.collect()
+        depth = sample.merged["fleet_queue_depth"]["values"]
+        assert depth[json.dumps([a.url])] == 2.0
+        up = sample.merged["fleet_node_up"]["values"]
+        assert set(up.values()) == {1.0}
+        assert sample.merged["fleet_nodes"]["values"][
+            json.dumps([])] == 2.0
+
+    def test_dead_node_scrapes_as_down_but_cycle_continues(self):
+        collector, (a, b) = make_collector()
+        b.fail = True
+        sample = collector.collect()
+        up = sample.merged["fleet_node_up"]["values"]
+        assert up[json.dumps([a.url])] == 1.0
+        assert up[json.dumps([b.url])] == 0.0
+        rows = {row["url"]: row for row in sample.nodes}
+        assert rows[a.url]["ok"] and not rows[b.url]["ok"]
+        assert rows[b.url]["last_scrape_error"]
+
+    def test_scrape_failures_feed_quarantine_accounting(self):
+        collector, (_, b) = make_collector()
+        b.fail = True
+        for _ in range(3):
+            collector.collect()
+        assert collector.registry.healthy_count() == 1
+
+    def test_store_accumulates_rates_across_cycles(self):
+        collector, (a, _) = make_collector()
+        counter = a.registry.counter("farm_points_total",
+                                     labels=("source",))
+        counter.labels("simulated").inc(10)
+        collector.collect()
+        counter.labels("simulated").inc(10)
+        collector.collect()
+        assert collector.store.delta("farm_points_total") == 10
+
+    def test_extra_registries_join_the_merge(self):
+        local = Registry()
+        local.counter("grid_hedges_total").inc(5)
+        collector, _ = make_collector(extra_registries=[local])
+        sample = collector.collect()
+        assert sample.merged["grid_hedges_total"]["values"][
+            json.dumps([])] == 5
+
+    def test_needs_a_registry_or_urls(self):
+        with pytest.raises(FleetError):
+            FleetCollector()
+
+    def test_background_loop_collects_and_stops(self):
+        collector, _ = make_collector(interval_s=0.05)
+        collector.start()
+        deadline = time.time() + 5.0
+        while collector.cycles < 2 and time.time() < deadline:
+            time.sleep(0.02)
+        collector.close()
+        assert collector.cycles >= 2
+
+
+class TestJournals:
+    def test_sweep_progress_rides_along(self, tmp_path):
+        keys = ["a" * 64, "b" * 64, "c" * 64]
+        journal = RunJournal(tmp_path / "run.wal")
+        journal.open_run(keys, ["p0", "p1", "p2"])
+        journal.append("point_claimed", index=0, key=keys[0], owner="w:1",
+                       lease_s=30.0, deadline_unix=time.time() + 30,
+                       attempt=1)
+        journal.append("point_done", index=0, key=keys[0],
+                       cache_key=keys[0], stats_sha256="ab" * 32)
+        journal.append("point_claimed", index=1, key=keys[1], owner="w:2",
+                       lease_s=30.0, deadline_unix=time.time() + 30,
+                       attempt=1)
+        journal.close()
+        collector, _ = make_collector(journal_dir=str(tmp_path))
+        sample = collector.collect()
+        assert len(sample.journals) == 1
+        progress = sample.journals[0]
+        assert progress["points"] == 3
+        assert progress["done"] == 1
+        assert progress["claimed"] == 1
+        assert progress["todo"] == 1
+
+
+class TestDashboard:
+    def test_status_document_shape(self):
+        collector, (a, _) = make_collector()
+        a.registry.histogram("serve_request_seconds",
+                             labels=("endpoint",)
+                             ).labels("simulate").observe(0.2)
+        collector.collect()
+        collector.collect()
+        doc = fleet_status(collector)
+        assert doc["cycles"] == 2
+        assert len(doc["nodes"]) == 2
+        assert doc["nodes_healthy"] == 2
+        assert doc["cache"]["hit_rate"] == pytest.approx(0.9)
+        assert "latency_s" in doc and "throughput" in doc
+
+    def test_render_mentions_nodes_and_health(self):
+        collector, _ = make_collector()
+        collector.collect()
+        text = render_status(fleet_status(collector), color=False)
+        assert "2/2 nodes healthy" in text
+        assert "http://node0:80" in text
+        assert "\x1b[" not in text  # color off means no escapes
+
+    def test_render_flags_down_nodes_in_color(self):
+        collector, (_, b) = make_collector()
+        b.fail = True
+        collector.collect()
+        # One failed scrape: not yet quarantined, shown as unscraped.
+        text = render_status(fleet_status(collector), color=True)
+        assert "unscraped" in text
+        assert "\x1b[33m" in text  # yellow warning
+        collector.collect()
+        collector.collect()  # third strike quarantines
+        text = render_status(fleet_status(collector), color=True)
+        assert "quarantined" in text
+        assert "\x1b[31m" in text  # now red
+
+    def test_run_top_once_json_emits_the_document(self):
+        collector, _ = make_collector()
+        stream = io.StringIO()
+        doc = run_top(collector, iterations=1, as_json=True,
+                      stream=stream)
+        parsed = json.loads(stream.getvalue())
+        assert parsed["cycles"] == doc["cycles"] == 1
+
+    def test_run_top_bounded_iterations(self):
+        collector, _ = make_collector()
+        stream = io.StringIO()
+        run_top(collector, interval_s=0.0, iterations=3, stream=stream,
+                sleep=lambda s: None)
+        assert collector.cycles == 3
+
+
+class TestConcurrentReads:
+    def test_reader_sees_consistent_totals_during_ingest(self):
+        """A dashboard reading while the collector ingests never sees a
+        torn rate or a lost increment (satellite: merge-under-read)."""
+        collector, (a, b) = make_collector()
+        counter_a = a.registry.counter("ev_total")
+        counter_b = b.registry.counter("ev_total")
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                value = collector.store.latest("ev_total")
+                if value is not None and (value < 0 or value != int(value)):
+                    errors.append(value)
+                fleet_status(collector)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        total = 0
+        for _ in range(30):
+            counter_a.inc(3)
+            counter_b.inc(4)
+            total += 7
+            collector.collect()
+        stop.set()
+        thread.join(timeout=10)
+        assert not errors
+        assert collector.store.latest("ev_total") == total

@@ -1,0 +1,184 @@
+"""The fleet plane against real serve nodes over the wire: strict
+exposition on every node, cross-node aggregation, the dashboard, SLO
+checks, and the ``repro-fleet`` CLI exit-code contract."""
+
+import io
+import json
+import urllib.request
+
+import pytest
+
+from repro.core.config import base_architecture
+from repro.core.serialization import config_to_dict, profile_to_dict
+from repro.fleet.cli import main as fleet_main
+from repro.fleet.collector import FleetCollector
+from repro.fleet.dashboard import fleet_status, run_top
+from repro.fleet.prom import validate_exposition
+from repro.fleet.slo import evaluate_slos, load_slo_file
+from repro.serve.server import ServeSettings, SimServer
+from repro.trace.benchmarks import default_suite
+
+
+@pytest.fixture
+def servers():
+    pool = []
+    for _ in range(2):
+        instance = SimServer(ServeSettings(
+            port=0, queue_depth=8, workers=2, isolation="inline",
+            default_deadline_s=30.0, drain_grace_s=2.0))
+        instance.start()
+        pool.append(instance)
+    yield pool
+    for instance in pool:
+        if instance._httpd is not None:
+            try:
+                instance.drain(grace_s=2.0)
+            except Exception:
+                pass
+
+
+def urls(pool):
+    return [f"http://127.0.0.1:{s.port}" for s in pool]
+
+
+def simulate(instance, instructions=3000):
+    payload = {
+        "config": config_to_dict(base_architecture()),
+        "workload": {"profiles": [
+            profile_to_dict(p)
+            for p in default_suite(instructions)[:1]]},
+        "time_slice": 2_000,
+    }
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{instance.port}/v1/simulate",
+        data=json.dumps(payload).encode("utf-8"), method="POST",
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read())
+
+
+def test_every_node_exposes_strictly_valid_prometheus(servers):
+    for instance in servers:
+        simulate(instance)
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{instance.port}/metrics"
+                "?format=prometheus", timeout=30) as response:
+            families = validate_exposition(response.read().decode())
+        assert families["serve_requests_total"].type == "counter"
+        assert families["serve_request_seconds"].type == "histogram"
+
+
+def test_collector_merges_request_counts_across_nodes(servers):
+    simulate(servers[0], 3000)
+    simulate(servers[1], 3200)
+    collector = FleetCollector(urls=urls(servers))
+    try:
+        collector.collect()
+        simulate(servers[0], 3400)
+        sample = collector.collect()
+        merged = sample.merged["serve_requests_total"]["values"]
+        assert sum(merged.values()) >= 3
+        # Latency observations from both nodes landed in one histogram.
+        latency = sample.merged["serve_request_seconds"]["values"]
+        assert sum(child["count"] for child in latency.values()) >= 3
+        doc = fleet_status(collector)
+        assert doc["nodes_healthy"] == 2
+        assert all(node["scrape_ok"] for node in doc["nodes"])
+    finally:
+        collector.close()
+
+
+def test_dashboard_once_renders_both_nodes(servers):
+    collector = FleetCollector(urls=urls(servers))
+    stream = io.StringIO()
+    try:
+        doc = run_top(collector, iterations=1, stream=stream)
+    finally:
+        collector.close()
+    text = stream.getvalue()
+    for instance in servers:
+        assert f":{instance.port}" in text
+    assert doc["cycles"] == 1
+
+
+def test_slo_check_passes_on_a_healthy_fleet(servers, tmp_path):
+    slo_path = tmp_path / "slo.json"
+    slo_path.write_text(json.dumps([
+        {"name": "nodes-up", "kind": "gauge_min",
+         "metric": "fleet_nodes_healthy", "min": 2},
+        {"name": "queue-room", "kind": "gauge_max",
+         "metric": "fleet_queue_depth", "max": 8},
+        {"name": "latency", "kind": "quantile_max",
+         "metric": "serve_request_seconds", "q": 0.95, "max": 30.0},
+        {"name": "errors", "kind": "burn_rate", "objective": 0.9,
+         "burn_max": 10.0, "windows_s": [300, 60],
+         "bad": {"metric": "serve_responses_total",
+                 "key": ["server_error"]},
+         "total": {"metric": "serve_responses_total"}},
+    ]))
+    simulate(servers[0])
+    collector = FleetCollector(urls=urls(servers))
+    try:
+        collector.collect()
+        collector.collect()
+        verdict = evaluate_slos(load_slo_file(str(slo_path)),
+                                collector.store)
+    finally:
+        collector.close()
+    assert verdict["ok"], verdict
+
+
+class TestCli:
+    def test_top_once_json_over_the_wire(self, servers, capsys):
+        argv = ["top", "--once", "--json"]
+        for url in urls(servers):
+            argv += ["--node", url]
+        assert fleet_main(argv) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert len(doc["nodes"]) == 2
+        assert doc["nodes_healthy"] == 2
+
+    def test_check_exit_zero_on_pass_one_on_breach(self, servers,
+                                                   tmp_path, capsys):
+        ok_path = tmp_path / "ok.json"
+        ok_path.write_text(json.dumps([
+            {"name": "nodes-up", "kind": "gauge_min",
+             "metric": "fleet_nodes_healthy", "min": 1}]))
+        breach_path = tmp_path / "breach.json"
+        breach_path.write_text(json.dumps([
+            {"name": "impossible", "kind": "gauge_max",
+             "metric": "fleet_nodes_healthy", "max": 0}]))
+        base = ["check", "--cycles", "1", "--interval", "0.1"]
+        for url in urls(servers):
+            base += ["--node", url]
+        assert fleet_main(base + ["--slo", str(ok_path)]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "OK" in out
+        assert fleet_main(base + ["--slo", str(breach_path)]) == 1
+        assert "BREACH" in capsys.readouterr().out
+
+    def test_check_json_document(self, servers, tmp_path, capsys):
+        slo_path = tmp_path / "slo.json"
+        slo_path.write_text(json.dumps([
+            {"name": "nodes-up", "kind": "gauge_min",
+             "metric": "fleet_nodes_healthy", "min": 1}]))
+        argv = ["check", "--json", "--cycles", "1",
+                "--slo", str(slo_path), "--node", urls(servers)[0]]
+        assert fleet_main(argv) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["verdict"]["ok"] is True
+        assert doc["status"]["nodes"]
+
+    def test_missing_node_argument_is_an_error(self, capsys, tmp_path):
+        slo_path = tmp_path / "slo.json"
+        slo_path.write_text("[]")
+        assert fleet_main(["check", "--slo", str(slo_path)]) == 1
+        assert "at least one backend" in capsys.readouterr().err
+
+    def test_malformed_slo_file_is_an_error(self, capsys, tmp_path):
+        slo_path = tmp_path / "slo.json"
+        slo_path.write_text(json.dumps(
+            [{"name": "x", "kind": "nope"}]))
+        assert fleet_main(["check", "--slo", str(slo_path),
+                           "--node", "http://127.0.0.1:1"]) == 1
+        assert "unknown kind" in capsys.readouterr().err

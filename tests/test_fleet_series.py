@@ -1,0 +1,171 @@
+"""Ring buffers and the series store: windows, deltas, rates, resets,
+and windowed histogram quantiles."""
+
+import json
+
+import pytest
+
+from repro.fleet.series import FAMILY_TOTAL, RingBuffer, SeriesStore
+from repro.obs.metrics import Registry
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, seconds):
+        self.now += seconds
+
+
+def ingest(store, registry, when):
+    store.ingest(registry.snapshot(), when=when)
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_history(self):
+        ring = RingBuffer(capacity=3)
+        for i in range(10):
+            ring.append(float(i), i)
+        assert len(ring) == 3
+        assert ring.oldest() == (7.0, 7)
+        assert ring.latest() == (9.0, 9)
+
+    def test_window_includes_the_pre_window_baseline(self):
+        ring = RingBuffer(capacity=10)
+        for t in (0.0, 10.0, 20.0, 30.0):
+            ring.append(t, t)
+        window = ring.window(15.0, now=30.0)
+        # 20 and 30 are inside; 10 rides along as the delta baseline.
+        assert [p[0] for p in window] == [10.0, 20.0, 30.0]
+
+    def test_rejects_degenerate_capacity(self):
+        with pytest.raises(ValueError):
+            RingBuffer(capacity=1)
+
+
+class TestCountersAndGauges:
+    def test_delta_and_rate_over_a_window(self):
+        clock = FakeClock()
+        store = SeriesStore(capacity=16, clock=clock)
+        registry = Registry()
+        counter = registry.counter("jobs_total", "jobs", labels=("src",))
+        counter.labels("sim").inc(10)
+        ingest(store, registry, 1000.0)
+        counter.labels("sim").inc(30)
+        ingest(store, registry, 1010.0)
+        assert store.delta("jobs_total", window_s=60, now=1010.0) == 30
+        assert store.rate("jobs_total", window_s=60, now=1010.0) == 3.0
+
+    def test_family_total_sums_across_labels(self):
+        store = SeriesStore(capacity=16)
+        registry = Registry()
+        counter = registry.counter("jobs_total", "jobs", labels=("src",))
+        counter.labels("a").inc(2)
+        counter.labels("b").inc(5)
+        ingest(store, registry, 1000.0)
+        assert store.latest("jobs_total", FAMILY_TOTAL) == 7
+        assert store.latest("jobs_total", json.dumps(["a"])) == 2
+
+    def test_counter_reset_never_yields_a_negative_delta(self):
+        store = SeriesStore(capacity=16)
+        store.ingest({"jobs_total": {"type": "counter", "labels": [],
+                                     "values": {json.dumps([]): 100}}},
+                     when=1000.0)
+        # The node restarted: cumulative count fell back to 4.
+        store.ingest({"jobs_total": {"type": "counter", "labels": [],
+                                     "values": {json.dumps([]): 4}}},
+                     when=1010.0)
+        assert store.delta("jobs_total", window_s=60, now=1010.0) == 4
+        assert store.rate("jobs_total", window_s=60, now=1010.0) >= 0
+
+    def test_insufficient_points_answer_none(self):
+        store = SeriesStore(capacity=16)
+        assert store.delta("never_total") is None
+        assert store.rate("never_total") is None
+        store.ingest({"one_total": {"type": "counter", "labels": [],
+                                    "values": {json.dumps([]): 1}}},
+                     when=1000.0)
+        assert store.delta("one_total") is None
+
+
+class TestHistogramSeries:
+    def make_store(self):
+        clock = FakeClock()
+        store = SeriesStore(capacity=16, clock=clock)
+        registry = Registry()
+        histogram = registry.histogram("lat_seconds", "latency",
+                                       buckets=(0.1, 1.0, 10.0))
+        return store, registry, histogram
+
+    def test_windowed_quantile_sees_only_window_observations(self):
+        store, registry, histogram = self.make_store()
+        histogram.observe(0.05)  # old: tiny
+        ingest(store, registry, 1000.0)
+        for _ in range(10):
+            histogram.observe(5.0)  # new: all in the (1, 10] bucket
+        ingest(store, registry, 1030.0)
+        p50 = store.quantile_over_window("lat_seconds", 0.5,
+                                         window_s=60, now=1030.0)
+        assert 1.0 < p50 <= 10.0
+
+    def test_single_point_falls_back_to_all_time(self):
+        store, registry, histogram = self.make_store()
+        histogram.observe(0.05)
+        ingest(store, registry, 1000.0)
+        p50 = store.quantile_over_window("lat_seconds", 0.5,
+                                         window_s=60, now=1000.0)
+        assert 0.0 <= p50 <= 0.1
+
+    def test_histogram_stats_window_count_and_mean(self):
+        store, registry, histogram = self.make_store()
+        histogram.observe(1.0)
+        ingest(store, registry, 1000.0)
+        histogram.observe(2.0)
+        histogram.observe(4.0)
+        ingest(store, registry, 1010.0)
+        stats = store.histogram_stats("lat_seconds", window_s=60,
+                                      now=1010.0)
+        assert stats["count"] == 2
+        assert stats["sum"] == pytest.approx(6.0)
+        assert stats["mean"] == pytest.approx(3.0)
+
+    def test_unknown_histogram_answers_none(self):
+        store = SeriesStore(capacity=16)
+        assert store.quantile_over_window("nope_seconds", 0.5) is None
+
+
+class TestBookkeeping:
+    def test_size_reports_series_and_points(self):
+        store = SeriesStore(capacity=4)
+        registry = Registry()
+        registry.counter("a_total").inc()
+        ingest(store, registry, 1.0)
+        ingest(store, registry, 2.0)
+        size = store.size()
+        assert size["series"] == 2  # the unlabeled child + family total
+        assert size["points"] == 4
+        assert size["capacity"] == 4
+
+    def test_memory_is_bounded_by_capacity(self):
+        store = SeriesStore(capacity=4)
+        registry = Registry()
+        counter = registry.counter("a_total")
+        for i in range(50):
+            counter.inc()
+            ingest(store, registry, float(i))
+        # two series (child + family total), each capped at capacity
+        assert store.size()["points"] == 8
+
+    def test_keys_lists_labeled_children(self):
+        store = SeriesStore(capacity=4)
+        registry = Registry()
+        counter = registry.counter("a_total", labels=("src",))
+        counter.labels("x").inc()
+        counter.labels("y").inc()
+        ingest(store, registry, 1.0)
+        assert store.keys("a_total") == sorted(
+            [json.dumps(["x"]), json.dumps(["y"])])
+        assert store.kind("a_total") == "counter"

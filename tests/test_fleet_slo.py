@@ -1,0 +1,200 @@
+"""SLO specs: validation, quantile ceilings, multi-window burn rates,
+gauge bounds, and the insufficient-data-is-not-a-breach rule."""
+
+import json
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet.series import SeriesStore
+from repro.fleet.slo import SLO, evaluate_slos, load_slo_file
+from repro.obs.metrics import Registry
+
+
+def store_with(registry, *stamps):
+    """Ingest the registry's snapshot at each wall-clock stamp, calling
+    ``mutate`` between stamps when given ``(stamp, mutate)`` pairs."""
+    store = SeriesStore(capacity=32)
+    for stamp in stamps:
+        if isinstance(stamp, tuple):
+            when, mutate = stamp
+            mutate()
+            store.ingest(registry.snapshot(), when=when)
+        else:
+            store.ingest(registry.snapshot(), when=stamp)
+    return store
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FleetError, match="unknown kind"):
+            SLO({"name": "x", "kind": "latency_vibes"})
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(FleetError, match="requires 'max'"):
+            SLO({"name": "x", "kind": "quantile_max", "metric": "m"})
+
+    def test_nameless_slo_rejected(self):
+        with pytest.raises(FleetError, match="without a name"):
+            SLO({"kind": "gauge_max", "metric": "m", "max": 1})
+
+    def test_objective_bounds_checked(self):
+        with pytest.raises(FleetError, match="objective"):
+            SLO({"name": "x", "kind": "burn_rate", "objective": 1.5,
+                 "bad": {"metric": "b"}, "total": {"metric": "t"}})
+
+    def test_load_slo_file_rejects_duplicates(self, tmp_path):
+        path = tmp_path / "slo.json"
+        spec = {"name": "same", "kind": "gauge_max", "metric": "m",
+                "max": 1}
+        path.write_text(json.dumps([spec, spec]))
+        with pytest.raises(FleetError, match="repeats"):
+            load_slo_file(str(path))
+
+    def test_load_slo_file_accepts_wrapped_list(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({"slos": [
+            {"name": "a", "kind": "gauge_min", "metric": "m", "min": 0}]}))
+        slos = load_slo_file(str(path))
+        assert [s.name for s in slos] == ["a"]
+
+    def test_load_slo_file_missing_path(self):
+        with pytest.raises(FleetError, match="cannot read"):
+            load_slo_file("/nonexistent/slo.json")
+
+
+class TestQuantileMax:
+    def make(self, ceiling):
+        return SLO({"name": "lat", "kind": "quantile_max",
+                    "metric": "lat_seconds", "q": 0.95, "max": ceiling,
+                    "window_s": 300})
+
+    def test_breach_when_tail_exceeds_ceiling(self):
+        registry = Registry()
+        histogram = registry.histogram("lat_seconds", buckets=(0.1, 1.0,
+                                                               10.0))
+        store = store_with(
+            registry, 1000.0,
+            (1030.0, lambda: [histogram.observe(5.0) for _ in range(20)]))
+        result = self.make(1.0).evaluate(store, now=1030.0)
+        assert result["ok"] is False
+        assert result["value"] > 1.0
+
+    def test_ok_when_under_ceiling(self):
+        registry = Registry()
+        histogram = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        store = store_with(
+            registry, 1000.0,
+            (1030.0, lambda: [histogram.observe(0.05) for _ in range(20)]))
+        assert self.make(1.0).evaluate(store, now=1030.0)["ok"]
+
+    def test_no_observations_is_not_a_breach(self):
+        store = SeriesStore(capacity=8)
+        result = self.make(1.0).evaluate(store)
+        assert result["ok"] and result["value"] is None
+
+
+class TestBurnRate:
+    def make(self, burn_max=1.0):
+        return SLO({"name": "availability", "kind": "burn_rate",
+                    "objective": 0.9, "burn_max": burn_max,
+                    "windows_s": [120, 30],
+                    "bad": {"metric": "resp_total", "key": ["err"]},
+                    "total": {"metric": "resp_total"}})
+
+    def traffic(self, good_then_bad):
+        """Two ingest rounds 60s apart, then a fresh round 10s later."""
+        registry = Registry()
+        counter = registry.counter("resp_total", labels=("class",))
+        store = SeriesStore(capacity=32)
+        counter.labels("ok").inc(1)
+        store.ingest(registry.snapshot(), when=1000.0)
+        for cls, n in good_then_bad:
+            counter.labels(cls).inc(n)
+        store.ingest(registry.snapshot(), when=1060.0)
+        store.ingest(registry.snapshot(), when=1070.0)
+        return store
+
+    def test_sustained_errors_breach_every_window(self):
+        # 50% errors against a 10% budget → burn 5 in both windows.
+        registry = Registry()
+        counter = registry.counter("resp_total", labels=("class",))
+        store = SeriesStore(capacity=32)
+        store.ingest(registry.snapshot(), when=1000.0)
+        counter.labels("ok").inc(5)
+        counter.labels("err").inc(5)
+        store.ingest(registry.snapshot(), when=1050.0)
+        counter.labels("ok").inc(5)
+        counter.labels("err").inc(5)
+        store.ingest(registry.snapshot(), when=1065.0)
+        result = self.make(burn_max=1.0).evaluate(store, now=1065.0)
+        assert result["ok"] is False
+        assert all(burn > 1.0 for burn in result["value"])
+
+    def test_recovered_blip_does_not_page(self):
+        # Errors happened a minute ago; the short window is clean, so
+        # the multi-window rule holds fire.
+        store = self.traffic([("err", 5), ("ok", 5)])
+        result = self.make(burn_max=1.0).evaluate(store, now=1070.0)
+        assert result["ok"] is True
+
+    def test_no_traffic_is_not_a_breach(self):
+        store = SeriesStore(capacity=8)
+        result = self.make().evaluate(store)
+        assert result["ok"] is True
+        assert "no traffic" in result["detail"]
+
+
+class TestGaugeBounds:
+    def test_gauge_min_breach(self):
+        registry = Registry()
+        registry.gauge("healthy").set(0)
+        store = store_with(registry, 1000.0)
+        slo = SLO({"name": "alive", "kind": "gauge_min",
+                   "metric": "healthy", "min": 1})
+        assert slo.evaluate(store)["ok"] is False
+
+    def test_gauge_max_ok(self):
+        registry = Registry()
+        registry.gauge("depth").set(3)
+        store = store_with(registry, 1000.0)
+        slo = SLO({"name": "queue", "kind": "gauge_max",
+                   "metric": "depth", "max": 8})
+        assert slo.evaluate(store)["ok"] is True
+
+
+class TestRatioMax:
+    def test_duplicate_fraction_breach(self):
+        registry = Registry()
+        registry.counter("dup_total").inc(0)
+        registry.counter("all_total").inc(0)
+        store = SeriesStore(capacity=8)
+        store.ingest(registry.snapshot(), when=1000.0)
+        registry.get("dup_total").inc(30)
+        registry.get("all_total").inc(100)
+        store.ingest(registry.snapshot(), when=1060.0)
+        slo = SLO({"name": "dups", "kind": "ratio_max", "max": 0.1,
+                   "window_s": 300,
+                   "bad": {"metric": "dup_total"},
+                   "total": {"metric": "all_total"}})
+        result = slo.evaluate(store, now=1060.0)
+        assert result["ok"] is False
+        assert result["value"] == pytest.approx(0.3)
+
+
+class TestEvaluateAll:
+    def test_verdict_aggregates_and_names_breaches(self):
+        registry = Registry()
+        registry.gauge("healthy").set(0)
+        registry.gauge("depth").set(1)
+        store = store_with(registry, 1000.0)
+        slos = [
+            SLO({"name": "alive", "kind": "gauge_min",
+                 "metric": "healthy", "min": 1}),
+            SLO({"name": "queue", "kind": "gauge_max",
+                 "metric": "depth", "max": 8}),
+        ]
+        verdict = evaluate_slos(slos, store)
+        assert verdict["ok"] is False
+        assert verdict["breached"] == ["alive"]
+        assert len(verdict["results"]) == 2

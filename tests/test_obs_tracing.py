@@ -288,3 +288,54 @@ class TestCli:
         b = self._write_log(tmp_path, "b.jsonl")
         assert main(["diff", str(a), str(b), "--all"]) == 0
         assert "l1d_miss" in capsys.readouterr().out
+
+    def _write_snapshot(self, tmp_path, wrap=True):
+        from repro.obs.metrics import Registry
+
+        registry = Registry()
+        registry.counter("requests_total", "served",
+                         labels=("route",)).labels("/v1/simulate").inc(4)
+        registry.histogram("latency_seconds", "latency",
+                           buckets=(0.1, 1.0)).observe(0.25)
+        registry.gauge("queue_depth", "depth").set(3)
+        doc = registry.snapshot()
+        if wrap:
+            doc = {"service": "repro-serve", "obs": doc}
+        path = tmp_path / "snapshot.json"
+        path.write_text(json.dumps(doc))
+        return path
+
+    def test_metrics_table_from_serve_document(self, tmp_path, capsys):
+        from repro.obs.cli import main
+
+        path = self._write_snapshot(tmp_path)
+        assert main(["metrics", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "METRIC" in out and "TYPE" in out
+        assert "requests_total" in out and "counter" in out
+        assert "latency_seconds" in out and "p95" in out
+
+    def test_metrics_accepts_bare_snapshot(self, tmp_path, capsys):
+        from repro.obs.cli import main
+
+        path = self._write_snapshot(tmp_path, wrap=False)
+        assert main(["metrics", str(path)]) == 0
+        assert "queue_depth" in capsys.readouterr().out
+
+    def test_metrics_prometheus_is_strictly_valid(self, tmp_path, capsys):
+        from repro.fleet.prom import validate_exposition
+        from repro.obs.cli import main
+
+        path = self._write_snapshot(tmp_path)
+        assert main(["metrics", str(path), "--prometheus"]) == 0
+        families = validate_exposition(capsys.readouterr().out)
+        assert families["requests_total"].type == "counter"
+        assert families["latency_seconds"].type == "histogram"
+
+    def test_metrics_rejects_non_snapshot_json(self, tmp_path, capsys):
+        from repro.obs.cli import main
+
+        path = tmp_path / "not.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        assert main(["metrics", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
