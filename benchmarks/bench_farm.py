@@ -27,19 +27,19 @@ import time
 
 from repro.analysis.sweep import run_sweep
 from repro.experiments.common import BENCH_SCALE, workload
-from repro.experiments.fig5_write_policy import (
-    ACCESS_TIMES,
-    POLICIES,
-    config_for,
-)
+from repro.experiments.fig5_write_policy import config_for, policies_from
 from repro.farm.context import farm_session
 from repro.farm.pool import fork_available
 from repro.grid.backends import BackendPool
+from repro.scenario.driver import default_params
 
 
 def fig5_grid():
+    params = default_params("fig5")
+    policies = policies_from(params.axis("policies"))
+    access_times = params.axis("access_times")
     return [(f"{policy.value}@{access}", config_for(policy, access))
-            for policy in POLICIES for access in ACCESS_TIMES]
+            for policy in policies for access in access_times]
 
 
 def serialized(points):

@@ -27,11 +27,7 @@ from pathlib import Path
 from repro.core.serialization import config_to_dict, profile_to_dict
 from repro.core.simulator import simulate
 from repro.experiments.common import BENCH_SCALE, workload
-from repro.experiments.fig5_write_policy import (
-    ACCESS_TIMES,
-    POLICIES,
-    config_for,
-)
+from repro.experiments.fig5_write_policy import config_for, policies_from
 from repro.farm.cache import ResultCache
 from repro.serve.client import RetryPolicy, ServeClient
 from repro.serve.server import ServeSettings, SimServer
@@ -45,7 +41,11 @@ def main(argv=None) -> int:
                         help="output path (default: BENCH_serve.json)")
     args = parser.parse_args(argv)
 
-    config = config_for(POLICIES[0], ACCESS_TIMES[0])
+    from repro.scenario.driver import default_params
+
+    params = default_params("fig5")
+    policies = policies_from(params.axis("policies"))
+    config = config_for(policies[0], params.axis("access_times")[0])
     profiles = workload(BENCH_SCALE)
     request = {
         "config": config_to_dict(config),

@@ -101,13 +101,13 @@ def repeat_simulation(config: SystemConfig,
         raise ValueError("seeds must be >= 1")
     chosen = metrics if metrics is not None else DEFAULT_METRICS
     jobs, cache, telemetry, timeout, retries, engine, energy, dispatcher, \
-        journal, durable = _resolve(jobs, None, None)
+        journal, durable, scenario = _resolve(jobs, None, None)
     specs = [
         PointSpec(label=f"{config.name}/seed{offset}", config=config,
                   profiles=tuple(reseed_profiles(profiles, offset)),
                   time_slice=time_slice, level=level,
                   warmup_instructions=warmup_instructions, engine=engine,
-                  energy=energy)
+                  energy=energy, scenario=scenario)
         for offset in range(seeds)
     ]
     stats_list = run_points(specs, jobs=jobs, cache=cache,

@@ -59,8 +59,9 @@ def _resolve(jobs: Optional[int], cache, telemetry,
     dispatcher = ctx.dispatcher if ctx is not None else None
     journal = ctx.journal if ctx is not None else None
     durable = ctx.durable if ctx is not None else None
+    scenario = ctx.scenario if ctx is not None else None
     return jobs, cache, telemetry, timeout, retries, engine, energy, \
-        dispatcher, journal, durable
+        dispatcher, journal, durable, scenario
 
 
 def run_point(config: SystemConfig, profiles: Sequence[BenchmarkProfile],
@@ -79,12 +80,12 @@ def run_point(config: SystemConfig, profiles: Sequence[BenchmarkProfile],
     and ``energy`` default to the ambient session's settings.
     """
     _, cache, telemetry, _, _, engine, energy, dispatcher, journal, \
-        durable = _resolve(1, cache, None, engine, energy)
+        durable, scenario = _resolve(1, cache, None, engine, energy)
     spec = PointSpec(label=config.name, config=config,
                      profiles=tuple(profiles), time_slice=time_slice,
                      level=level, warmup_instructions=warmup_instructions,
                      max_instructions=max_instructions, engine=engine,
-                     energy=energy)
+                     energy=energy, scenario=scenario)
     return run_points([spec], jobs=1, cache=cache, telemetry=telemetry,
                       dispatcher=dispatcher, journal=journal,
                       durable=durable)[0]
@@ -117,13 +118,14 @@ def run_sweep(configs: Sequence[Tuple[str, SystemConfig]],
             farm session's setting, else disabled).
     """
     jobs, cache, telemetry, timeout, retries, engine, energy, dispatcher, \
-        journal, durable = _resolve(jobs, cache, telemetry, engine, energy)
+        journal, durable, scenario = _resolve(jobs, cache, telemetry,
+                                              engine, energy)
     specs = [
         PointSpec(label=label, config=config, profiles=tuple(profiles),
                   time_slice=time_slice, level=level,
                   warmup_instructions=warmup_instructions,
                   max_instructions=max_instructions, engine=engine,
-                  energy=energy)
+                  energy=energy, scenario=scenario)
         for label, config in configs
     ]
     stats_list = run_points(specs, jobs=jobs, cache=cache,

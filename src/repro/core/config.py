@@ -353,10 +353,15 @@ def base_architecture() -> SystemConfig:
     return config
 
 
-def split_l2_architecture() -> SystemConfig:
+def split_l2_architecture(base: Optional[SystemConfig] = None
+                          ) -> SystemConfig:
     """Section 7's design point: write-only L1-D plus the physically split L2
-    (32 KW two-cycle L2-I on the MCM, 256 KW six-cycle L2-D off it)."""
-    config = base_architecture().with_(
+    (32 KW two-cycle L2-I on the MCM, 256 KW six-cycle L2-D off it).
+
+    ``base`` substitutes the machine the design point derives from
+    (scenario documents pass theirs); default is the Section 2 baseline.
+    """
+    config = (base if base is not None else base_architecture()).with_(
         name="split-l2",
         write_policy=WritePolicy.WRITE_ONLY,
         write_buffer=write_through_buffer(),
@@ -369,9 +374,10 @@ def split_l2_architecture() -> SystemConfig:
     return config
 
 
-def fetch8_architecture() -> SystemConfig:
+def fetch8_architecture(base: Optional[SystemConfig] = None
+                        ) -> SystemConfig:
     """Section 8's design point: split L2 plus 8 W L1 fetch/line size."""
-    config = split_l2_architecture().with_(
+    config = split_l2_architecture(base).with_(
         name="fetch8",
         icache=CacheConfig(size_words=4096, line_words=8),
         dcache=CacheConfig(size_words=4096, line_words=8),
@@ -380,10 +386,11 @@ def fetch8_architecture() -> SystemConfig:
     return config
 
 
-def optimized_architecture() -> SystemConfig:
+def optimized_architecture(base: Optional[SystemConfig] = None
+                           ) -> SystemConfig:
     """The final optimized architecture (Fig. 11): Section 8's design plus all
     three Section 9 concurrency mechanisms."""
-    config = fetch8_architecture().with_(
+    config = fetch8_architecture(base).with_(
         name="optimized",
         concurrency=ConcurrencyConfig(
             i_refill_during_wb_drain=True,

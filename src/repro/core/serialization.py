@@ -10,14 +10,17 @@ configs::
     config = config_from_json(text)
 
 The format is a plain nested dict of the dataclass fields, with enums as
-their string values; unknown keys are rejected (typo protection).
+their string values; unknown keys are rejected (typo protection) with the
+full dotted path and a nearest-valid-key suggestion, so a scenario file
+that misspells ``machine.l2.access_time`` is told exactly where and what.
 """
 
 from __future__ import annotations
 
+import difflib
 import json
 from dataclasses import fields
-from typing import Any, Dict
+from typing import Any, Dict, Iterable
 
 from repro.core.config import (
     BypassMode,
@@ -46,6 +49,31 @@ _ENUM_FIELDS = {
 }
 
 
+def did_you_mean(name: str, valid: Iterable[str]) -> str:
+    """A ``" (did you mean 'x'?)"`` suffix, or ``""`` with no close match."""
+    matches = difflib.get_close_matches(name, sorted(valid), n=1)
+    return f" (did you mean {matches[0]!r}?)" if matches else ""
+
+
+def unknown_key_error(path: str, unknown: Iterable[str],
+                      valid: Iterable[str]) -> ConfigurationError:
+    """Build the shared unknown-key diagnostic.
+
+    Names every offending key by its full dotted path (``path`` is the
+    prefix, e.g. ``"machine.l2"``), suggests the nearest valid key for
+    the first, and lists the valid set — one line, everything a typo'd
+    scenario or config file needs.
+    """
+    bad = sorted(unknown)
+    dotted = [f"{path}.{key}" if path else key for key in bad]
+    noun = "key" if len(bad) == 1 else "keys"
+    where = f" in '{path}'" if path else ""
+    return ConfigurationError(
+        f"unknown {noun} {', '.join(repr(d) for d in dotted)}"
+        f"{did_you_mean(bad[0], valid)}; "
+        f"valid keys{where}: {', '.join(sorted(valid))}")
+
+
 def _dataclass_to_dict(obj: Any) -> Dict[str, Any]:
     out: Dict[str, Any] = {}
     for f in fields(obj):
@@ -69,38 +97,54 @@ def config_to_dict(config: SystemConfig) -> Dict[str, Any]:
     return out
 
 
-def _build_section(cls, data: Dict[str, Any], section: str):
+def _build_section(cls, data: Dict[str, Any], section: str, path: str = ""):
     valid = {f.name for f in fields(cls)}
     unknown = set(data) - valid
     if unknown:
-        raise ConfigurationError(
-            f"unknown key(s) in {section}: {', '.join(sorted(unknown))}"
-        )
+        full = f"{path}.{section}" if path else section
+        raise unknown_key_error(full, unknown, valid)
     kwargs = dict(data)
     for name, enum_cls in _ENUM_FIELDS.items():
         if name in kwargs and isinstance(kwargs[name], str):
-            kwargs[name] = enum_cls(kwargs[name])
+            try:
+                kwargs[name] = enum_cls(kwargs[name])
+            except ValueError:
+                names = [member.value for member in enum_cls]
+                raise ConfigurationError(
+                    f"unknown {section}.{name} value {kwargs[name]!r}"
+                    f"{did_you_mean(kwargs[name], names)}; "
+                    f"valid values: {', '.join(names)}") from None
     return cls(**kwargs)
 
 
-def config_from_dict(data: Dict[str, Any]) -> SystemConfig:
-    """Deserialize a SystemConfig from :func:`config_to_dict`'s format."""
+def config_from_dict(data: Dict[str, Any], path: str = "") -> SystemConfig:
+    """Deserialize a SystemConfig from :func:`config_to_dict`'s format.
+
+    ``path`` prefixes every unknown-key diagnostic (a scenario resolver
+    passes ``"machine"`` so errors name ``machine.l2.<typo>``).
+    """
     top_valid = {"name", "write_policy", "cpu_stall_cpi", *_SECTIONS}
     unknown = set(data) - top_valid
     if unknown:
-        raise ConfigurationError(
-            f"unknown top-level key(s): {', '.join(sorted(unknown))}"
-        )
+        raise unknown_key_error(path, unknown, top_valid)
     kwargs: Dict[str, Any] = {}
     if "name" in data:
         kwargs["name"] = data["name"]
     if "write_policy" in data:
-        kwargs["write_policy"] = WritePolicy(data["write_policy"])
+        try:
+            kwargs["write_policy"] = WritePolicy(data["write_policy"])
+        except ValueError:
+            names = [p.value for p in WritePolicy]
+            raise ConfigurationError(
+                f"unknown write policy {data['write_policy']!r}"
+                f"{did_you_mean(str(data['write_policy']), names)}; "
+                f"valid policies: {', '.join(names)}") from None
     if "cpu_stall_cpi" in data:
         kwargs["cpu_stall_cpi"] = data["cpu_stall_cpi"]
     for section, cls in _SECTIONS.items():
         if section in data:
-            kwargs[section] = _build_section(cls, data[section], section)
+            kwargs[section] = _build_section(cls, data[section], section,
+                                             path)
     config = SystemConfig(**kwargs)
     config.validate()
     return config
@@ -128,9 +172,7 @@ def profile_from_dict(data: Dict[str, Any]):
              "code", "data"}
     unknown = set(data) - valid
     if unknown:
-        raise ConfigurationError(
-            f"unknown key(s) in profile: {', '.join(sorted(unknown))}"
-        )
+        raise unknown_key_error("profile", unknown, valid)
     try:
         profile = BenchmarkProfile(
             name=data["name"],

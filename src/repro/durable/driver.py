@@ -112,7 +112,12 @@ class DurableRun:
         self._keys = [spec.key() for spec in specs]
         labels = [spec.label for spec in specs]
         self.journal = resolve_journal(self._journal_arg, self._keys)
-        self.state, resumed = self.journal.open_run(self._keys, labels)
+        scenarios = sorted({spec.scenario for spec in specs
+                            if getattr(spec, "scenario", None)})
+        meta = {"scenario_sha256": scenarios[0]} if len(scenarios) == 1 \
+            else ({"scenario_sha256": scenarios} if scenarios else None)
+        self.state, resumed = self.journal.open_run(self._keys, labels,
+                                                    meta=meta)
         recovered: Dict[int, Any] = {}
         if not resumed:
             return recovered

@@ -24,7 +24,6 @@ from repro.core.config import (
     WriteBufferConfig,
     WritePolicy,
     split_l2_architecture,
-    base_architecture,
 )
 from repro.experiments.common import (
     ExperimentResult,
@@ -32,19 +31,20 @@ from repro.experiments.common import (
     register,
     run_system,
 )
-
-WB_DEPTHS = (1, 2, 4, 8, 16)
-OVERLAPS = (0, 1, 2)
+from repro.scenario.params import ScenarioParams
 
 
 @register("wbdepth",
-          description="Write-buffer depth ablation for the write-through policies")
-def run_wb_depth(scale: ExperimentScale) -> ExperimentResult:
+          description="Write-buffer depth ablation for the write-through policies",
+          axes=("depths",))
+def run_wb_depth(scale: ExperimentScale,
+                 params: ScenarioParams) -> ExperimentResult:
     """Sweep the write-through write-buffer depth (Section 6's choice: 8)."""
+    depths = params.axis("depths")
     rows: List[List] = []
     cpis = {}
-    for depth in WB_DEPTHS:
-        config = split_l2_architecture().with_(
+    for depth in depths:
+        config = split_l2_architecture(params.machine).with_(
             name=f"wb-depth-{depth}",
             write_buffer=WriteBufferConfig(depth=depth, width_words=1),
         )
@@ -58,8 +58,10 @@ def run_wb_depth(scale: ExperimentScale) -> ExperimentResult:
         headers=["depth", "CPI", "WB stall CPI"],
         rows=rows,
         findings={
-            "gain_1_to_8": cpis[1] - cpis[8],
-            "gain_8_to_16": cpis[8] - cpis[16],
+            "gain_1_to_8": cpis[depths[0]]
+            - cpis[8 if 8 in depths else depths[-1]],
+            "gain_8_to_16": cpis[8 if 8 in depths else depths[0]]
+            - cpis[depths[-1]],
         },
         notes=("deepening past the paper's 8 entries buys almost nothing; "
                "a 1-2 entry buffer stalls stores"),
@@ -67,13 +69,16 @@ def run_wb_depth(scale: ExperimentScale) -> ExperimentResult:
 
 
 @register("wboverlap",
-          description="Write-buffer drain-pipelining overlap ablation")
-def run_wb_overlap(scale: ExperimentScale) -> ExperimentResult:
+          description="Write-buffer drain-pipelining overlap ablation",
+          axes=("overlaps",))
+def run_wb_overlap(scale: ExperimentScale,
+                   params: ScenarioParams) -> ExperimentResult:
     """Sweep the drain-pipelining overlap (Section 6: 'one or both')."""
+    overlaps = params.axis("overlaps")
     rows: List[List] = []
     cpis = {}
-    for overlap in OVERLAPS:
-        config = split_l2_architecture().with_(
+    for overlap in overlaps:
+        config = split_l2_architecture(params.machine).with_(
             name=f"wb-overlap-{overlap}",
             write_buffer=WriteBufferConfig(depth=8, width_words=1,
                                            overlap_cycles=overlap),
@@ -87,14 +92,15 @@ def run_wb_overlap(scale: ExperimentScale) -> ExperimentResult:
         title="Write-drain latency-overlap ablation",
         headers=["overlap (cycles)", "CPI", "WB stall CPI"],
         rows=rows,
-        findings={"gain_0_to_2": cpis[0] - cpis[2]},
+        findings={"gain_0_to_2": cpis[overlaps[0]] - cpis[overlaps[-1]]},
         notes="overlapping both latency cycles drains fastest (paper's model)",
     )
 
 
 @register("coloring",
           description="Page coloring vs. pseudo-random frame allocation")
-def run_coloring(scale: ExperimentScale) -> ExperimentResult:
+def run_coloring(scale: ExperimentScale,
+                 params: ScenarioParams) -> ExperimentResult:
     """Page coloring vs. a pseudo-random frame allocator."""
     from repro.core.simulator import Simulation
     from repro.experiments.common import workload
@@ -113,7 +119,7 @@ def run_coloring(scale: ExperimentScale) -> ExperimentResult:
                 self._map[key] = frame
             return frame
 
-    config = base_architecture()
+    config = params.machine
     rows: List[List] = []
     results = {}
     for label, table_cls in (("page coloring", PageTable),

@@ -16,36 +16,43 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
-from repro.core.config import base_architecture
 from repro.experiments.common import (
     ExperimentResult,
     ExperimentScale,
     register,
     run_system,
 )
+from repro.scenario.params import ScenarioParams
 
-#: (label, cycle time ns).  250 MHz is the paper's machine.
-CLOCKS: Sequence[Tuple[str, float]] = (
-    ("62.5 MHz", 16.0),
-    ("125 MHz", 8.0),
-    ("250 MHz", 4.0),
-)
+
+def clocks_from(values: Sequence) -> Tuple[Tuple[str, float], ...]:
+    """Convert scenario axis tables to ``(label, cycle ns)`` tuples."""
+    out = []
+    for value in values:
+        if isinstance(value, dict):
+            out.append((str(value["label"]), float(value["cycle_ns"])))
+        else:
+            out.append((str(value[0]), float(value[1])))
+    return tuple(out)
 
 
 @register("clockrate",
-          description="CPU clock rate vs. memory CPI at a fixed wall-clock switch interval")
-def run(scale: ExperimentScale) -> ExperimentResult:
+          description="CPU clock rate vs. memory CPI at a fixed wall-clock switch interval",
+          axes=("clocks",))
+def run(scale: ExperimentScale,
+        params: ScenarioParams) -> ExperimentResult:
     """Sweep the CPU clock at a fixed wall-clock switch interval.
 
     The wall-clock interval is chosen so the 250 MHz machine lands on the
     requested scale's time slice, keeping this experiment consistent with
     the others at any ``--time-slice``.
     """
-    config = base_architecture()
+    clocks = clocks_from(params.axis("clocks"))
+    config = params.machine
     interval_ns = scale.time_slice * 4.0
     rows: List[List] = []
     miss_by_clock = {}
-    for label, cycle_ns in CLOCKS:
+    for label, cycle_ns in clocks:
         slice_cycles = max(1000, int(interval_ns / cycle_ns))
         stats = run_system(config, scale, time_slice=slice_cycles)
         miss_by_clock[label] = stats.l1d_miss_ratio
@@ -60,10 +67,10 @@ def run(scale: ExperimentScale) -> ExperimentResult:
                  "L2 miss", "CPI"],
         rows=rows,
         findings={
-            "l1d_slowest_clock": miss_by_clock["62.5 MHz"],
-            "l1d_fastest_clock": miss_by_clock["250 MHz"],
+            "l1d_slowest_clock": miss_by_clock[clocks[0][0]],
+            "l1d_fastest_clock": miss_by_clock[clocks[-1][0]],
             "faster_is_lower": float(
-                miss_by_clock["250 MHz"] < miss_by_clock["62.5 MHz"]),
+                miss_by_clock[clocks[-1][0]] < miss_by_clock[clocks[0][0]]),
         },
         notes=("paper: 'faster machines may achieve lower cache miss rates "
                "because they execute more cycles between context switches'"),

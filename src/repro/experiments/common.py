@@ -12,8 +12,9 @@ together to close the gap.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import SystemConfig
 from repro.core.stats import SimStats
@@ -132,29 +133,59 @@ class ExperimentResult:
 
 
 #: Registry of experiment ids to runner callables, populated by the modules.
-REGISTRY: Dict[str, Callable[[ExperimentScale], ExperimentResult]] = {}
+REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {}
 
 #: One-line description per experiment id (``--list`` prints these).
 DESCRIPTIONS: Dict[str, str] = {}
 
+#: Sweep axes each experiment consumes from its scenario document
+#: (id -> axis names); :func:`repro.scenario.driver.bind_params` checks a
+#: scenario's declared axes against this before the experiment runs.
+EXPERIMENT_AXES: Dict[str, Tuple[str, ...]] = {}
 
-def register(experiment_id: str, description: str = ""):
+
+def register(experiment_id: str, description: str = "",
+             axes: Sequence[str] = ()):
     """Decorator adding an experiment's ``run`` function to the registry.
+
+    The wrapped function takes ``(scale, params)`` where ``params`` is a
+    :class:`~repro.scenario.params.ScenarioParams` carrying the base
+    machine and the named sweep axes from a scenario document.  The
+    registered callable keeps the legacy ``runner(scale)`` shape: called
+    without params it resolves the experiment's committed scenario
+    (``scenarios/<id>.toml``) — so ``repro-experiments fig5`` and
+    ``repro-experiments run scenarios/fig5.toml`` execute identically,
+    inside the same :func:`~repro.farm.context.scenario_scope`.
 
     Args:
         experiment_id: the CLI id (``fig5``, ``table1``, ...).
         description: one-line summary shown by ``--list``; defaults to the
             first line of the function's docstring.
+        axes: sweep axis names the experiment reads via ``params.axis``;
+            scenarios must declare exactly these.
     """
 
-    def wrap(fn: Callable[[ExperimentScale], ExperimentResult]):
-        REGISTRY[experiment_id] = fn
+    def wrap(fn: Callable[..., ExperimentResult]):
+        @functools.wraps(fn)
+        def runner(scale: ExperimentScale, params=None) -> ExperimentResult:
+            from repro.farm.context import scenario_scope
+
+            if params is None:
+                from repro.scenario.driver import default_params
+
+                params = default_params(experiment_id)
+            with scenario_scope(params.scenario_sha256):
+                return fn(scale, params)
+
+        REGISTRY[experiment_id] = runner
+        EXPERIMENT_AXES[experiment_id] = tuple(axes)
         doc_line = (fn.__doc__ or "").strip().splitlines()
         DESCRIPTIONS[experiment_id] = (description
                                        or (doc_line[0] if doc_line else ""))
-        fn.experiment_id = experiment_id
-        fn.description = DESCRIPTIONS[experiment_id]
-        return fn
+        runner.experiment_id = experiment_id
+        runner.description = DESCRIPTIONS[experiment_id]
+        runner.axes = tuple(axes)
+        return runner
 
     return wrap
 

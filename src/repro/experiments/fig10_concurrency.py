@@ -19,11 +19,12 @@ optimizations, questioning whether the last two are worth their hardware.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.core.config import (
     BypassMode,
     ConcurrencyConfig,
+    SystemConfig,
     fetch8_architecture,
 )
 from repro.experiments.common import (
@@ -32,11 +33,12 @@ from repro.experiments.common import (
     register,
     run_system,
 )
+from repro.scenario.params import ScenarioParams
 
 
-def steps():
+def steps(machine: Optional[SystemConfig] = None):
     """The cumulative configurations of Fig. 10 plus the associative control."""
-    base = fetch8_architecture()
+    base = fetch8_architecture(machine)
     with_refill = base.with_(
         name="+i-refill",
         concurrency=ConcurrencyConfig(i_refill_during_wb_drain=True),
@@ -68,11 +70,12 @@ def steps():
 
 @register("fig10",
           description="Fig. 10: memory-system concurrency mechanisms")
-def run(scale: ExperimentScale) -> ExperimentResult:
+def run(scale: ExperimentScale,
+        params: ScenarioParams) -> ExperimentResult:
     """Regenerate Fig. 10."""
     rows: List[List] = []
     cpis = {}
-    for label, config in steps():
+    for label, config in steps(params.machine):
         stats = run_system(config, scale)
         cpis[label] = stats.cpi()
         rows.append([label, stats.cpi(), stats.memory_cpi])

@@ -14,21 +14,23 @@ from __future__ import annotations
 
 from repro.analysis.cpi import percent_improvement
 from repro.analysis.tables import format_cpi_stack
-from repro.core.config import base_architecture, optimized_architecture
+from repro.core.config import optimized_architecture
 from repro.experiments.common import (
     ExperimentResult,
     ExperimentScale,
     register,
     run_system,
 )
+from repro.scenario.params import ScenarioParams
 
 
 @register("fig11",
           description="Fig. 11 / Section 10: base vs. optimized architecture")
-def run(scale: ExperimentScale) -> ExperimentResult:
+def run(scale: ExperimentScale,
+        params: ScenarioParams) -> ExperimentResult:
     """Base vs. the Fig. 11 optimized architecture."""
-    base = run_system(base_architecture(), scale)
-    optimized = run_system(optimized_architecture(), scale)
+    base = run_system(params.machine, scale)
+    optimized = run_system(optimized_architecture(params.machine), scale)
     memory_gain = percent_improvement(base.memory_cpi, optimized.memory_cpi)
     total_gain = percent_improvement(base.cpi(), optimized.cpi())
     rows = [

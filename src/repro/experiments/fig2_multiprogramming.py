@@ -11,27 +11,26 @@ saturates — performance is essentially unaffected beyond level eight.
 
 from __future__ import annotations
 
-from typing import Sequence
-
-from repro.core.config import base_architecture
 from repro.experiments.common import (
     ExperimentResult,
     ExperimentScale,
     register,
     run_system,
 )
-
-LEVELS: Sequence[int] = (1, 2, 4, 8, 16)
+from repro.scenario.params import ScenarioParams
 
 
 @register("fig2",
-          description="Fig. 2: multiprogramming level vs. CPI")
-def run(scale: ExperimentScale) -> ExperimentResult:
+          description="Fig. 2: multiprogramming level vs. CPI",
+          axes=("levels",))
+def run(scale: ExperimentScale,
+        params: ScenarioParams) -> ExperimentResult:
     """Regenerate Fig. 2."""
-    config = base_architecture()
+    config = params.machine
+    levels = params.axis("levels")
     rows = []
     l2_ratios = {}
-    for level in LEVELS:
+    for level in levels:
         stats = run_system(config, scale, level=level)
         rows.append([
             level,
@@ -41,8 +40,10 @@ def run(scale: ExperimentScale) -> ExperimentResult:
             stats.cpi(),
         ])
         l2_ratios[level] = stats.l2_miss_ratio
-    lo = min(l2_ratios[level] for level in LEVELS if level <= 2)
-    hi = max(l2_ratios[level] for level in LEVELS if level >= 8)
+    low_levels = [level for level in levels if level <= 2] or [levels[0]]
+    high_levels = [level for level in levels if level >= 8] or [levels[-1]]
+    lo = min(l2_ratios[level] for level in low_levels)
+    hi = max(l2_ratios[level] for level in high_levels)
     rise = (hi - lo) / lo * 100.0 if lo else 0.0
     return ExperimentResult(
         experiment_id="fig2",

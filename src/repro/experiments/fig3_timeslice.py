@@ -10,28 +10,24 @@ system calls are counted).
 
 from __future__ import annotations
 
-from typing import Sequence
-
-from repro.core.config import base_architecture
 from repro.experiments.common import (
     ExperimentResult,
     ExperimentScale,
     register,
     run_system,
 )
-
-TIME_SLICES: Sequence[int] = (
-    10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000
-)
+from repro.scenario.params import ScenarioParams
 
 
 @register("fig3",
-          description="Fig. 3: context-switch interval vs. CPI")
-def run(scale: ExperimentScale) -> ExperimentResult:
+          description="Fig. 3: context-switch interval vs. CPI",
+          axes=("time_slices",))
+def run(scale: ExperimentScale,
+        params: ScenarioParams) -> ExperimentResult:
     """Regenerate Fig. 3."""
-    config = base_architecture()
+    config = params.machine
     rows = []
-    for time_slice in TIME_SLICES:
+    for time_slice in params.axis("time_slices"):
         stats = run_system(config, scale, time_slice=time_slice)
         rows.append([
             time_slice,

@@ -11,7 +11,6 @@ account for 24 % of the memory-system performance loss.
 from __future__ import annotations
 
 from repro.analysis.tables import format_cpi_stack
-from repro.core.config import base_architecture
 from repro.core.stats import COMPONENT_LABELS
 from repro.experiments.common import (
     ExperimentResult,
@@ -19,13 +18,15 @@ from repro.experiments.common import (
     register,
     run_system,
 )
+from repro.scenario.params import ScenarioParams
 
 
 @register("fig4",
           description="Fig. 4: base-architecture CPI stack")
-def run(scale: ExperimentScale) -> ExperimentResult:
+def run(scale: ExperimentScale,
+        params: ScenarioParams) -> ExperimentResult:
     """Regenerate Fig. 4."""
-    config = base_architecture()
+    config = params.machine
     stats = run_system(config, scale)
     breakdown = stats.breakdown(config.cpu_stall_cpi)
     rows = [["base (1 + CPU stalls)", breakdown["base"]]]

@@ -17,7 +17,7 @@ Paper's findings, which this experiment checks:
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import (
     SystemConfig,
@@ -26,26 +26,40 @@ from repro.core.config import (
     base_write_buffer,
     write_through_buffer,
 )
+from repro.core.serialization import did_you_mean
+from repro.errors import ConfigurationError
 from repro.experiments.common import (
     ExperimentResult,
     ExperimentScale,
     register,
     run_system,
 )
-
-ACCESS_TIMES: Sequence[int] = (2, 4, 6, 8, 10)
-
-POLICIES: Sequence[WritePolicy] = (
-    WritePolicy.WRITE_BACK,
-    WritePolicy.WRITE_MISS_INVALIDATE,
-    WritePolicy.WRITE_ONLY,
-    WritePolicy.SUBBLOCK,
-)
+from repro.scenario.params import ScenarioParams
 
 
-def config_for(policy: WritePolicy, access_time: int) -> SystemConfig:
+def policies_from(values: Sequence) -> Tuple[WritePolicy, ...]:
+    """Convert scenario axis strings to :class:`WritePolicy` members."""
+    out = []
+    for value in values:
+        if isinstance(value, WritePolicy):
+            out.append(value)
+            continue
+        try:
+            out.append(WritePolicy(value))
+        except ValueError:
+            names = [p.value for p in WritePolicy]
+            raise ConfigurationError(
+                f"unknown write policy {value!r} in sweep axis 'policies'"
+                f"{did_you_mean(str(value), names)}; "
+                f"valid policies: {', '.join(names)}") from None
+    return tuple(out)
+
+
+def config_for(policy: WritePolicy, access_time: int,
+               base: Optional[SystemConfig] = None) -> SystemConfig:
     """The base architecture with one policy at one L2 access time."""
-    base = base_architecture()
+    if base is None:
+        base = base_architecture()
     buffer = (base_write_buffer() if policy is WritePolicy.WRITE_BACK
               else write_through_buffer())
     return base.with_(
@@ -56,20 +70,22 @@ def config_for(policy: WritePolicy, access_time: int) -> SystemConfig:
     )
 
 
-def crossover_access_time(cpi: Dict[WritePolicy, Dict[int, float]]) -> float:
+def crossover_access_time(cpi: Dict[WritePolicy, Dict[int, float]],
+                          access_times: Sequence[int]) -> float:
     """First swept access time at which write-back beats write-only."""
-    for access_time in ACCESS_TIMES:
+    for access_time in access_times:
         if (cpi[WritePolicy.WRITE_BACK][access_time]
                 < cpi[WritePolicy.WRITE_ONLY][access_time]):
             return float(access_time)
     return float("inf")
 
 
-def interpolated_crossover(cpi: Dict[WritePolicy, Dict[int, float]]) -> float:
+def interpolated_crossover(cpi: Dict[WritePolicy, Dict[int, float]],
+                           access_times: Sequence[int]) -> float:
     """Linear-interpolated access time where the write-back and write-only
     curves cross (the paper reports 8 cycles)."""
     gaps = [(a, cpi[WritePolicy.WRITE_BACK][a]
-             - cpi[WritePolicy.WRITE_ONLY][a]) for a in ACCESS_TIMES]
+             - cpi[WritePolicy.WRITE_ONLY][a]) for a in access_times]
     for (a0, g0), (a1, g1) in zip(gaps, gaps[1:]):
         if g0 >= 0 > g1 or g0 > 0 >= g1:
             return a0 + (a1 - a0) * g0 / (g0 - g1)
@@ -77,30 +93,37 @@ def interpolated_crossover(cpi: Dict[WritePolicy, Dict[int, float]]) -> float:
 
 
 @register("fig5",
-          description="Fig. 5: write policy vs. L2 access time tradeoff")
-def run(scale: ExperimentScale) -> ExperimentResult:
+          description="Fig. 5: write policy vs. L2 access time tradeoff",
+          axes=("policies", "access_times"))
+def run(scale: ExperimentScale,
+        params: ScenarioParams) -> ExperimentResult:
     """Regenerate Fig. 5."""
-    cpi: Dict[WritePolicy, Dict[int, float]] = {p: {} for p in POLICIES}
-    for policy in POLICIES:
-        for access_time in ACCESS_TIMES:
-            stats = run_system(config_for(policy, access_time), scale)
+    policies = policies_from(params.axis("policies"))
+    access_times = params.axis("access_times")
+    cpi: Dict[WritePolicy, Dict[int, float]] = {p: {} for p in policies}
+    for policy in policies:
+        for access_time in access_times:
+            stats = run_system(
+                config_for(policy, access_time, base=params.machine), scale)
             cpi[policy][access_time] = stats.cpi()
     rows: List[List] = []
-    for access_time in ACCESS_TIMES:
+    for access_time in access_times:
         rows.append([access_time]
-                    + [cpi[policy][access_time] for policy in POLICIES])
-    mid = 4
+                    + [cpi[policy][access_time] for policy in policies])
+    mid = 4 if 4 in access_times else access_times[len(access_times) // 2]
     write_only_vs_subblock = (
         cpi[WritePolicy.WRITE_ONLY][mid] - cpi[WritePolicy.SUBBLOCK][mid]
     )
     return ExperimentResult(
         experiment_id="fig5",
         title="Write policy vs. L2 access time tradeoff",
-        headers=["L2 access (cycles)"] + [p.value for p in POLICIES],
+        headers=["L2 access (cycles)"] + [p.value for p in policies],
         rows=rows,
         findings={
-            "crossover_access_time": crossover_access_time(cpi),
-            "crossover_interpolated": interpolated_crossover(cpi),
+            "crossover_access_time": crossover_access_time(cpi,
+                                                           access_times),
+            "crossover_interpolated": interpolated_crossover(cpi,
+                                                             access_times),
             "write_only_minus_subblock_at_4c": write_only_vs_subblock,
         },
         notes=("paper: write-through wins < 8 cycles, write-back wins > 8; "

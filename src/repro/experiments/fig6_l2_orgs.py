@@ -15,31 +15,43 @@ Paper's findings checked here:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import L2Config, SystemConfig, base_architecture
 from repro.core.stats import SimStats
+from repro.errors import ConfigurationError
 from repro.experiments.common import (
     ExperimentResult,
     ExperimentScale,
     register,
     run_system,
 )
-
-SIZES_KW: Sequence[int] = (16, 32, 64, 128, 256, 512, 1024)
-
-#: (label, split, ways); 2-way costs one extra access cycle.
-ORGANIZATIONS: Sequence[Tuple[str, bool, int]] = (
-    ("unified 1-way", False, 1),
-    ("unified 2-way", False, 2),
-    ("split 1-way", True, 1),
-    ("split 2-way", True, 2),
-)
+from repro.scenario.params import ScenarioParams
 
 
-def config_for(size_kw: int, split: bool, ways: int) -> SystemConfig:
+def organizations_from(values: Sequence) -> Tuple[Tuple[str, bool, int], ...]:
+    """Convert scenario axis tables to ``(label, split, ways)`` tuples."""
+    out = []
+    for value in values:
+        if isinstance(value, dict):
+            extra = set(value) - {"label", "split", "ways"}
+            if extra or not {"label", "split", "ways"} <= set(value):
+                raise ConfigurationError(
+                    "sweep axis 'organizations' tables need exactly the "
+                    "keys label, split, ways; got "
+                    f"{', '.join(sorted(value)) or 'nothing'}")
+            out.append((str(value["label"]), bool(value["split"]),
+                        int(value["ways"])))
+        else:
+            out.append(tuple(value))
+    return tuple(out)
+
+
+def config_for(size_kw: int, split: bool, ways: int,
+               base: Optional[SystemConfig] = None) -> SystemConfig:
     """Base architecture with one L2 organization."""
-    base = base_architecture()
+    if base is None:
+        base = base_architecture()
     access_time = 6 if ways == 1 else 7
     return base.with_(
         name=f"l2-{size_kw}kw-{'split' if split else 'unified'}-{ways}w",
@@ -48,27 +60,35 @@ def config_for(size_kw: int, split: bool, ways: int) -> SystemConfig:
     )
 
 
-def run_grid(scale: ExperimentScale) -> Dict[Tuple[str, int], SimStats]:
-    """Simulate all 28 configurations; keyed by (org label, size KW)."""
+def run_grid(scale: ExperimentScale,
+             organizations: Sequence[Tuple[str, bool, int]],
+             sizes_kw: Sequence[int],
+             base: Optional[SystemConfig] = None
+             ) -> Dict[Tuple[str, int], SimStats]:
+    """Simulate the full grid; keyed by (org label, size KW)."""
     grid: Dict[Tuple[str, int], SimStats] = {}
-    for label, split, ways in ORGANIZATIONS:
-        for size_kw in SIZES_KW:
+    for label, split, ways in organizations:
+        for size_kw in sizes_kw:
             grid[(label, size_kw)] = run_system(
-                config_for(size_kw, split, ways), scale
+                config_for(size_kw, split, ways, base=base), scale
             )
     return grid
 
 
 @register("fig6",
-          description="Fig. 6 + Table 2: L2 size and organization grid")
-def run(scale: ExperimentScale) -> ExperimentResult:
+          description="Fig. 6 + Table 2: L2 size and organization grid",
+          axes=("organizations", "sizes_kw"))
+def run(scale: ExperimentScale,
+        params: ScenarioParams) -> ExperimentResult:
     """Regenerate Fig. 6 (CPI) and Table 2 (miss ratios) from one grid."""
-    grid = run_grid(scale)
-    org_labels = [label for label, _, _ in ORGANIZATIONS]
+    organizations = organizations_from(params.axis("organizations"))
+    sizes_kw = params.axis("sizes_kw")
+    grid = run_grid(scale, organizations, sizes_kw, base=params.machine)
+    org_labels = [label for label, _, _ in organizations]
 
     cpi_rows: List[List] = []
     miss_rows: List[List] = []
-    for size_kw in SIZES_KW:
+    for size_kw in sizes_kw:
         cpi_rows.append([f"{size_kw}K"]
                         + [grid[(label, size_kw)].cpi()
                            for label in org_labels])
@@ -83,8 +103,8 @@ def run(scale: ExperimentScale) -> ExperimentResult:
               "of Fig. 6",
     )
 
-    big = SIZES_KW[-1]
-    small = SIZES_KW[0]
+    big = sizes_kw[-1]
+    small = sizes_kw[0]
     findings = {
         "unified_1way_decline": (
             grid[("unified 1-way", small)].l2_miss_ratio
@@ -95,12 +115,16 @@ def run(scale: ExperimentScale) -> ExperimentResult:
             - grid[("unified 2-way", big)].l2_miss_ratio
         ),
         "split_gain_at_64K": (
-            grid[("unified 1-way", 64)].l2_miss_ratio
-            - grid[("split 1-way", 64)].l2_miss_ratio
+            grid[("unified 1-way", 64 if 64 in sizes_kw else big)]
+            .l2_miss_ratio
+            - grid[("split 1-way", 64 if 64 in sizes_kw else big)]
+            .l2_miss_ratio
         ),
         "split_loss_at_16K": (
-            grid[("split 1-way", 16)].l2_miss_ratio
-            - grid[("unified 1-way", 16)].l2_miss_ratio
+            grid[("split 1-way", 16 if 16 in sizes_kw else small)]
+            .l2_miss_ratio
+            - grid[("unified 1-way", 16 if 16 in sizes_kw else small)]
+            .l2_miss_ratio
         ),
     }
     return ExperimentResult(

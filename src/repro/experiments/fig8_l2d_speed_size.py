@@ -10,7 +10,7 @@ instruction cache.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.analysis.cpi import data_side_cpi
 from repro.core.config import L2Config, SystemConfig, base_architecture
@@ -20,14 +20,14 @@ from repro.experiments.common import (
     register,
     run_system,
 )
-
-SIZES_KW: Sequence[int] = (8, 16, 32, 64, 128, 256, 512)
-ACCESS_TIMES: Sequence[int] = tuple(range(1, 11))
+from repro.scenario.params import ScenarioParams
 
 
-def config_for(d_size_kw: int) -> SystemConfig:
+def config_for(d_size_kw: int,
+               base: Optional[SystemConfig] = None) -> SystemConfig:
     """Split L2 with the data half of the given size."""
-    base = base_architecture()
+    if base is None:
+        base = base_architecture()
     return base.with_(
         name=f"l2d-{d_size_kw}kw",
         l2=L2Config(size_words=256 * 1024, line_words=32, ways=1,
@@ -39,39 +39,51 @@ def config_for(d_size_kw: int) -> SystemConfig:
 
 
 @register("fig8",
-          description="Fig. 8: L2-D speed-size tradeoff")
-def run(scale: ExperimentScale) -> ExperimentResult:
+          description="Fig. 8: L2-D speed-size tradeoff",
+          axes=("sizes_kw", "access_times"))
+def run(scale: ExperimentScale,
+        params: ScenarioParams) -> ExperimentResult:
     """Regenerate Fig. 8."""
-    base = base_architecture()
-    line_words = base.dcache.line_words
+    sizes_kw = params.axis("sizes_kw")
+    access_times = params.axis("access_times")
+    line_words = params.machine.dcache.line_words
     stats_by_size = [
-        (size_kw, run_system(config_for(size_kw), scale))
-        for size_kw in SIZES_KW
+        (size_kw, run_system(config_for(size_kw, base=params.machine),
+                             scale))
+        for size_kw in sizes_kw
     ]
     rows: List[List] = []
     for size_kw, stats in stats_by_size:
         rows.append(
             [f"{size_kw}K"]
-            + [data_side_cpi(stats, a, line_words) for a in ACCESS_TIMES]
+            + [data_side_cpi(stats, a, line_words) for a in access_times]
         )
 
-    def cpi_at(size_kw: int, access: int = 6) -> float:
+    mid_access = 6 if 6 in access_times else \
+        access_times[len(access_times) // 2]
+
+    def cpi_at(size_kw: int, access: int = mid_access) -> float:
         for s, stats in stats_by_size:
             if s == size_kw:
                 return data_side_cpi(stats, access, line_words)
         raise KeyError(size_kw)
 
+    lo = 8 if 8 in sizes_kw else sizes_kw[0]
+    knee = 64 if 64 in sizes_kw else sizes_kw[len(sizes_kw) // 2]
+    hi = 512 if 512 in sizes_kw else sizes_kw[-1]
+    penult = 256 if 256 in sizes_kw else \
+        sizes_kw[-2] if len(sizes_kw) > 1 else sizes_kw[-1]
     findings = {
-        "gain_8K_to_64K": cpi_at(8) - cpi_at(64),
-        "gain_64K_to_512K": cpi_at(64) - cpi_at(512),
-        "still_improving_at_512K": cpi_at(256) - cpi_at(512),
+        "gain_8K_to_64K": cpi_at(lo) - cpi_at(knee),
+        "gain_64K_to_512K": cpi_at(knee) - cpi_at(hi),
+        "still_improving_at_512K": cpi_at(penult) - cpi_at(hi),
         "max_cpi": max(row[-1] for row in rows),
         "min_cpi": min(row[1] for row in rows),
     }
     return ExperimentResult(
         experiment_id="fig8",
         title="L2-D speed-size tradeoff (data-side CPI, writes ignored)",
-        headers=["L2-D size"] + [f"A={a}" for a in ACCESS_TIMES],
+        headers=["L2-D size"] + [f"A={a}" for a in access_times],
         rows=rows,
         findings=findings,
         notes=("paper: still decreasing at 512KW; optimum data cache ~8x "

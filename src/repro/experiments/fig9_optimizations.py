@@ -16,12 +16,12 @@ the MCM.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.analysis.cpi import percent_improvement
 from repro.core.config import (
     L2Config,
-    base_architecture,
+    SystemConfig,
     fetch8_architecture,
     split_l2_architecture,
 )
@@ -31,11 +31,12 @@ from repro.experiments.common import (
     register,
     run_system,
 )
+from repro.scenario.params import ScenarioParams
 
 
-def swapped_architecture():
+def swapped_architecture(base: Optional[SystemConfig] = None):
     """The control: fast small L2-D on the MCM, big slow L2-I off it."""
-    config = split_l2_architecture()
+    config = split_l2_architecture(base)
     return config.with_(
         name="swapped",
         l2=L2Config(size_words=256 * 1024, line_words=32, ways=1,
@@ -47,13 +48,15 @@ def swapped_architecture():
 
 @register("fig9",
           description="Fig. 9: split L2 on the MCM plus 8-word fetch")
-def run(scale: ExperimentScale) -> ExperimentResult:
+def run(scale: ExperimentScale,
+        params: ScenarioParams) -> ExperimentResult:
     """Regenerate Fig. 9 (plus the swap control)."""
+    base = params.machine
     steps = [
-        ("base", base_architecture()),
-        ("split L2 (32KW 2-cyc L2-I)", split_l2_architecture()),
-        ("+ 8W L1 fetch/line", fetch8_architecture()),
-        ("swapped I/D (control)", swapped_architecture()),
+        ("base", base),
+        ("split L2 (32KW 2-cyc L2-I)", split_l2_architecture(base)),
+        ("+ 8W L1 fetch/line", fetch8_architecture(base)),
+        ("swapped I/D (control)", swapped_architecture(base)),
     ]
     rows: List[List] = []
     results = {}

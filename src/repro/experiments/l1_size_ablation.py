@@ -23,17 +23,18 @@ from repro.core.cache import Cache
 from repro.experiments.common import ExperimentResult, ExperimentScale, register
 from repro.mmu.page_table import PageTable
 from repro.params import log2i
+from repro.scenario.params import ScenarioParams
 from repro.trace.benchmarks import default_suite
 from repro.trace.record import KIND_NONE
 from repro.trace.synthetic import SyntheticBenchmark
 
-SIZES_KW: Sequence[int] = (2, 4, 8, 16)
-WAYS: Sequence[int] = (1, 2)
 _LINE_WORDS = 4
 _CHUNK = 50_000  # instructions per process before rotating (mimics slices)
 
 
-def _measure(scale: ExperimentScale) -> Dict[Tuple[int, int], Tuple[float, float]]:
+def _measure(scale: ExperimentScale, sizes_kw: Sequence[int],
+             ways_axis: Sequence[int]
+             ) -> Dict[Tuple[int, int], Tuple[float, float]]:
     """Replay an interleaved multiprogrammed trace through standalone L1s.
 
     Returns {(size_kw, ways): (icache_miss_ratio, dcache_miss_ratio)}.
@@ -43,7 +44,7 @@ def _measure(scale: ExperimentScale) -> Dict[Tuple[int, int], Tuple[float, float
     caches = {
         (size_kw, ways): (Cache(size_kw * 1024, _LINE_WORDS, ways),
                           Cache(size_kw * 1024, _LINE_WORDS, ways))
-        for size_kw in SIZES_KW for ways in WAYS
+        for size_kw in sizes_kw for ways in ways_axis
     }
     shift = log2i(_LINE_WORDS)
     sources = [SyntheticBenchmark(p, batch_size=_CHUNK) for p in profiles]
@@ -76,13 +77,17 @@ def _measure(scale: ExperimentScale) -> Dict[Tuple[int, int], Tuple[float, float
 
 
 @register("l1size",
-          description="Section 5: L1 size/associativity ablation")
-def run(scale: ExperimentScale) -> ExperimentResult:
+          description="Section 5: L1 size/associativity ablation",
+          axes=("sizes_kw", "ways"))
+def run(scale: ExperimentScale,
+        params: ScenarioParams) -> ExperimentResult:
     """Run the L1 size/associativity ablation."""
-    ratios = _measure(scale)
+    sizes_kw = params.axis("sizes_kw")
+    ways_axis = params.axis("ways")
+    ratios = _measure(scale, sizes_kw, ways_axis)
     rows: List[List] = []
-    for size_kw in SIZES_KW:
-        for ways in WAYS:
+    for size_kw in sizes_kw:
+        for ways in ways_axis:
             imr, dmr = ratios[(size_kw, ways)]
             rows.append([f"{size_kw}K", ways, imr, dmr])
     base_imr, base_dmr = ratios[(4, 1)]

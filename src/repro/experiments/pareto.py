@@ -23,27 +23,19 @@ than asserted.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import L2Config, SystemConfig, base_architecture
 from repro.core.stats import SimStats
-from repro.energy import ENERGY_TECHNOLOGIES, resolve_technology
+from repro.energy import resolve_technology
 from repro.experiments.common import (
     ExperimentResult,
     ExperimentScale,
     register,
     run_system,
 )
+from repro.scenario.params import ScenarioParams
 from repro.tech.timing import derive_cache_access
-
-#: L2 sizes swept per technology (words).
-SIZES_KW: Sequence[int] = (64, 128, 256, 512)
-
-#: L2 associativities swept per technology.
-WAYS: Sequence[int] = (1, 2)
-
-#: Sweep order is fixed so reports are deterministic.
-TECHNOLOGIES: Sequence[str] = ("paper", "all-gaas", "bicmos")
 
 
 @dataclass(frozen=True)
@@ -63,7 +55,8 @@ class ParetoPoint:
         return f"{self.technology}/{self.size_kw}KW/{self.ways}w"
 
 
-def config_for(technology: str, size_kw: int, ways: int) -> SystemConfig:
+def config_for(technology: str, size_kw: int, ways: int,
+               base: Optional[SystemConfig] = None) -> SystemConfig:
     """Base architecture with the L2 this technology actually builds.
 
     The access time is *derived* from the technology's part and mounting,
@@ -75,20 +68,31 @@ def config_for(technology: str, size_kw: int, ways: int) -> SystemConfig:
     access = derive_cache_access(
         f"L2 ({size_kw}KW, {technology})", size_kw * 1024,
         tech.l2_part, tech.l2_mounting, ways=ways)
-    return base_architecture().with_(
+    return (base if base is not None else base_architecture()).with_(
         name=f"pareto-{technology}-{size_kw}kw-{ways}w",
         l2=L2Config(size_words=size_kw * 1024, line_words=32, ways=ways,
                     access_time=access.cycles, split=False),
     )
 
 
-def sweep(scale: ExperimentScale) -> List[ParetoPoint]:
-    """Run the full technology x geometry grid with energy accounting."""
+def sweep(scale: ExperimentScale,
+          params: Optional[ScenarioParams] = None) -> List[ParetoPoint]:
+    """Run the full technology x geometry grid with energy accounting.
+
+    ``params`` defaults to the committed ``scenarios/pareto.toml``
+    resolution, so direct callers (tests, notebooks) sweep the same grid
+    the CLI does.
+    """
+    if params is None:
+        from repro.scenario.driver import default_params
+
+        params = default_params("pareto")
     points: List[ParetoPoint] = []
-    for technology in TECHNOLOGIES:
-        for size_kw in SIZES_KW:
-            for ways in WAYS:
-                config = config_for(technology, size_kw, ways)
+    for technology in params.axis("technologies"):
+        for size_kw in params.axis("sizes_kw"):
+            for ways in params.axis("ways"):
+                config = config_for(technology, size_kw, ways,
+                                    base=params.machine)
                 stats = run_system(config, scale, energy=technology)
                 points.append(ParetoPoint(
                     technology=technology, size_kw=size_kw, ways=ways,
@@ -110,12 +114,14 @@ def pareto_frontier(points: Sequence[ParetoPoint]) -> List[ParetoPoint]:
 
 
 @register("pareto",
-          description="CPI-vs-EPI Pareto frontier over energy technologies")
-def run(scale: ExperimentScale) -> ExperimentResult:
+          description="CPI-vs-EPI Pareto frontier over energy technologies",
+          axes=("technologies", "sizes_kw", "ways"))
+def run(scale: ExperimentScale,
+        params: ScenarioParams) -> ExperimentResult:
     """Sweep technology x L2 geometry; report the CPI-vs-EPI frontier."""
     from repro.analysis.ascii_plot import scatter_chart
 
-    points = sweep(scale)
+    points = sweep(scale, params)
     frontier = pareto_frontier(points)
     on_frontier = {p.label for p in frontier}
 
@@ -130,7 +136,7 @@ def run(scale: ExperimentScale) -> ExperimentResult:
     series: Dict[str, List[Tuple[float, float]]] = {
         technology: [(p.cpi, p.epi_pj) for p in points
                      if p.technology == technology]
-        for technology in TECHNOLOGIES
+        for technology in params.axis("technologies")
     }
     series["frontier"] = [(p.cpi, p.epi_pj) for p in frontier]
     chart = scatter_chart(series, title="CPI vs energy per instruction",
@@ -168,6 +174,3 @@ def run(scale: ExperimentScale) -> ExperimentResult:
                "mounting, so the axes trade off through shared physics"),
     )
 
-
-#: Referenced by docs/tests; keep in sync with ENERGY_TECHNOLOGIES.
-assert set(TECHNOLOGIES) == set(ENERGY_TECHNOLOGIES)

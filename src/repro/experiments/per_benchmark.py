@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.core.config import base_architecture
 from repro.core.simulator import Simulation
 from repro.experiments.common import (
     ExperimentResult,
@@ -21,13 +20,15 @@ from repro.experiments.common import (
     register,
     workload,
 )
+from repro.scenario.params import ScenarioParams
 
 
 @register("perbench",
           description="Per-benchmark miss ratios and CPI (base architecture)")
-def run(scale: ExperimentScale) -> ExperimentResult:
+def run(scale: ExperimentScale,
+        params: ScenarioParams) -> ExperimentResult:
     """Per-benchmark miss ratios and CPI on the base architecture."""
-    sim = Simulation(config=base_architecture(), profiles=workload(scale),
+    sim = Simulation(config=params.machine, profiles=workload(scale),
                      time_slice=scale.time_slice,
                      warmup_instructions=scale.warmup_instructions(),
                      track_per_process=True)

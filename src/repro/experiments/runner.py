@@ -7,6 +7,13 @@ Usage::
     python -m repro.experiments all --instructions 1000000
     repro-experiments all --jobs 4 --out results/      # parallel + cached
     repro-experiments fig6 --level 8 --out results/
+    repro-experiments run scenarios/fig5.toml          # scenario-driven
+    repro-experiments validate scenarios/fig5.toml     # resolve + check
+
+Every experiment's machine and sweep grid now live in a committed
+scenario document (``scenarios/<id>.toml``); the legacy ``fig5``-style
+invocation resolves the same file, so both paths are bit-identical (see
+:mod:`repro.scenario`).
 
 Every experiment regenerates one of the paper's tables or figures and
 prints it as an ASCII table along with the scalar findings EXPERIMENTS.md
@@ -349,6 +356,15 @@ def _filter_resume(wanted: List[str], out: Optional[Path],
 @cli_errors
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in ("run", "validate"):
+        # Scenario subcommands: declarative documents through the
+        # generic driver (see repro.scenario).
+        from repro.scenario.cli import cmd_run, cmd_validate
+
+        handler = cmd_run if argv[0] == "run" else cmd_validate
+        return handler(argv[1:])
     args = build_parser().parse_args(argv)
     if args.heartbeat is not None and args.heartbeat <= 0:
         print("--heartbeat must be a positive number of seconds",

@@ -12,28 +12,27 @@ qualitative comparisons the other experiments make.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
-from repro.core.config import base_architecture
 from repro.experiments.common import (
     ExperimentResult,
     ExperimentScale,
     register,
     run_system,
 )
-
-#: Trace-length multipliers applied to the requested scale.
-FACTORS: Sequence[float] = (0.25, 0.5, 1.0, 2.0)
+from repro.scenario.params import ScenarioParams
 
 
 @register("scaling",
-          description="Scale convergence: trace length vs. reported metrics")
-def run(scale: ExperimentScale) -> ExperimentResult:
+          description="Scale convergence: trace length vs. reported metrics",
+          axes=("factors",))
+def run(scale: ExperimentScale,
+        params: ScenarioParams) -> ExperimentResult:
     """Sweep trace length around the requested scale."""
-    config = base_architecture()
+    config = params.machine
     rows: List[List] = []
     l2_ratios = []
-    for factor in FACTORS:
+    for factor in params.axis("factors"):
         point = ExperimentScale(
             instructions_per_benchmark=max(
                 10_000, int(scale.instructions_per_benchmark * factor)),

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.experiments.common import ExperimentResult, ExperimentScale, register
+from repro.scenario.params import ScenarioParams
 from repro.trace.benchmarks import TABLE1_SUITE
 from repro.trace.stream import summarize
 from repro.trace.synthetic import SyntheticBenchmark
@@ -21,7 +22,8 @@ from repro.trace.synthetic import SyntheticBenchmark
 
 @register("table1",
           description="Table 1: benchmark workload characteristics")
-def run(scale: ExperimentScale) -> ExperimentResult:
+def run(scale: ExperimentScale,
+        params: ScenarioParams) -> ExperimentResult:
     """Regenerate Table 1."""
     rows: List[List] = []
     total_instructions = 0

@@ -15,12 +15,14 @@ from __future__ import annotations
 from typing import List
 
 from repro.experiments.common import ExperimentResult, ExperimentScale, register
+from repro.scenario.params import ScenarioParams
 from repro.tech import derive_system_timing, paper_expectations
 
 
 @register("tech",
           description="Technology derivation: timing constants vs. the paper")
-def run(scale: ExperimentScale) -> ExperimentResult:
+def run(scale: ExperimentScale,
+        params: ScenarioParams) -> ExperimentResult:
     """Derive the machine's timing constants and compare with the paper."""
     timing = derive_system_timing()
     expected = paper_expectations()

@@ -15,25 +15,26 @@ from __future__ import annotations
 from typing import List
 
 from repro.analysis.repeat import repeat_simulation
-from repro.core.config import base_architecture
 from repro.experiments.common import (
     ExperimentResult,
     ExperimentScale,
     register,
     workload,
 )
-
-SEEDS = 5
+from repro.scenario.params import ScenarioParams
 
 
 @register("variance",
-          description="Sampling variability over re-seeded workloads (error bars)")
-def run(scale: ExperimentScale) -> ExperimentResult:
+          description="Sampling variability over re-seeded workloads (error bars)",
+          axes=("seeds",))
+def run(scale: ExperimentScale,
+        params: ScenarioParams) -> ExperimentResult:
     """Base-architecture metrics over re-seeded workloads."""
+    seeds = len(params.axis("seeds"))
     summaries = repeat_simulation(
-        base_architecture(),
+        params.machine,
         workload(scale),
-        seeds=SEEDS,
+        seeds=seeds,
         time_slice=scale.time_slice,
         level=scale.level,
         warmup_instructions=scale.warmup_instructions(),
@@ -45,7 +46,7 @@ def run(scale: ExperimentScale) -> ExperimentResult:
                      100.0 * summary.relative_std])
     return ExperimentResult(
         experiment_id="variance",
-        title=f"Metric variability over {SEEDS} re-seeded workloads "
+        title=f"Metric variability over {seeds} re-seeded workloads "
               "(base architecture)",
         headers=["metric", "mean", "std", "min", "max", "CV %"],
         rows=rows,

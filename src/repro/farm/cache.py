@@ -57,7 +57,12 @@ CACHE_MAGIC = "repro-farm"
 #: name plus the full derived cost vector) and the energy fields that
 #: ride in every cached ``SimStats``; bumping makes pre-energy entries
 #: miss instead of answering with stats that lack the new fields.
-CACHE_SCHEMA_VERSION = 3
+#: Version 4 added the scenario identity (``None`` or the resolved
+#: scenario document's ``scenario_sha256``): points run under a declared
+#: scenario are addressed under that scenario's digest, so a scenario
+#: file is reproducible against the cache by content, and pre-scenario
+#: entries miss instead of masquerading as scenario-verified results.
+CACHE_SCHEMA_VERSION = 4
 
 #: Environment variable overriding the default cache root.
 CACHE_ENV_VAR = "REPRO_FARM_CACHE"
@@ -78,7 +83,8 @@ def point_payload(config: SystemConfig,
                   warmup_instructions: int,
                   max_instructions: Optional[int],
                   engine: str = DEFAULT_ENGINE,
-                  energy: Optional[str] = None) -> Dict[str, Any]:
+                  energy: Optional[str] = None,
+                  scenario: Optional[str] = None) -> Dict[str, Any]:
     """The canonical, JSON-ready description of one sweep point.
 
     This dict is both the cache key's preimage and the exact payload a
@@ -93,6 +99,13 @@ def point_payload(config: SystemConfig,
     just the name: stats cached with and without energy fields can never
     collide, and a change to the energy constants moves every affected
     key even without a schema bump.
+
+    ``scenario`` is the resolved scenario document's ``scenario_sha256``
+    (``None`` when the point was not launched from a scenario).  It is
+    inert for execution but participates in the key: a scenario's points
+    are content-addressed under the scenario's own identity, which is
+    what lets the same scenario file replay bit-identically across
+    ``--jobs``, ``--nodes``, and ``--journal`` resume.
     """
     config_dict = config_to_dict(config)
     config_dict.pop("name", None)  # label, not simulation input
@@ -112,6 +125,7 @@ def point_payload(config: SystemConfig,
         "max_instructions": max_instructions,
         "engine": engine,
         "energy": energy_desc,
+        "scenario": scenario,
     }
 
 
@@ -132,11 +146,12 @@ def point_key(config: SystemConfig,
               warmup_instructions: int = 0,
               max_instructions: Optional[int] = None,
               engine: str = DEFAULT_ENGINE,
-              energy: Optional[str] = None) -> str:
+              energy: Optional[str] = None,
+              scenario: Optional[str] = None) -> str:
     """The content address of one sweep point."""
     return payload_key(point_payload(config, profiles, time_slice, level,
                                      warmup_instructions, max_instructions,
-                                     engine, energy))
+                                     engine, energy, scenario))
 
 
 class ResultCache:

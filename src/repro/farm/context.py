@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import sys
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Any, List, Optional, Sequence
 
 from repro.core.engine import DEFAULT_ENGINE
@@ -56,6 +56,9 @@ class FarmContext:
     journal: Optional[Any] = None
     #: Optional :class:`repro.durable.DurableSettings` for the session.
     durable: Optional[Any] = None
+    #: ``scenario_sha256`` of the resolved scenario document driving the
+    #: session (``None`` = no scenario).  Joins every point's cache key.
+    scenario: Optional[str] = None
 
 
 _STACK: List[FarmContext] = []
@@ -80,7 +83,8 @@ def farm_session(jobs: int = 1,
                  nodes: Optional[Sequence[str]] = None,
                  grid_settings=None,
                  journal=None,
-                 durable=None):
+                 durable=None,
+                 scenario: Optional[str] = None):
     """Activate a :class:`FarmContext` for the duration of the block.
 
     Args:
@@ -111,6 +115,9 @@ def farm_session(jobs: int = 1,
             :mod:`repro.durable`).  Requires caching to stay enabled.
         durable: optional :class:`repro.durable.DurableSettings`
             overriding lease/heartbeat/retry-budget timing.
+        scenario: ``scenario_sha256`` of the resolved scenario document
+            this session runs (see :mod:`repro.scenario`); joins every
+            point's cache key.
     """
     if journal is not None and no_cache:
         from repro.errors import JournalError
@@ -133,7 +140,7 @@ def farm_session(jobs: int = 1,
     ctx = FarmContext(jobs=jobs, cache=cache, telemetry=telemetry,
                       task_timeout=task_timeout, retries=retries,
                       engine=engine, energy=energy, dispatcher=dispatcher,
-                      journal=journal, durable=durable)
+                      journal=journal, durable=durable, scenario=scenario)
     _STACK.append(ctx)
     try:
         yield ctx
@@ -141,3 +148,28 @@ def farm_session(jobs: int = 1,
         _STACK.pop()
         if dispatcher is not None:
             dispatcher.close()
+
+
+@contextmanager
+def scenario_scope(scenario: Optional[str]):
+    """Bind a scenario identity to the ambient farm policy.
+
+    Pushes a copy of the innermost context (or a bare one, outside any
+    session) with ``scenario`` set, so every point executed inside runs —
+    and is cached — under that scenario's ``scenario_sha256``.  The
+    experiment registry wraps each experiment in this scope, which is
+    how ``repro-experiments fig5`` and ``repro-experiments run
+    scenarios/fig5.toml`` land on identical cache keys.  ``scenario=None``
+    is a no-op (the ambient context, whatever it is, stays active).
+    """
+    if scenario is None:
+        yield current_context()
+        return
+    base = current_context()
+    ctx = (replace(base, scenario=scenario) if base is not None
+           else FarmContext(scenario=scenario))
+    _STACK.append(ctx)
+    try:
+        yield ctx
+    finally:
+        _STACK.pop()

@@ -45,13 +45,18 @@ class PointSpec:
     #: Energy accounting technology name (``None`` = disabled); the
     #: *derived model* joins the payload, so it is part of the cache key.
     energy: Optional[str] = None
+    #: ``scenario_sha256`` of the resolved scenario document this point
+    #: was launched from (``None`` = no scenario).  Inert for execution,
+    #: but part of the payload and therefore the cache key — a scenario's
+    #: results are addressed under the scenario's own content identity.
+    scenario: Optional[str] = None
 
     def payload(self) -> Dict[str, Any]:
         """Canonical dict: cache-key preimage and worker input."""
         return point_payload(self.config, self.profiles, self.time_slice,
                              self.level, self.warmup_instructions,
                              self.max_instructions, self.engine,
-                             self.energy)
+                             self.energy, self.scenario)
 
     def key(self) -> str:
         """Content address of this point."""

@@ -184,6 +184,8 @@ def _wire_body(spec: PointSpec) -> Dict[str, Any]:
         body["max_instructions"] = spec.max_instructions
     if spec.energy is not None:
         body["energy"] = spec.energy
+    if spec.scenario is not None:
+        body["scenario"] = spec.scenario
     return body
 
 

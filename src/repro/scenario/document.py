@@ -1,0 +1,170 @@
+"""Scenario documents as plain data: load, merge, canonicalize, hash.
+
+This module knows nothing about machines or sweeps — it treats a scenario
+as a nested dict of scalars, lists, and tables, and provides the four
+operations the rest of the subsystem is built on:
+
+* :func:`load_document` — parse a ``.toml`` or ``.json`` file (stdlib
+  parsers only) into a plain dict, every failure a
+  :class:`~repro.errors.ConfigurationError` naming the file.
+* :func:`deep_merge` — overlay composition.  Tables merge recursively,
+  every other value replaces, and the :data:`DELETE` sentinel removes a
+  key outright (how an overlay disables a section the base declared).
+* :func:`canonical_json` / :func:`scenario_sha256` — one byte-exact
+  encoding (sorted keys, no whitespace) so the hash of a resolved
+  document is stable across dict ordering, TOML-vs-JSON source, and
+  Python versions.
+* :func:`flatten_document` / :func:`diff_documents` — dotted-path views
+  for the ``validate`` CLI's effective-config diff.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.errors import ConfigurationError
+
+#: Overlay sentinel: assign this string to a key to delete it from the
+#: merged document (``icache = "__delete__"`` in TOML).
+DELETE = "__delete__"
+
+
+def load_document(path) -> Dict[str, Any]:
+    """Parse a scenario file (``.toml`` or ``.json``) into a plain dict.
+
+    Raises :class:`~repro.errors.ConfigurationError` — never a bare
+    parser exception — for a missing file, an unsupported suffix, a
+    syntax error, or a non-table top level.
+    """
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix not in (".toml", ".json"):
+        raise ConfigurationError(
+            f"{path}: unsupported scenario format {suffix!r} "
+            "(use .toml or .json)")
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read scenario {path}: "
+                                 f"{exc.strerror or exc}") from exc
+    if suffix == ".toml":
+        import tomllib
+
+        try:
+            doc = tomllib.loads(raw.decode("utf-8"))
+        except (tomllib.TOMLDecodeError, UnicodeDecodeError) as exc:
+            raise ConfigurationError(f"{path}: invalid TOML: {exc}") from exc
+    else:
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ConfigurationError(f"{path}: invalid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ConfigurationError(
+            f"{path}: scenario document must be a table/object at the "
+            "top level")
+    return doc
+
+
+def _prune(value: Any) -> Any:
+    """Strip :data:`DELETE` markers out of a fresh (non-merged) subtree."""
+    if isinstance(value, dict):
+        return {k: _prune(v) for k, v in value.items() if v != DELETE}
+    return value
+
+
+def deep_merge(base: Dict[str, Any],
+               overlay: Dict[str, Any]) -> Dict[str, Any]:
+    """Merge ``overlay`` onto ``base``, returning a new document.
+
+    Semantics (property-tested in ``tests/test_scenario_merge.py``):
+
+    * table onto table — recurse, key by key.
+    * anything else — the overlay value replaces the base value (a list
+      replaces wholesale; axes are atoms, not merge targets).
+    * :data:`DELETE` — the key is removed from the result.  A DELETE for
+      a key the base never had is a no-op, which is what makes merge
+      idempotent and composable.
+
+    Neither input is mutated.
+    """
+    out: Dict[str, Any] = {}
+    for key, value in base.items():
+        out[key] = value
+    for key, value in overlay.items():
+        if value == DELETE:
+            out.pop(key, None)
+        elif (isinstance(value, dict) and key in out
+                and isinstance(out[key], dict)):
+            out[key] = deep_merge(out[key], value)
+        else:
+            out[key] = _prune(value)
+    return out
+
+
+def canonical_json(doc: Dict[str, Any]) -> str:
+    """The one true byte encoding of a resolved document.
+
+    Sorted keys, no whitespace, ASCII-safe escapes — so the same logical
+    document always encodes to the same bytes regardless of key order,
+    source format, or platform.  Non-JSON-serializable values (which the
+    schema layer should have rejected already) raise
+    :class:`~repro.errors.ConfigurationError`, not ``TypeError``.
+    """
+    try:
+        return json.dumps(doc, sort_keys=True, separators=(",", ":"),
+                          ensure_ascii=True)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"scenario document is not canonicalizable: {exc}") from exc
+
+
+def scenario_sha256(doc: Dict[str, Any]) -> str:
+    """SHA-256 of the document's canonical JSON encoding.
+
+    This is the scenario's identity everywhere downstream: it joins the
+    farm cache key (:func:`repro.farm.cache.point_payload`), the durable
+    journal's ``run_open`` metadata, and serve's wire protocol.
+    """
+    return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()
+
+
+def flatten_document(doc: Dict[str, Any],
+                     prefix: str = "") -> Dict[str, Any]:
+    """Leaf values of a nested document, keyed by dotted path."""
+    flat: Dict[str, Any] = {}
+    for key, value in doc.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            if value:
+                flat.update(flatten_document(value, path))
+            else:
+                flat[path] = value
+        else:
+            flat[path] = value
+    return flat
+
+
+def diff_documents(base: Dict[str, Any],
+                   resolved: Dict[str, Any]) -> List[str]:
+    """Dotted-path diff lines between two documents.
+
+    ``+ path = value`` for additions, ``- path`` for removals,
+    ``~ path: old -> new`` for changes — the ``validate`` CLI's
+    effective-config view.  Sorted by path; empty when identical.
+    """
+    flat_base = flatten_document(base)
+    flat_new = flatten_document(resolved)
+    lines: List[str] = []
+    for path in sorted(set(flat_base) | set(flat_new)):
+        if path not in flat_base:
+            lines.append(f"+ {path} = {flat_new[path]!r}")
+        elif path not in flat_new:
+            lines.append(f"- {path}")
+        elif flat_base[path] != flat_new[path]:
+            lines.append(f"~ {path}: {flat_base[path]!r} -> "
+                         f"{flat_new[path]!r}")
+    return lines

@@ -13,6 +13,8 @@ A request body is JSON::
       "max_instructions": null,       // optional budget
       "deadline_s": 10.0,             // optional, clamped to the server max
       "engine": "reference",          // optional simulation engine
+      "scenario": "ab12…",            // optional scenario_sha256 (64 hex);
+                                      //   joins the content-address key
       "obs_trace": "8f3a…"            // optional caller trace ID (out of
     }                                 //   band: never part of the cache key)
 
@@ -48,7 +50,7 @@ PROTOCOL_VERSION = 1
 
 _TOP_KEYS = {"config", "workload", "time_slice", "level",
              "warmup_instructions", "max_instructions", "deadline_s",
-             "engine", "energy", "obs_trace"}
+             "engine", "energy", "scenario", "obs_trace"}
 
 #: Ceiling on a client-supplied trace ID; generous next to the 32-hex
 #: IDs :func:`repro.obs.tracing.new_trace_id` mints.
@@ -178,6 +180,13 @@ def parse_simulate_request(raw: bytes,
                 f"unknown energy technology {energy!r} "
                 f"(available: {', '.join(sorted(ENERGY_TECHNOLOGIES))})",
                 status=400)
+    scenario = body.get("scenario")
+    if scenario is not None:
+        if (not isinstance(scenario, str) or len(scenario) != 64
+                or any(c not in "0123456789abcdef" for c in scenario)):
+            raise ServeError(
+                "scenario must be a 64-character lowercase hex "
+                "scenario_sha256", status=400)
     obs_trace = body.get("obs_trace")
     if obs_trace is not None:
         if not isinstance(obs_trace, str) or not obs_trace \
@@ -190,7 +199,7 @@ def parse_simulate_request(raw: bytes,
                      time_slice=time_slice, level=level,
                      warmup_instructions=warmup,
                      max_instructions=max_instructions, engine=engine,
-                     energy=energy)
+                     energy=energy, scenario=scenario)
     return spec, deadline_s, obs_trace
 
 

@@ -200,7 +200,7 @@ class TestContentAddressing:
     def test_schema_version_bumped(self):
         from repro.farm.cache import CACHE_SCHEMA_VERSION
 
-        assert CACHE_SCHEMA_VERSION == 3
+        assert CACHE_SCHEMA_VERSION == 4
 
     def test_energy_moves_the_key(self, suite):
         from repro.farm.cache import point_key

@@ -1,0 +1,179 @@
+"""Scenario document primitives: merge, delete sentinel, canonical hash.
+
+The merge laws here are what make overlay composition predictable:
+hypothesis drives them over arbitrary nested documents so the guarantees
+hold for any scenario a user writes, not just the committed ones.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.scenario.document import (
+    DELETE,
+    canonical_json,
+    deep_merge,
+    diff_documents,
+    flatten_document,
+    load_document,
+    scenario_sha256,
+)
+
+keys = st.text(alphabet="abcdef_", min_size=1, max_size=6)
+scalars = st.one_of(st.integers(-100, 100), st.booleans(),
+                    st.text(max_size=8), st.floats(allow_nan=False,
+                                                   allow_infinity=False))
+documents = st.recursive(
+    scalars,
+    lambda children: st.dictionaries(keys, children, max_size=4),
+    max_leaves=12,
+).filter(lambda v: isinstance(v, dict))
+
+
+def clean(doc):
+    """A document with no DELETE sentinels anywhere (generated docs may
+    contain the literal string by construction)."""
+    return json.loads(json.dumps(doc).replace(DELETE, "deleted"))
+
+
+class TestMergeProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(documents)
+    def test_identity(self, doc):
+        doc = clean(doc)
+        assert deep_merge(doc, {}) == doc
+        assert deep_merge({}, doc) == doc
+
+    @settings(max_examples=100, deadline=None)
+    @given(documents)
+    def test_idempotent(self, doc):
+        doc = clean(doc)
+        assert deep_merge(doc, doc) == doc
+
+    @settings(max_examples=100, deadline=None)
+    @given(documents, documents)
+    def test_last_overlay_wins_on_leaves(self, base, overlay):
+        base, overlay = clean(base), clean(overlay)
+        merged = deep_merge(base, overlay)
+        flat = flatten_document(merged)
+        for path, value in flatten_document(overlay).items():
+            if not isinstance(value, dict):  # empty-table leaves may merge
+                assert flat[path] == value
+
+    @settings(max_examples=100, deadline=None)
+    @given(documents, documents, documents)
+    def test_associative_on_disjoint_overlays(self, a, b, c):
+        """Overlays touching disjoint keys associate.
+
+        (Unrestricted associativity does not hold for replace-vs-recurse
+        merges: a scalar in b can shadow a dict in a, changing whether a
+        dict in c merges or replaces — same as every TOML-layering tool.)
+        """
+        a, b, c = clean(a), clean(b), clean(c)
+        c = {k: v for k, v in c.items() if k not in b}
+        assert deep_merge(deep_merge(a, b), c) == \
+            deep_merge(a, deep_merge(b, c))
+
+    @settings(max_examples=100, deadline=None)
+    @given(documents, documents)
+    def test_merge_never_mutates_inputs(self, base, overlay):
+        base, overlay = clean(base), clean(overlay)
+        base_copy = json.loads(json.dumps(base))
+        overlay_copy = json.loads(json.dumps(overlay))
+        deep_merge(base, overlay)
+        assert base == base_copy
+        assert overlay == overlay_copy
+
+    @settings(max_examples=100, deadline=None)
+    @given(documents)
+    def test_delete_round_trip(self, doc):
+        """Setting then deleting any top-level key restores the original."""
+        doc = clean(doc)
+        added = deep_merge(doc, {"zz_extra": {"a": 1}})
+        assert deep_merge(added, {"zz_extra": DELETE}) == doc
+
+
+class TestDeleteSentinel:
+    def test_deletes_nested_key(self):
+        base = {"machine": {"l2": {"ways": 2, "split": True}}}
+        out = deep_merge(base, {"machine": {"l2": {"split": DELETE}}})
+        assert out == {"machine": {"l2": {"ways": 2}}}
+
+    def test_delete_of_missing_key_is_noop(self):
+        assert deep_merge({"a": 1}, {"b": DELETE}) == {"a": 1}
+
+    def test_delete_inside_fresh_subtree_is_pruned(self):
+        out = deep_merge({}, {"machine": {"tlb": DELETE, "name": "x"}})
+        assert out == {"machine": {"name": "x"}}
+
+    def test_replacement_value_wins_over_dict(self):
+        base = {"sweep": {"axes": {"levels": [1, 2]}}}
+        out = deep_merge(base, {"sweep": {"axes": {"levels": [4]}}})
+        assert out["sweep"]["axes"]["levels"] == [4]
+
+
+class TestCanonicalization:
+    def test_key_order_does_not_matter(self):
+        a = {"b": 1, "a": {"y": 2, "x": 3}}
+        b = {"a": {"x": 3, "y": 2}, "b": 1}
+        assert canonical_json(a) == canonical_json(b)
+        assert scenario_sha256(a) == scenario_sha256(b)
+
+    def test_sha_is_hex64(self):
+        sha = scenario_sha256({"scenario": {"name": "x"}})
+        assert len(sha) == 64
+        assert all(c in "0123456789abcdef" for c in sha)
+
+    def test_value_change_changes_sha(self):
+        base = {"machine": {"l2": {"access_time": 6}}}
+        other = {"machine": {"l2": {"access_time": 7}}}
+        assert scenario_sha256(base) != scenario_sha256(other)
+
+    def test_unserializable_value_is_config_error(self):
+        with pytest.raises(ConfigurationError):
+            canonical_json({"a": object()})
+
+
+class TestDiff:
+    def test_add_remove_change(self):
+        base = {"a": 1, "b": {"c": 2}, "gone": True}
+        new = {"a": 1, "b": {"c": 3}, "extra": "x"}
+        lines = diff_documents(base, new)
+        assert any(line.startswith("+ extra") for line in lines)
+        assert any(line.startswith("- gone") for line in lines)
+        assert any(line.startswith("~ b.c") for line in lines)
+
+    def test_no_changes_is_empty(self):
+        doc = {"a": {"b": 1}}
+        assert diff_documents(doc, doc) == []
+
+
+class TestLoadDocument:
+    def test_toml(self, tmp_path):
+        path = tmp_path / "s.toml"
+        path.write_text("[scenario]\nname = 'x'\n")
+        assert load_document(path) == {"scenario": {"name": "x"}}
+
+    def test_json(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text('{"scenario": {"name": "x"}}')
+        assert load_document(path) == {"scenario": {"name": "x"}}
+
+    def test_missing_file_is_config_error(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="scenario"):
+            load_document(tmp_path / "absent.toml")
+
+    def test_bad_syntax_is_config_error(self, tmp_path):
+        path = tmp_path / "s.toml"
+        path.write_text("[scenario\nname =")
+        with pytest.raises(ConfigurationError):
+            load_document(path)
+
+    def test_non_table_top_level_is_config_error(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ConfigurationError):
+            load_document(path)

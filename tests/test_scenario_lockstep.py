@@ -1,0 +1,71 @@
+"""Scenario-driven runs are bit-identical to the legacy invocation path.
+
+Every registered experiment is executed twice at tiny scale — once the
+legacy way (registry callable, committed scenario resolved implicitly)
+and once through the generic scenario driver — and the rendered reports
+must match byte for byte.  This battery is what allowed the per-figure
+grid constants to be deleted from the experiment modules.
+"""
+
+import pytest
+
+import repro.experiments.runner  # noqa: F401  (fills REGISTRY)
+from repro.experiments import REGISTRY, ExperimentScale, run_experiment
+from repro.scenario import resolve_scenario
+from repro.scenario.driver import builtin_scenario_path, run_scenario
+
+TINY = ExperimentScale(instructions_per_benchmark=8_000, level=2,
+                       time_slice=4_000, warmup_fraction=0.25)
+
+ALL_IDS = sorted(REGISTRY)
+
+
+def test_every_experiment_has_a_committed_scenario():
+    assert len(ALL_IDS) == 21
+    for experiment_id in ALL_IDS:
+        path = builtin_scenario_path(experiment_id)
+        assert path.exists(), f"missing committed scenario {path}"
+
+
+@pytest.mark.parametrize("experiment_id", ALL_IDS)
+def test_scenario_run_matches_legacy(experiment_id):
+    resolved = resolve_scenario(builtin_scenario_path(experiment_id))
+    assert resolved.name == experiment_id
+    assert resolved.experiment == experiment_id
+    legacy = run_experiment(experiment_id, TINY)
+    scenario = run_scenario(resolved, scale=TINY)
+    assert scenario.render() == legacy.render()
+
+
+def test_axes_come_from_the_committed_documents():
+    """Spot-check that the committed grids match the paper's figures."""
+    fig5 = resolve_scenario(builtin_scenario_path("fig5"))
+    assert fig5.axes["policies"] == ("write-back", "write-miss-invalidate",
+                                     "write-only", "subblock")
+    assert fig5.axes["access_times"] == (2, 4, 6, 8, 10)
+    fig6 = resolve_scenario(builtin_scenario_path("fig6"))
+    assert [org["label"] for org in fig6.axes["organizations"]] == \
+        ["unified 1-way", "unified 2-way", "split 1-way", "split 2-way"]
+    fig2 = resolve_scenario(builtin_scenario_path("fig2"))
+    assert fig2.axes["levels"] == (1, 2, 4, 8, 16)
+
+
+def test_overlay_changes_grid_without_code_changes(tmp_path):
+    """The point of the refactor: reshape a figure from a TOML overlay."""
+    overlay = tmp_path / "narrow.toml"
+    overlay.write_text("""
+[sweep.axes]
+levels = [1, 4]
+""")
+    resolved = resolve_scenario(builtin_scenario_path("fig2"), [overlay])
+    result = run_scenario(resolved, scale=TINY)
+    assert [row[0] for row in result.rows] == [1, 4]
+
+
+def test_shared_sha_between_paths():
+    """Legacy default params and an explicit resolve agree on the hash."""
+    from repro.scenario.driver import default_params
+
+    resolved = resolve_scenario(builtin_scenario_path("fig2"))
+    assert default_params("fig2").scenario_sha256 == \
+        resolved.scenario_sha256
